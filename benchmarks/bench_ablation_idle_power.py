@@ -1,0 +1,44 @@
+"""Ablation: idle-power accounting (DESIGN.md §4.3).
+
+The paper's cores cannot be turned off, so idle cores draw their parked
+P-state's power (our default, ``P4_FLOOR``).  The alternative reading —
+folding the idle floor into the excluded "constant" consumption
+(``EXCLUDED``) — makes the budget dramatically looser and erases most of
+the energy-cutoff misses that give the paper its unfiltered-vs-filtered
+contrast.  This ablation quantifies that.
+"""
+
+from __future__ import annotations
+
+from _common import bench_config, bench_seed, bench_tasks, bench_trials, emit
+from repro.config import IdlePowerMode
+from repro.experiments.runner import VariantSpec, run_ensemble
+
+SPECS = (VariantSpec("MECT", "none"), VariantSpec("LL", "en+rob"))
+
+
+def run_ablation() -> dict[str, float]:
+    rows: dict[str, float] = {}
+    lines = [
+        f"idle-power ablation: median missed of {bench_tasks()} "
+        f"({bench_trials()} trials)",
+        f"{'mode':>10} " + " ".join(f"{s.label:>12}" for s in SPECS),
+    ]
+    for mode in (IdlePowerMode.P4_FLOOR, IdlePowerMode.EXCLUDED):
+        config = bench_config(energy={"idle_power_mode": mode})
+        ensemble = run_ensemble(SPECS, config, bench_trials(), base_seed=bench_seed())
+        row = [f"{mode.value:>10}"]
+        for spec in SPECS:
+            med = ensemble.median_misses(spec)
+            rows[f"{mode.value}:{spec.label}"] = med
+            row.append(f"{med:12.1f}")
+        lines.append(" ".join(row))
+    emit("ablation_idle_power", "\n".join(lines))
+    return rows
+
+
+def test_ablation_idle_power(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info.update(rows)
+    # The idle floor is what punishes the energy-oblivious baseline.
+    assert rows["p4_floor:MECT/none"] >= rows["excluded:MECT/none"]

@@ -1,0 +1,39 @@
+"""Ablation: the robustness-filter threshold (paper Section V-F).
+
+The paper "empirically determined that a threshold of 0.5 worked well".
+This sweep reruns the robustness-filtered Random heuristic (where the
+threshold has the most leverage) across thresholds, exposing the
+trade-off: too low admits doomed assignments, too high discards tasks and
+forces hot P-states.
+"""
+
+from __future__ import annotations
+
+from _common import bench_config, bench_seed, bench_tasks, bench_trials, emit
+from repro.experiments.runner import VariantSpec, run_ensemble
+
+SPEC = VariantSpec("Random", "rob")
+THRESHOLDS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def run_ablation() -> dict[str, float]:
+    rows: dict[str, float] = {}
+    lines = [
+        f"rho_thresh ablation: {SPEC.label}, median missed of {bench_tasks()} "
+        f"({bench_trials()} trials)"
+    ]
+    for thresh in THRESHOLDS:
+        config = bench_config(filters={"rho_thresh": thresh})
+        ensemble = run_ensemble([SPEC], config, bench_trials(), base_seed=bench_seed())
+        med = ensemble.median_misses(SPEC)
+        rows[f"rho={thresh}"] = med
+        lines.append(f"  rho_thresh={thresh:4.1f}: {med:7.1f}")
+    emit("ablation_rho_thresh", "\n".join(lines))
+    return rows
+
+
+def test_ablation_rho_thresh(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info.update(rows)
+    # The paper's 0.5 should beat the permissive extreme for Random.
+    assert rows["rho=0.5"] <= rows["rho=0.1"]

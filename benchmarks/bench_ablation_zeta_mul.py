@@ -1,0 +1,55 @@
+"""Ablation: adaptive vs fixed fair-share multiplier (paper Section V-F).
+
+The paper adapts zeta_mul to the average queue depth (0.8 / 1.0 / 1.2).
+This ablation pins the multiplier to each fixed value and compares
+against the adaptive rule, using the energy-filtered LL heuristic where
+the threshold does the most work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import bench_config, bench_seed, bench_tasks, bench_trials, emit
+from repro.experiments.runner import VariantSpec, run_ensemble
+
+SPEC = VariantSpec("LL", "en+rob")
+
+
+def run_ablation() -> dict[str, float]:
+    rows: dict[str, float] = {}
+    settings = {
+        "adaptive (paper)": None,
+        "fixed 0.8": 0.8,
+        "fixed 1.0": 1.0,
+        "fixed 1.2": 1.2,
+    }
+    lines = [
+        f"zeta_mul ablation: {SPEC.label}, median missed of {bench_tasks()} "
+        f"({bench_trials()} trials)"
+    ]
+    for label, fixed in settings.items():
+        if fixed is None:
+            config = bench_config()
+        else:
+            config = bench_config(
+                filters={
+                    "zeta_mul_low": fixed,
+                    "zeta_mul_mid": fixed,
+                    "zeta_mul_high": fixed,
+                }
+            )
+        ensemble = run_ensemble([SPEC], config, bench_trials(), base_seed=bench_seed())
+        med = ensemble.median_misses(SPEC)
+        rows[label] = med
+        lines.append(f"  {label:>16}: {med:7.1f}")
+    emit("ablation_zeta_mul", "\n".join(lines))
+    return rows
+
+
+def test_ablation_zeta_mul(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    benchmark.extra_info.update(rows)
+    # The adaptive rule should be competitive with the best fixed value.
+    fixed_best = min(v for k, v in rows.items() if k.startswith("fixed"))
+    assert rows["adaptive (paper)"] <= fixed_best * 1.25 + 5

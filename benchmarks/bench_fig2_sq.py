@@ -1,0 +1,35 @@
+"""Figure 2: missed deadlines of the SQ heuristic across filter variants.
+
+Regenerates the rows of the paper's Figure 2 box plot (SQ with "none",
+"en", "rob", "en+rob") at benchmark scale and records the medians.
+Expected shape: "en" is a large improvement, "rob" alone changes little,
+"en+rob" is best.
+"""
+
+from __future__ import annotations
+
+from _common import bench_tasks, emit, grid_ensemble
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.experiments.report import figure_table
+from repro.experiments.runner import VariantSpec
+from repro.filters.chain import VARIANTS
+
+HEURISTIC = "SQ"
+
+
+def run_figure() -> dict[str, float]:
+    ensemble = grid_ensemble()
+    table = figure_table(ensemble, HEURISTIC, bench_tasks())
+    plot = ascii_boxplot_group(
+        ensemble.by_heuristic(HEURISTIC), title=f"fig2: {HEURISTIC} missed deadlines"
+    )
+    emit("fig2_sq", table + "\n\n" + plot)
+    return {
+        v: ensemble.median_misses(VariantSpec(HEURISTIC, v)) for v in VARIANTS
+    }
+
+
+def test_fig2_sq(benchmark):
+    medians = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"median_{k}": v for k, v in medians.items()})
+    assert medians["en+rob"] < medians["none"]

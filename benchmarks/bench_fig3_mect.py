@@ -1,0 +1,34 @@
+"""Figure 3: missed deadlines of the MECT heuristic across filter variants.
+
+Expected shape (paper Section VII): unfiltered MECT rides P0 and busts the
+energy budget; "en" recovers most of it; "rob" alone barely changes MECT
+because MECT already picks the fastest (and hence most robust) states.
+"""
+
+from __future__ import annotations
+
+from _common import bench_tasks, emit, grid_ensemble
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.experiments.report import figure_table
+from repro.experiments.runner import VariantSpec
+from repro.filters.chain import VARIANTS
+
+HEURISTIC = "MECT"
+
+
+def run_figure() -> dict[str, float]:
+    ensemble = grid_ensemble()
+    table = figure_table(ensemble, HEURISTIC, bench_tasks())
+    plot = ascii_boxplot_group(
+        ensemble.by_heuristic(HEURISTIC), title=f"fig3: {HEURISTIC} missed deadlines"
+    )
+    emit("fig3_mect", table + "\n\n" + plot)
+    return {v: ensemble.median_misses(VariantSpec(HEURISTIC, v)) for v in VARIANTS}
+
+
+def test_fig3_mect(benchmark):
+    medians = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"median_{k}": v for k, v in medians.items()})
+    assert medians["en+rob"] < medians["none"]
+    # "rob" alone is inert for MECT (no significant change).
+    assert abs(medians["rob"] - medians["none"]) <= 0.15 * max(medians["none"], 1)

@@ -1,0 +1,32 @@
+"""Figure 4: missed deadlines of the LL heuristic across filter variants.
+
+LL is the paper's new heuristic; its filtered variant ("en+rob") is the
+best performer of the whole study.
+"""
+
+from __future__ import annotations
+
+from _common import bench_tasks, emit, grid_ensemble
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.experiments.report import figure_table
+from repro.experiments.runner import VariantSpec
+from repro.filters.chain import VARIANTS
+
+HEURISTIC = "LL"
+
+
+def run_figure() -> dict[str, float]:
+    ensemble = grid_ensemble()
+    table = figure_table(ensemble, HEURISTIC, bench_tasks())
+    plot = ascii_boxplot_group(
+        ensemble.by_heuristic(HEURISTIC), title=f"fig4: {HEURISTIC} missed deadlines"
+    )
+    emit("fig4_ll", table + "\n\n" + plot)
+    return {v: ensemble.median_misses(VariantSpec(HEURISTIC, v)) for v in VARIANTS}
+
+
+def test_fig4_ll(benchmark):
+    medians = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"median_{k}": v for k, v in medians.items()})
+    assert medians["en+rob"] < medians["none"]
+    assert medians["en"] < medians["none"]

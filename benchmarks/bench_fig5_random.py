@@ -1,0 +1,36 @@
+"""Figure 5: missed deadlines of the Random heuristic across variants.
+
+Random is the contrast baseline with the paper's most distinctive shape:
+it is by far the worst unfiltered, the robustness filter alone rescues it
+(removing the low-performance assignments it would otherwise stumble
+into), and "en+rob" brings it within a few points of the sophisticated
+heuristics.
+"""
+
+from __future__ import annotations
+
+from _common import bench_tasks, emit, grid_ensemble
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.experiments.report import figure_table
+from repro.experiments.runner import VariantSpec
+from repro.filters.chain import VARIANTS
+
+HEURISTIC = "Random"
+
+
+def run_figure() -> dict[str, float]:
+    ensemble = grid_ensemble()
+    table = figure_table(ensemble, HEURISTIC, bench_tasks())
+    plot = ascii_boxplot_group(
+        ensemble.by_heuristic(HEURISTIC), title=f"fig5: {HEURISTIC} missed deadlines"
+    )
+    emit("fig5_random", table + "\n\n" + plot)
+    return {v: ensemble.median_misses(VariantSpec(HEURISTIC, v)) for v in VARIANTS}
+
+
+def test_fig5_random(benchmark):
+    medians = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"median_{k}": v for k, v in medians.items()})
+    # Robustness filtering alone must rescue Random substantially.
+    assert medians["rob"] < medians["none"]
+    assert medians["en+rob"] < medians["none"]

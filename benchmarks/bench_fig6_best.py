@@ -1,0 +1,33 @@
+"""Figure 6: the best-performing variant of each heuristic, head-to-head.
+
+The paper's take-away figure: after filtering, all four heuristics land
+close together (filtered Random within ~4 points of filtered LL at full
+scale), demonstrating that the filters drive the performance.
+"""
+
+from __future__ import annotations
+
+from _common import bench_tasks, emit, grid_ensemble
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.experiments.report import best_variant_table
+from repro.heuristics.registry import HEURISTICS
+
+
+def run_figure() -> dict[str, float]:
+    ensemble = grid_ensemble()
+    table = best_variant_table(ensemble, bench_tasks())
+    best = {h: ensemble.best_variant(h) for h in HEURISTICS}
+    plot = ascii_boxplot_group(
+        {f"{h}/{best[h].variant}": ensemble.misses(best[h]) for h in HEURISTICS},
+        title="fig6: best variant of each heuristic",
+    )
+    emit("fig6_best", table + "\n\n" + plot)
+    return {h: ensemble.median_misses(best[h]) for h in HEURISTICS}
+
+
+def test_fig6_best(benchmark):
+    medians = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"median_{k}": v for k, v in medians.items()})
+    # The filtered field is tight: no heuristic should be wildly apart.
+    spread = max(medians.values()) - min(medians.values())
+    assert spread <= 0.2 * bench_tasks()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Section VIII extensions in action: priorities + cancellation.
+
+Stamps the workload with priority levels (1x / 2x / 4x) and compares:
+
+* plain filtered LL (priority-blind);
+* priority-shaped LL (load = EEC * (1 - rho)^priority) behind a
+  priority-scaled energy filter (important tasks get a bigger fair share
+  of the remaining budget);
+* the same, plus the abandon-hopeless cancellation policy.
+
+Everything is scored by priority-weighted missed work: a 4x task counts
+as four 1x tasks.
+
+Run:  python examples/priority_scheduling.py
+"""
+
+from dataclasses import replace
+
+from repro import SimulationConfig, build_trial_system
+from repro import rng as rng_mod
+from repro.extensions import (
+    AbandonHopelessPolicy,
+    PriorityEnergyFilter,
+    PriorityLightestLoad,
+    weighted_missed,
+    with_priorities,
+)
+from repro.filters import FilterChain, RobustnessFilter, make_filter_chain
+from repro.heuristics import LightestLoad
+from repro.sim.engine import run_trial
+
+SEED = 77
+
+
+def main() -> None:
+    config = SimulationConfig(seed=SEED)
+    config = replace(config, workload=config.workload.with_num_tasks(500))
+    system = build_trial_system(config)
+    prioritized = with_priorities(
+        system.workload, rng_mod.stream(SEED, "priorities"), levels=(1.0, 2.0, 4.0)
+    )
+    system = replace(system, workload=prioritized)
+
+    prio_chain = FilterChain(
+        [
+            PriorityEnergyFilter.for_workload(prioritized, config.filters),
+            RobustnessFilter(config.filters),
+        ]
+    )
+    runs = {
+        "LL (priority-blind)": (LightestLoad(), make_filter_chain("en+rob"), None),
+        "LL-prio": (PriorityLightestLoad(), prio_chain, None),
+        "LL-prio + cancel": (
+            PriorityLightestLoad(),
+            prio_chain,
+            AbandonHopelessPolicy(0.05),
+        ),
+    }
+    print(f"{'policy':>22} {'missed':>7} {'weighted miss':>14} {'cancelled':>10}")
+    for label, (heuristic, chain, hooks) in runs.items():
+        result = run_trial(system, heuristic, chain, hooks=hooks)
+        wm = weighted_missed(result, system.workload)
+        cancelled = len(hooks.cancelled) if hooks is not None else 0
+        print(f"{label:>22} {result.missed:7d} {100 * wm:13.1f}% {cancelled:10d}")
+    print(
+        "\nPriority-weighted missed work counts a 4x task as four 1x tasks; "
+        "the priority-aware policies shift the inevitable misses onto the "
+        "cheap tasks, lowering weighted loss even when raw misses tie."
+    )
+
+
+if __name__ == "__main__":
+    main()

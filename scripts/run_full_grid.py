@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Run the paper's full evaluation grid and emit EXPERIMENTS.md tables.
+
+Reproduces Figures 2-6 and the Section VII in-text numbers: every
+(heuristic, filter-variant) cell over N paired trials of the full
+1,000-task workload.  Writes a JSON dump of per-trial misses and prints
+the report tables.
+
+Usage:
+    python scripts/run_full_grid.py [--trials 50] [--tasks 1000]
+        [--seed 0] [--jobs 1] [--out results/full_grid.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from dataclasses import replace
+
+from repro import SimulationConfig
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.experiments.figures import FIGURES, full_grid_specs
+from repro.experiments.report import best_variant_table, figure_table, summary_table
+from repro.experiments.runner import run_ensemble
+from repro.experiments.stats import box_stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=50)
+    parser.add_argument("--tasks", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--out", type=str, default="results/full_grid.json")
+    args = parser.parse_args()
+
+    config = SimulationConfig(seed=args.seed)
+    if args.tasks != config.workload.num_tasks:
+        config = replace(config, workload=config.workload.with_num_tasks(args.tasks))
+
+    specs = full_grid_specs()
+    start = time.time()
+    ensemble = run_ensemble(
+        specs, config, args.trials, base_seed=args.seed, n_jobs=args.jobs
+    )
+    elapsed = time.time() - start
+    print(f"# full grid: {len(specs)} variants x {args.trials} trials "
+          f"x {args.tasks} tasks in {elapsed:.0f}s\n")
+
+    for fig, heuristics in FIGURES.items():
+        if fig == "fig6":
+            continue
+        for heuristic in heuristics:
+            print(figure_table(ensemble, heuristic, args.tasks))
+            print()
+            print(ascii_boxplot_group(
+                ensemble.by_heuristic(heuristic),
+                title=f"{fig}: {heuristic} missed deadlines",
+            ))
+            print()
+    print(best_variant_table(ensemble, args.tasks))
+    print()
+    print(summary_table(ensemble, args.tasks))
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    dump = {
+        "trials": args.trials,
+        "tasks": args.tasks,
+        "seed": args.seed,
+        "elapsed_s": elapsed,
+        "misses": {
+            spec.label: ensemble.misses(spec).tolist() for spec in specs
+        },
+        "stats": {
+            spec.label: vars(box_stats(ensemble.misses(spec))) | {"outliers": list(box_stats(ensemble.misses(spec)).outliers)}
+            for spec in specs
+        },
+    }
+    out_path.write_text(json.dumps(dump, indent=2, default=str))
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of Young et al., "Energy-Constrained Dynamic
+Resource Allocation in a Heterogeneous Computing Environment" (ICPP 2011).
+
+The package simulates an oversubscribed, heterogeneous, DVFS-capable
+cluster processing a bursty stream of deadline-constrained tasks under a
+total energy budget, and reruns the paper's evaluation of four
+immediate-mode heuristics (SQ, MECT, LL, Random) crossed with two generic
+assignment filters (energy fair-share, robustness threshold).
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, build_trial_system, run_trial
+>>> from repro.heuristics import LightestLoad
+>>> from repro.filters import make_filter_chain
+>>> cfg = SimulationConfig(seed=42).with_updates(workload={"num_tasks": 100})
+>>> system = build_trial_system(cfg)
+>>> result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+>>> 0 <= result.missed <= 100
+True
+
+Subpackages
+-----------
+``repro.stoch``        pmf algebra (convolve / shift / truncate / CDF)
+``repro.cluster``      nodes, P-states, CMOS power, energy ledger
+``repro.workload``     CVB ETC matrix, pmf tables, bursty arrivals, deadlines
+``repro.robustness``   Section IV completion-time and rho machinery
+``repro.heuristics``   SQ, MECT, LL, Random
+``repro.filters``      energy and robustness filters
+``repro.sim``          discrete-event engine
+``repro.experiments``  ensembles, figures, statistics, reports
+``repro.extensions``   Section VIII future-work features
+"""
+
+from repro._version import __version__
+from repro.config import (
+    ClusterConfig,
+    EnergyConfig,
+    FilterConfig,
+    GridConfig,
+    IdlePowerMode,
+    LambdaMode,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.sim.engine import run_trial
+from repro.sim.system import build_trial_system
+
+__all__ = [
+    "__version__",
+    "ClusterConfig",
+    "EnergyConfig",
+    "FilterConfig",
+    "GridConfig",
+    "IdlePowerMode",
+    "LambdaMode",
+    "SimulationConfig",
+    "WorkloadConfig",
+    "run_trial",
+    "build_trial_system",
+]

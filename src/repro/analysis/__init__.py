@@ -1,0 +1,25 @@
+"""Analysis and presentation: box plots (ASCII + SVG), tables, phase
+breakdowns and time-series views of finished trials."""
+
+from repro.analysis.boxplot import ascii_boxplot, ascii_boxplot_group
+from repro.analysis.phases import PhaseBreakdown, phase_breakdown
+from repro.analysis.svg import boxplot_svg, save_boxplot_svg
+from repro.analysis.tables import markdown_table
+from repro.analysis.timeseries import (
+    active_tasks_series,
+    completion_rate_series,
+    cumulative_energy_series,
+)
+
+__all__ = [
+    "ascii_boxplot",
+    "ascii_boxplot_group",
+    "PhaseBreakdown",
+    "phase_breakdown",
+    "boxplot_svg",
+    "save_boxplot_svg",
+    "markdown_table",
+    "active_tasks_series",
+    "completion_rate_series",
+    "cumulative_energy_series",
+]

@@ -1,0 +1,77 @@
+"""ASCII box-and-whisker rendering, mirroring the paper's Figures 2-6."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.stats import BoxStats, box_stats
+
+__all__ = ["ascii_boxplot", "ascii_boxplot_group"]
+
+
+def _render_row(stats: BoxStats, lo: float, hi: float, width: int) -> str:
+    """One box-plot row scaled into [lo, hi] across ``width`` columns."""
+    span = max(hi - lo, 1e-12)
+
+    def col(x: float) -> int:
+        return int(round((x - lo) / span * (width - 1)))
+
+    cells = [" "] * width
+    wl, q1, med, q3, wh = (
+        col(stats.whisker_low),
+        col(stats.q1),
+        col(stats.median),
+        col(stats.q3),
+        col(stats.whisker_high),
+    )
+    for c in range(wl, q1):
+        cells[c] = "-"
+    for c in range(q3 + 1, wh + 1):
+        cells[c] = "-"
+    for c in range(q1, q3 + 1):
+        cells[c] = "="
+    cells[wl] = "|"
+    cells[wh] = "|"
+    cells[med] = "#"
+    for out in stats.outliers:
+        c = col(out)
+        if 0 <= c < width:
+            cells[c] = "o"
+    return "".join(cells)
+
+
+def ascii_boxplot(values, label: str = "", width: int = 60) -> str:
+    """Render a single sample as one box-plot line with its stats."""
+    stats = box_stats(values)
+    lo = min(stats.minimum, stats.whisker_low)
+    hi = max(stats.maximum, stats.whisker_high)
+    if hi <= lo:
+        lo, hi = lo - 1.0, hi + 1.0
+    row = _render_row(stats, lo, hi, width)
+    return f"{label:>12} [{row}]  med={stats.median:g}"
+
+
+def ascii_boxplot_group(
+    samples: dict[str, np.ndarray], width: int = 60, title: str = ""
+) -> str:
+    """Render several samples on a shared scale (one figure's columns).
+
+    Returns a multi-line string: optional title, one row per sample, and
+    an axis line with the scale bounds.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    all_stats = {k: box_stats(v) for k, v in samples.items()}
+    lo = min(s.minimum for s in all_stats.values())
+    hi = max(s.maximum for s in all_stats.values())
+    if hi <= lo:
+        lo, hi = lo - 1.0, hi + 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, stats in all_stats.items():
+        row = _render_row(stats, lo, hi, width)
+        lines.append(f"{label:>12} [{row}]  med={stats.median:g}")
+    pad = " " * 13
+    lines.append(f"{pad} {lo:<{width // 2}g}{hi:>{width - width // 2}g}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Standalone SVG box-and-whisker figures (no plotting dependency).
+
+Produces self-contained SVG documents visually equivalent to the paper's
+Figures 2-6: one box per variant, Tukey whiskers, outlier dots, a value
+axis.  Used by the CLI's ``report --svg`` and by anyone archiving results
+from a headless full-scale run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.stats import box_stats
+
+__all__ = ["boxplot_svg", "save_boxplot_svg"]
+
+_MARGIN_L = 90
+_MARGIN_R = 20
+_MARGIN_T = 40
+_MARGIN_B = 45
+_ROW_H = 46
+_BOX_H = 22
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def boxplot_svg(
+    samples: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    title: str = "",
+    width: int = 640,
+    x_label: str = "missed deadlines",
+) -> str:
+    """Render named samples as a horizontal box-plot SVG document."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    all_stats = {name: box_stats(np.asarray(vals)) for name, vals in samples.items()}
+    lo = min(s.minimum for s in all_stats.values())
+    hi = max(s.maximum for s in all_stats.values())
+    if hi <= lo:
+        lo, hi = lo - 1.0, hi + 1.0
+    span = hi - lo
+    lo -= 0.05 * span
+    hi += 0.05 * span
+
+    height = _MARGIN_T + _ROW_H * len(all_stats) + _MARGIN_B
+    plot_w = width - _MARGIN_L - _MARGIN_R
+
+    def x(v: float) -> float:
+        return _MARGIN_L + (v - lo) / (hi - lo) * plot_w
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="22" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(title)}</text>'
+        )
+
+    # Value axis with ~6 ticks.
+    axis_y = height - _MARGIN_B + 10
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{axis_y}" x2="{width - _MARGIN_R}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    for tick in np.linspace(lo, hi, 6):
+        tx = x(float(tick))
+        parts.append(f'<line x1="{tx:.1f}" y1="{axis_y}" x2="{tx:.1f}" y2="{axis_y + 5}" stroke="black"/>')
+        parts.append(
+            f'<text x="{tx:.1f}" y="{axis_y + 18}" text-anchor="middle">{tick:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.1f}" y="{height - 6}" '
+        f'text-anchor="middle" font-style="italic">{_esc(x_label)}</text>'
+    )
+
+    for row, (name, s) in enumerate(all_stats.items()):
+        cy = _MARGIN_T + _ROW_H * row + _ROW_H / 2
+        top = cy - _BOX_H / 2
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{cy + 4:.1f}" text-anchor="end">{_esc(name)}</text>'
+        )
+        # Whisker line and caps.
+        parts.append(
+            f'<line x1="{x(s.whisker_low):.1f}" y1="{cy:.1f}" '
+            f'x2="{x(s.whisker_high):.1f}" y2="{cy:.1f}" stroke="black"/>'
+        )
+        for w in (s.whisker_low, s.whisker_high):
+            parts.append(
+                f'<line x1="{x(w):.1f}" y1="{top:.1f}" x2="{x(w):.1f}" '
+                f'y2="{top + _BOX_H:.1f}" stroke="black"/>'
+            )
+        # IQR box and median.
+        parts.append(
+            f'<rect x="{x(s.q1):.1f}" y="{top:.1f}" '
+            f'width="{max(x(s.q3) - x(s.q1), 1.0):.1f}" height="{_BOX_H}" '
+            f'fill="#9ecae9" stroke="black"/>'
+        )
+        parts.append(
+            f'<line x1="{x(s.median):.1f}" y1="{top:.1f}" '
+            f'x2="{x(s.median):.1f}" y2="{top + _BOX_H:.1f}" '
+            f'stroke="black" stroke-width="2"/>'
+        )
+        for out in s.outliers:
+            parts.append(
+                f'<circle cx="{x(out):.1f}" cy="{cy:.1f}" r="3" '
+                f'fill="none" stroke="black"/>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_boxplot_svg(
+    samples: Mapping[str, Sequence[float] | np.ndarray],
+    path: str | pathlib.Path,
+    **kwargs,
+) -> pathlib.Path:
+    """Write :func:`boxplot_svg` output to disk and return the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(boxplot_svg(samples, **kwargs))
+    return path

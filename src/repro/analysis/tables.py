@@ -1,0 +1,32 @@
+"""Minimal markdown table builder for reports and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["markdown_table"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavored markdown table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller.  Column count of every row must match the header.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width must match headers")
+        str_rows.append([str(c) for c in row])
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [fmt(list(headers)), "| " + " | ".join("-" * w for w in widths) + " |"]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Time-series views of a finished trial.
+
+Turns the engine's raw artifacts (per-task outcomes, ledger-derived
+consumption events, collector traces) into uniformly-sampled series for
+plotting or threshold analysis:
+
+* :func:`cumulative_energy_series` — consumed energy over time from the
+  ledger's consumption events;
+* :func:`active_tasks_series` — number of tasks executing at each sample
+  (from outcomes);
+* :func:`completion_rate_series` — completed-by-deadline counts over
+  time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.energy import EnergyLedger
+from repro.sim.results import TrialResult
+
+__all__ = [
+    "cumulative_energy_series",
+    "active_tasks_series",
+    "completion_rate_series",
+]
+
+
+def cumulative_energy_series(
+    ledger: EnergyLedger, t_end: float, samples: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sampled cumulative consumed energy on ``[0, t_end]``.
+
+    Integrates the ledger's piecewise-constant consumed power exactly
+    between samples (no quadrature error at the sample points).
+    """
+    if t_end <= 0.0 or samples < 2:
+        raise ValueError("need t_end > 0 and at least two samples")
+    times, deltas = ledger.consumption_events()
+    ts = np.linspace(0.0, t_end, samples)
+    energy = np.empty(samples)
+    idx = 0
+    rate = 0.0
+    acc = 0.0
+    prev = 0.0
+    for i, t in enumerate(ts):
+        while idx < times.size and times[idx] <= t:
+            acc += rate * (float(times[idx]) - prev)
+            rate += float(deltas[idx])
+            prev = float(times[idx])
+            idx += 1
+        energy[i] = acc + rate * (t - prev)
+    return ts, energy
+
+
+def active_tasks_series(
+    result: TrialResult, samples: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Number of concurrently executing tasks over the trial."""
+    if not result.outcomes:
+        raise ValueError("result lacks per-task outcomes")
+    starts = np.array(
+        [o.start for o in result.outcomes if not o.discarded]
+    )
+    ends = np.array(
+        [o.completion for o in result.outcomes if not o.discarded]
+    )
+    ts = np.linspace(0.0, result.makespan, samples)
+    active = (
+        (starts[None, :] <= ts[:, None]) & (ends[None, :] > ts[:, None])
+    ).sum(axis=1)
+    return ts, active.astype(np.int64)
+
+
+def completion_rate_series(
+    result: TrialResult, samples: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative on-time-within-budget completions over the trial."""
+    if not result.outcomes:
+        raise ValueError("result lacks per-task outcomes")
+    exhaustion = result.exhaustion_time
+    counted = np.array(
+        [
+            o.completion
+            for o in result.outcomes
+            if o.on_time() and o.completion <= exhaustion
+        ]
+    )
+    ts = np.linspace(0.0, result.makespan, samples)
+    counts = (counted[None, :] <= ts[:, None]).sum(axis=1)
+    return ts, counts.astype(np.int64)

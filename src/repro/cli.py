@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro calibrate                     # sanity-check the Section VI setup
+    repro trial -H LL -F en+rob         # one trial, one policy
+    repro figure fig5 --trials 10       # one of the paper's figures
+    repro grid --trials 50 -o grid.json # the full 16-variant evaluation
+    repro sweep --multipliers 0.7 1.0 1.3  # budget-tightness sweep
+    repro report grid.json --svg-dir figs/   # re-render saved results
+    repro compare grid.json LL/none LL/en+rob # paired significance test
+
+All subcommands accept ``--tasks`` and ``--seed``; results are
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Sequence
+
+from repro import SimulationConfig, build_trial_system
+from repro.analysis.boxplot import ascii_boxplot_group
+from repro.analysis.svg import save_boxplot_svg
+from repro.experiments.calibrate import calibration_summary
+from repro.experiments.compare import compare_variants
+from repro.experiments.figures import FIGURES, figure_specs, full_grid_specs
+from repro.experiments.report import best_variant_table, figure_table, summary_table
+from repro.experiments.runner import EnsembleResult, VariantSpec, run_ensemble, run_trial_variant
+from repro.heuristics.registry import HEURISTICS
+from repro.io.results_io import ensemble_from_dict, ensemble_to_dict, load_json, save_json
+
+__all__ = ["main", "build_parser"]
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    config = SimulationConfig(seed=args.seed)
+    if args.tasks != config.workload.num_tasks:
+        config = replace(config, workload=config.workload.with_num_tasks(args.tasks))
+    return config
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tasks", type=int, default=1000, help="tasks per trial")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _parse_spec(label: str) -> VariantSpec:
+    try:
+        heuristic, variant = label.split("/", 1)
+    except ValueError:
+        raise SystemExit(f"spec must look like 'LL/en+rob', got {label!r}")
+    return VariantSpec(heuristic, variant)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Print Section VI subscription/budget diagnostics."""
+    print(calibration_summary(_config(args)))
+    return 0
+
+
+def cmd_trial(args: argparse.Namespace) -> int:
+    """Run a single trial of one (heuristic, filters) policy."""
+    system = build_trial_system(_config(args))
+    spec = VariantSpec(args.heuristic, args.filters)
+    result = run_trial_variant(system, spec, keep_outcomes=False)
+    print(
+        f"{result.label}: missed {result.missed}/{result.num_tasks} "
+        f"({result.late} late, {result.discarded} discarded, "
+        f"{result.energy_cutoff} after budget exhaustion)"
+    )
+    print(
+        f"energy {result.total_energy / 1e6:.2f} MJ of "
+        f"{result.budget / 1e6:.2f} MJ budget "
+        f"({100 * result.energy_utilization():.1f}%), makespan {result.makespan:.0f}"
+    )
+    return 0
+
+
+def _print_ensemble(ensemble: EnsembleResult, tasks: int, svg_dir: str | None) -> None:
+    heuristics = sorted({s.heuristic for s in ensemble.specs}, key=HEURISTICS.index)
+    for heuristic in heuristics:
+        print(figure_table(ensemble, heuristic, tasks))
+        print()
+        columns = ensemble.by_heuristic(heuristic)
+        print(ascii_boxplot_group(columns, title=f"{heuristic} missed deadlines"))
+        print()
+        if svg_dir:
+            path = save_boxplot_svg(
+                columns,
+                f"{svg_dir}/{heuristic.lower()}_misses.svg",
+                title=f"{heuristic}: missed deadlines",
+            )
+            print(f"wrote {path}")
+    if len(heuristics) > 1:
+        print(best_variant_table(ensemble, tasks))
+        print()
+        print(summary_table(ensemble, tasks))
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Rerun one of the paper's figures at the requested scale."""
+    ensemble = run_ensemble(
+        figure_specs(args.figure), _config(args), args.trials, base_seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    _print_ensemble(ensemble, args.tasks, args.svg_dir)
+    if args.out:
+        save_json(ensemble_to_dict(ensemble), args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    """Run the full 16-variant evaluation grid."""
+    ensemble = run_ensemble(
+        full_grid_specs(), _config(args), args.trials, base_seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    _print_ensemble(ensemble, args.tasks, args.svg_dir)
+    if args.out:
+        save_json(ensemble_to_dict(ensemble), args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Re-render tables from a saved ensemble JSON."""
+    ensemble = ensemble_from_dict(load_json(args.results))
+    tasks = next(iter(ensemble.results.values()))[0].num_tasks
+    _print_ensemble(ensemble, tasks, args.svg_dir)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep the energy-budget multiplier over given specs."""
+    from repro.experiments.sweep import budget_sweep
+
+    specs = tuple(_parse_spec(s) for s in args.specs)
+    sweep = budget_sweep(
+        args.multipliers, specs, _config(args), args.trials, base_seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    print(sweep.table(num_tasks=args.tasks))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Paired significance test between two saved specs."""
+    ensemble = ensemble_from_dict(load_json(args.results))
+    comparison = compare_variants(ensemble, _parse_spec(args.a), _parse_spec(args.b))
+    print(comparison)
+    verdict = "significant" if comparison.significant(args.alpha) else "not significant"
+    print(f"difference is {verdict} at alpha={args.alpha}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-constrained dynamic resource allocation (ICPP 2011) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("calibrate", help="print subscription/budget diagnostics")
+    _add_common(p)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("trial", help="run a single trial of one policy")
+    _add_common(p)
+    p.add_argument("-H", "--heuristic", default="LL", choices=HEURISTICS)
+    p.add_argument(
+        "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
+    )
+    p.set_defaults(func=cmd_trial)
+
+    p = sub.add_parser("figure", help="rerun one of the paper's figures")
+    _add_common(p)
+    p.add_argument("figure", choices=sorted(FIGURES))
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--out", help="save the ensemble JSON here")
+    p.add_argument("--svg-dir", help="also write SVG box plots here")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("grid", help="run the full 16-variant evaluation")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--out", help="save the ensemble JSON here")
+    p.add_argument("--svg-dir", help="also write SVG box plots here")
+    p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser("report", help="re-render tables from a saved ensemble")
+    p.add_argument("results", help="JSON written by grid/figure --out")
+    p.add_argument("--svg-dir", help="also write SVG box plots here")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("sweep", help="sweep the energy-budget multiplier")
+    _add_common(p)
+    p.add_argument(
+        "--multipliers",
+        type=float,
+        nargs="+",
+        default=[0.7, 0.85, 1.0, 1.15, 1.3],
+        help="budget multipliers to sweep",
+    )
+    p.add_argument(
+        "--specs",
+        nargs="+",
+        default=["MECT/none", "LL/en+rob"],
+        help="specs to compare, e.g. LL/en+rob",
+    )
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("compare", help="paired significance test of two specs")
+    p.add_argument("results", help="JSON written by grid/figure --out")
+    p.add_argument("a", help="baseline spec, e.g. LL/none")
+    p.add_argument("b", help="challenger spec, e.g. LL/en+rob")
+    p.add_argument("--alpha", type=float, default=0.05)
+    p.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Heterogeneous-cluster substrate (paper Section III-A).
+
+A cluster is a static description of ``N`` compute nodes; node ``i`` has
+``n(i)`` multicore processors of ``c(i)`` homogeneous cores each, a
+five-entry ACPI P-state profile (per-state execution-time multiplier and
+power draw, generated per Section VI), and a power-supply efficiency
+``epsilon(i)``.
+
+Runtime state (queues, running tasks) lives in :mod:`repro.sim`; energy
+bookkeeping (the per-core transition ledger of Eq. 1/2) lives in
+:mod:`repro.cluster.energy` because it is a property of cores, not of the
+scheduling policy.
+"""
+
+from repro.cluster.pstate import PStateProfile
+from repro.cluster.power import cmos_power, interpolate_voltages
+from repro.cluster.core import CoreAddress
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.node import NodeSpec
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.energy import EnergyLedger, TransitionRecord, IDLE_PSTATE
+from repro.cluster.generator import generate_cluster
+
+__all__ = [
+    "PStateProfile",
+    "cmos_power",
+    "interpolate_voltages",
+    "CoreAddress",
+    "ProcessorSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "EnergyLedger",
+    "TransitionRecord",
+    "IDLE_PSTATE",
+    "generate_cluster",
+]

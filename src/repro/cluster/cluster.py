@@ -1,0 +1,129 @@
+"""Whole-cluster topology and flat-core indexing.
+
+:class:`ClusterSpec` is the static description every other subsystem works
+against.  It precomputes flat-core <-> hierarchical-address maps and the
+per-flat-core node index / power / efficiency arrays that the vectorized
+candidate-scoring hot path consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.core import CoreAddress
+from repro.cluster.node import NodeSpec
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A heterogeneous cluster: an ordered tuple of node specs.
+
+    Flat core ids enumerate cores node-major, then processor, then core,
+    matching a depth-first walk of the paper's Figure 1 hierarchy.
+    """
+
+    nodes: tuple[NodeSpec, ...]
+    _addresses: tuple[CoreAddress, ...] = field(init=False, repr=False, compare=False)
+    _core_node: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        for expect, node in enumerate(self.nodes):
+            if node.index != expect:
+                raise ValueError(f"node indices must be dense: expected {expect}, got {node.index}")
+        num_pstates = {n.pstates.num_pstates for n in self.nodes}
+        if len(num_pstates) != 1:
+            raise ValueError("all nodes must expose the same number of P-states")
+        addresses: list[CoreAddress] = []
+        for node in self.nodes:
+            for j in range(node.num_processors):
+                for k in range(node.cores_per_processor):
+                    addresses.append(CoreAddress(node.index, j, k))
+        core_node = np.array([a.node for a in addresses], dtype=np.int64)
+        core_node.setflags(write=False)
+        object.__setattr__(self, "_addresses", tuple(addresses))
+        object.__setattr__(self, "_core_node", core_node)
+
+    # ------------------------------------------------------------------
+    # Sizes and indexing
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes (the paper's ``N``)."""
+        return len(self.nodes)
+
+    @property
+    def num_cores(self) -> int:
+        """Total cores across all nodes."""
+        return len(self._addresses)
+
+    @property
+    def num_pstates(self) -> int:
+        """P-states per core (identical across nodes by construction)."""
+        return self.nodes[0].pstates.num_pstates
+
+    @property
+    def core_addresses(self) -> tuple[CoreAddress, ...]:
+        """Hierarchical address of each flat core id, in order."""
+        return self._addresses
+
+    @property
+    def core_node_index(self) -> np.ndarray:
+        """Node index of each flat core id (read-only array)."""
+        return self._core_node
+
+    def address_of(self, core_id: int) -> CoreAddress:
+        """Hierarchical address of a flat core id."""
+        return self._addresses[core_id]
+
+    def core_id_of(self, address: CoreAddress) -> int:
+        """Flat core id of a hierarchical address."""
+        node = self.nodes[address.node]
+        if not (0 <= address.processor < node.num_processors):
+            raise IndexError(f"processor {address.processor} out of range")
+        if not (0 <= address.core < node.cores_per_processor):
+            raise IndexError(f"core {address.core} out of range")
+        base = sum(n.num_cores for n in self.nodes[: address.node])
+        return base + address.processor * node.cores_per_processor + address.core
+
+    def node_of_core(self, core_id: int) -> NodeSpec:
+        """Node spec owning a flat core id."""
+        return self.nodes[int(self._core_node[core_id])]
+
+    # ------------------------------------------------------------------
+    # Derived arrays for the vectorized hot path
+    # ------------------------------------------------------------------
+
+    def power_table(self) -> np.ndarray:
+        """``(num_nodes, num_pstates)`` array of ``mu(i, pi)`` in watts."""
+        return np.stack([n.pstates.power for n in self.nodes])
+
+    def exec_multiplier_table(self) -> np.ndarray:
+        """``(num_nodes, num_pstates)`` execution-time multipliers."""
+        return np.stack([n.pstates.exec_multiplier for n in self.nodes])
+
+    def efficiency_vector(self) -> np.ndarray:
+        """``(num_nodes,)`` power-supply efficiencies ``epsilon(i)``."""
+        return np.array([n.efficiency for n in self.nodes])
+
+    def mean_power(self) -> float:
+        """The paper's ``p_avg`` (Eq. 8): mean of ``mu`` over nodes and P-states."""
+        return float(self.power_table().mean())
+
+    def describe(self) -> str:
+        """Human-readable topology summary."""
+        lines = [f"ClusterSpec: {self.num_nodes} nodes, {self.num_cores} cores"]
+        for n in self.nodes:
+            lines.append(
+                f"  node {n.index}: {n.num_processors} proc x {n.cores_per_processor} cores, "
+                f"eff={n.efficiency:.3f}, P0 power={n.pstates.power[0]:.1f} W, "
+                f"P{n.pstates.deepest} power={n.pstates.power[-1]:.1f} W, "
+                f"min speed ratio={n.pstates.min_speed_ratio():.3f}"
+            )
+        return "\n".join(lines)

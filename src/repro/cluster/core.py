@@ -1,0 +1,30 @@
+"""Core addressing.
+
+The paper addresses a core as the triple ``(i, j, k)``: core ``k`` of
+multicore processor ``j`` in node ``i``.  The simulator additionally keeps
+a *flat* core index (dense 0..C-1 over the whole cluster) because hot-path
+candidate scoring is vectorized over flat arrays; :class:`CoreAddress`
+provides the human-facing hierarchical view and the mapping between the
+two lives in :class:`~repro.cluster.cluster.ClusterSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["CoreAddress"]
+
+
+class CoreAddress(NamedTuple):
+    """Hierarchical core coordinates ``(node, processor, core)``.
+
+    All three indices are zero-based (the paper numbers from one; tests
+    that cross-check against the paper's formulas account for this).
+    """
+
+    node: int
+    processor: int
+    core: int
+
+    def __str__(self) -> str:
+        return f"n{self.node}.p{self.processor}.c{self.core}"

@@ -1,0 +1,233 @@
+"""Per-core P-state transition ledger and energy accounting (Eqs. 1, 2).
+
+The paper computes each core's energy from its list of P-state
+transitions: every transition marks the start of an interval during which
+the core draws the power of the new state; energy is the power-weighted
+sum of interval lengths (Eq. 1).  Node energy is core energy divided by
+the node's power-supply efficiency, summed over the cluster (Eq. 2).
+
+The ledger also answers the question "when did cumulative consumption
+cross the budget?" — needed because tasks completing after the energy
+constraint is exhausted do not count (DESIGN.md §4.4).
+
+Idle intervals are represented by the sentinel state :data:`IDLE_PSTATE`;
+their power depends on the configured :class:`~repro.config.IdlePowerMode`
+(zero under ``EXCLUDED``, the node's deepest-state power under
+``P4_FLOOR``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.config import IdlePowerMode
+
+__all__ = ["IDLE_PSTATE", "TransitionRecord", "EnergyLedger"]
+
+#: Sentinel "P-state" meaning the core is idle.
+IDLE_PSTATE = -1
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One entry of the paper's transition list ``nu(i, j, k)``."""
+
+    time: float
+    pstate: int
+
+
+class EnergyLedger:
+    """Records every core's P-state transitions and integrates energy.
+
+    Cores start idle at time 0 (one initial transition, as the paper
+    assumes "each core makes at least two P-state transitions, one at the
+    start of workload execution and one at the end").  Call
+    :meth:`record` on each state change and :meth:`close` once at the end
+    of the simulation; query methods may be used before closing, in which
+    case intervals are integrated up to the latest recorded time.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        idle_power_mode: IdlePowerMode = IdlePowerMode.P4_FLOOR,
+    ) -> None:
+        self._cluster = cluster
+        self._mode = idle_power_mode
+        self._transitions: list[list[TransitionRecord]] = [
+            [TransitionRecord(0.0, IDLE_PSTATE)] for _ in range(cluster.num_cores)
+        ]
+        self._closed_at: float | None = None
+        # Per-core consumed-power lookup: row = flat core id, col = pstate
+        # (last column aliases IDLE via python -1 indexing convenience is
+        # avoided: idle handled explicitly).
+        power = cluster.power_table()
+        eff = cluster.efficiency_vector()
+        node_idx = cluster.core_node_index
+        self._supplied_power = power[node_idx]  # (num_cores, num_pstates), watts
+        idle_per_node = (
+            np.zeros(cluster.num_nodes)
+            if idle_power_mode is IdlePowerMode.EXCLUDED
+            else power[:, -1]
+        )
+        self._idle_supplied = idle_per_node[node_idx]  # (num_cores,)
+        self._core_eff = eff[node_idx]  # (num_cores,)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    @property
+    def idle_power_mode(self) -> IdlePowerMode:
+        """Configured idle accounting mode."""
+        return self._mode
+
+    def record(self, core_id: int, time: float, pstate: int) -> None:
+        """Append a P-state transition for a core.
+
+        ``pstate`` may be :data:`IDLE_PSTATE`.  Times must be
+        non-decreasing per core; a transition at the same instant as the
+        previous one replaces it (zero-length intervals carry no energy
+        and would only bloat the list).
+        """
+        if self._closed_at is not None:
+            raise RuntimeError("ledger already closed")
+        if pstate != IDLE_PSTATE and not (0 <= pstate < self._cluster.num_pstates):
+            raise ValueError(f"invalid pstate {pstate}")
+        trail = self._transitions[core_id]
+        last = trail[-1]
+        if time < last.time - 1e-9:
+            raise ValueError(f"non-monotonic transition time on core {core_id}: {time} < {last.time}")
+        if abs(time - last.time) <= 1e-12:
+            trail[-1] = TransitionRecord(last.time, pstate)
+            return
+        if pstate == last.pstate:
+            return
+        trail.append(TransitionRecord(time, pstate))
+
+    def close(self, end_time: float) -> None:
+        """Record the final end-of-workload transition on every core."""
+        if self._closed_at is not None:
+            raise RuntimeError("ledger already closed")
+        for core_id in range(self._cluster.num_cores):
+            last = self._transitions[core_id][-1]
+            if end_time < last.time - 1e-9:
+                raise ValueError("end_time precedes a recorded transition")
+            self._transitions[core_id].append(TransitionRecord(max(end_time, last.time), IDLE_PSTATE))
+        self._closed_at = end_time
+
+    def transitions(self, core_id: int) -> tuple[TransitionRecord, ...]:
+        """The transition list ``nu`` for a core (copy)."""
+        return tuple(self._transitions[core_id])
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+
+    def _segments(self, core_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """(durations, supplied powers) of a core's closed intervals."""
+        trail = self._transitions[core_id]
+        if len(trail) < 2:
+            return np.empty(0), np.empty(0)
+        times = np.array([t.time for t in trail])
+        states = np.array([t.pstate for t in trail][:-1], dtype=np.int64)
+        durations = np.diff(times)
+        idle = states == IDLE_PSTATE
+        powers = np.where(
+            idle,
+            self._idle_supplied[core_id],
+            self._supplied_power[core_id][np.where(idle, 0, states)],
+        )
+        return durations, powers
+
+    def core_energy(self, core_id: int) -> float:
+        """Eq. 1: supplied energy ``eta(i, j, k)`` of one core, in joules."""
+        durations, powers = self._segments(core_id)
+        return float(np.dot(durations, powers))
+
+    def total_energy(self) -> float:
+        """Eq. 2: consumed energy ``zeta`` of the whole cluster, in joules."""
+        total = 0.0
+        for core_id in range(self._cluster.num_cores):
+            total += self.core_energy(core_id) / self._core_eff[core_id]
+        return total
+
+    def consumption_events(self) -> tuple[np.ndarray, np.ndarray]:
+        """Merged, time-sorted ``(times, consumed-power deltas)`` across cores.
+
+        The cluster's instantaneous consumed power is the running sum of
+        the deltas; cumulative energy is its time integral.
+        """
+        times: list[float] = []
+        deltas: list[float] = []
+        for core_id in range(self._cluster.num_cores):
+            trail = self._transitions[core_id]
+            eff = self._core_eff[core_id]
+            prev_power = 0.0
+            for rec in trail:
+                if rec.pstate == IDLE_PSTATE:
+                    p = float(self._idle_supplied[core_id]) / eff
+                else:
+                    p = float(self._supplied_power[core_id][rec.pstate]) / eff
+                if p != prev_power:
+                    times.append(rec.time)
+                    deltas.append(p - prev_power)
+                    prev_power = p
+            # If the ledger is not yet closed, the trailing interval stays
+            # open-ended; exhaustion_time integrates its rate to +inf.
+        t = np.array(times)
+        d = np.array(deltas)
+        order = np.argsort(t, kind="stable")
+        return t[order], d[order]
+
+    def exhaustion_time(self, budget: float) -> float:
+        """First time cumulative consumed energy reaches ``budget``.
+
+        Returns ``inf`` if the budget is never exhausted over the recorded
+        horizon.  On a *closed* ledger the horizon ends at the close time
+        (the workload is over; nothing after it draws budgeted energy);
+        on an open ledger the trailing rate extrapolates forward.
+        """
+        if budget < 0.0:
+            raise ValueError("budget must be non-negative")
+        times, deltas = self.consumption_events()
+        if times.size == 0:
+            return float("inf")
+        energy = 0.0
+        rate = 0.0
+        for idx in range(times.size):
+            t = float(times[idx])
+            if idx > 0:
+                span = t - float(times[idx - 1])
+                if rate > 0.0 and energy + rate * span >= budget:
+                    return float(times[idx - 1]) + (budget - energy) / rate
+                energy += rate * span
+            rate += float(deltas[idx])
+        if rate <= 0.0:
+            return float("inf")
+        if self._closed_at is not None:
+            # Trailing interval ends at the close of the workload.
+            crossing = float(times[-1]) + (budget - energy) / rate
+            return crossing if crossing <= self._closed_at else float("inf")
+        return float(times[-1]) + (budget - energy) / rate
+
+    def cumulative_energy_at(self, t: float) -> float:
+        """Consumed energy integrated from 0 to ``t``."""
+        times, deltas = self.consumption_events()
+        energy = 0.0
+        rate = 0.0
+        prev = 0.0
+        for idx in range(times.size):
+            ti = float(times[idx])
+            if ti >= t:
+                break
+            energy += rate * (ti - prev)
+            rate += float(deltas[idx])
+            prev = ti
+        else:
+            idx = times.size
+        energy += rate * (t - prev) if t > prev else 0.0
+        return energy

@@ -1,0 +1,59 @@
+"""Compute-node description (paper Section III-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.pstate import PStateProfile
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One heterogeneous compute node.
+
+    Attributes
+    ----------
+    index:
+        Zero-based node index (the paper's ``i``, shifted by one).
+    processors:
+        The node's multicore processors; all identical within a node.
+    pstates:
+        DVFS profile shared by every core of the node.
+    efficiency:
+        Power-supply efficiency ``epsilon(i)`` in ``(0, 1]``; consumed
+        wall power is supplied power divided by this factor (Eq. 2).
+    """
+
+    index: int
+    processors: tuple[ProcessorSpec, ...]
+    pstates: PStateProfile
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("node index must be non-negative")
+        if not self.processors:
+            raise ValueError("a node needs at least one processor")
+        counts = {p.num_cores for p in self.processors}
+        if len(counts) != 1:
+            raise ValueError("all processors within a node must be identical")
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def num_processors(self) -> int:
+        """The paper's ``n(i)``."""
+        return len(self.processors)
+
+    @property
+    def cores_per_processor(self) -> int:
+        """The paper's ``c(i)``."""
+        return self.processors[0].num_cores
+
+    @property
+    def num_cores(self) -> int:
+        """Total cores in the node: ``n(i) * c(i)``."""
+        return self.num_processors * self.cores_per_processor

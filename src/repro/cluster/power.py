@@ -1,0 +1,39 @@
+"""CMOS dynamic-power model (paper Eq. 7) and voltage interpolation.
+
+The paper computes per-P-state power as ``P = A * C_L * V^2 * f`` where
+``A`` is switching activity, ``C_L`` capacitive load, ``V`` supply
+voltage, and ``f`` operating frequency.  ``A * C_L`` is folded into one
+constant calibrated so that the highest P-state hits its sampled power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cmos_power", "interpolate_voltages", "activity_capacitance_constant"]
+
+
+def cmos_power(act_cap: float, voltage: float | np.ndarray, frequency: float | np.ndarray):
+    """Capacitive power dissipation ``A*C_L * V**2 * f`` (Eq. 7)."""
+    return act_cap * np.square(voltage) * frequency
+
+
+def activity_capacitance_constant(p0_power: float, v0: float, f0: float) -> float:
+    """Solve ``A*C_L`` from the sampled highest-P-state operating point."""
+    if p0_power <= 0.0 or v0 <= 0.0 or f0 <= 0.0:
+        raise ValueError("operating point must be positive")
+    return p0_power / (v0 * v0 * f0)
+
+
+def interpolate_voltages(v_high: float, v_low: float, num_pstates: int) -> np.ndarray:
+    """Per-P-state voltages, linear from ``v_high`` (P0) to ``v_low`` (P_last).
+
+    The paper samples the high and low P-state voltages and "calculate[s]
+    the voltage numbers for the remaining P-states via linear
+    interpolation".
+    """
+    if num_pstates < 2:
+        raise ValueError("need at least two P-states")
+    if v_low >= v_high:
+        raise ValueError("low P-state voltage must be below the high P-state voltage")
+    return np.linspace(v_high, v_low, num_pstates)

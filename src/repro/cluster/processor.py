@@ -1,0 +1,25 @@
+"""Multicore-processor description.
+
+Within a node all multicore processors are identical (paper Section
+III-A), so the spec only records the core count; it exists as its own
+level to mirror the paper's node -> multicore processor -> core hierarchy
+(Figure 1) and to let extensions attach processor-level attributes (e.g.,
+shared-cache models) without reshaping the topology API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessorSpec"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One multicore processor: ``num_cores`` homogeneous cores."""
+
+    num_cores: int
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("a processor needs at least one core")

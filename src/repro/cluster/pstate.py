@@ -1,0 +1,83 @@
+"""Per-node ACPI P-state profiles.
+
+A profile holds, for each P-state ``pi`` (0 = fastest / hungriest, last =
+slowest / leanest, following ACPI convention):
+
+* ``speed[pi]``: relative operating frequency, with ``speed[0] == 1``;
+* ``exec_multiplier[pi] == 1 / speed[pi]``: factor applied to a task's
+  base (P0) execution time when run in state ``pi``;
+* ``power[pi]``: average core power draw in watts (the paper's
+  ``mu(i, pi)``).
+
+All cores and multicore processors within a node are identical (paper
+Section III-A), so the profile is a node-level attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PStateProfile"]
+
+
+@dataclass(frozen=True)
+class PStateProfile:
+    """Immutable per-node DVFS profile.
+
+    Parameters
+    ----------
+    speed:
+        Strictly decreasing relative frequencies, ``speed[0] == 1.0``.
+    power:
+        Strictly decreasing per-core power draws (watts).
+    """
+
+    speed: np.ndarray
+    power: np.ndarray
+
+    def __post_init__(self) -> None:
+        speed = np.asarray(self.speed, dtype=np.float64)
+        power = np.asarray(self.power, dtype=np.float64)
+        speed.setflags(write=False)
+        power.setflags(write=False)
+        object.__setattr__(self, "speed", speed)
+        object.__setattr__(self, "power", power)
+        if speed.ndim != 1 or speed.size < 2:
+            raise ValueError("speed must be a 1-D array with >= 2 entries")
+        if power.shape != speed.shape:
+            raise ValueError("power and speed must have the same shape")
+        if abs(speed[0] - 1.0) > 1e-9:
+            raise ValueError("speed[0] (P0) must be 1.0")
+        if np.any(np.diff(speed) >= 0.0):
+            raise ValueError("speed must be strictly decreasing across P-states")
+        if np.any(speed <= 0.0):
+            raise ValueError("speeds must be positive")
+        if np.any(np.diff(power) >= 0.0):
+            raise ValueError("power must be strictly decreasing across P-states")
+        if np.any(power <= 0.0):
+            raise ValueError("powers must be positive")
+
+    @property
+    def num_pstates(self) -> int:
+        """Number of P-states in the profile."""
+        return int(self.speed.size)
+
+    @property
+    def exec_multiplier(self) -> np.ndarray:
+        """Execution-time multiplier per P-state (``1 / speed``)."""
+        return 1.0 / self.speed
+
+    @property
+    def deepest(self) -> int:
+        """Index of the lowest-power P-state (P4 with five states)."""
+        return self.num_pstates - 1
+
+    def mean_power(self) -> float:
+        """Average power across P-states (a term of the paper's Eq. 8)."""
+        return float(self.power.mean())
+
+    def min_speed_ratio(self) -> float:
+        """Minimum over maximum operating frequency (paper: kept >= 0.42)."""
+        return float(self.speed[-1] / self.speed[0])

@@ -1,0 +1,54 @@
+"""Experiment harness: ensembles, figures, statistics, reports.
+
+The paper's evaluation is 50 simulation trials of every (heuristic,
+filter-variant) pair, summarized as box-and-whisker plots of missed
+deadlines (Figures 2-6) plus in-text median improvements.  This package
+reruns that grid:
+
+* :mod:`~repro.experiments.runner` executes ensembles with paired trial
+  seeds (every variant sees the same cluster/workload within a trial),
+  optionally across processes;
+* :mod:`~repro.experiments.figures` names the paper's figures and maps
+  them to variant grids;
+* :mod:`~repro.experiments.stats` computes box-plot statistics;
+* :mod:`~repro.experiments.report` renders the tables recorded in
+  ``EXPERIMENTS.md``, side by side with the paper's published medians.
+"""
+
+from repro.experiments.runner import (
+    EnsembleResult,
+    VariantSpec,
+    run_ensemble,
+    run_trial_variant,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    PAPER_MEDIANS,
+    figure_specs,
+    run_figure,
+)
+from repro.experiments.stats import BoxStats, box_stats, median_improvement
+from repro.experiments.compare import PairedComparison, compare_variants
+from repro.experiments.sweep import SweepResult, budget_sweep, run_sweep
+from repro.experiments.report import figure_table, summary_table
+
+__all__ = [
+    "EnsembleResult",
+    "VariantSpec",
+    "run_ensemble",
+    "run_trial_variant",
+    "FIGURES",
+    "PAPER_MEDIANS",
+    "figure_specs",
+    "run_figure",
+    "BoxStats",
+    "box_stats",
+    "median_improvement",
+    "PairedComparison",
+    "compare_variants",
+    "SweepResult",
+    "budget_sweep",
+    "run_sweep",
+    "figure_table",
+    "summary_table",
+]

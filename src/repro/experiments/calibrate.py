@@ -1,0 +1,111 @@
+"""Subscription calibration diagnostics (paper Section VI).
+
+The paper defines the equilibrium rate as the arrival rate at which the
+system is "perfectly subscribed" — all tasks complete by their deadlines
+with no energy to spare.  These helpers sanity-check a configuration the
+same way: what fraction of capacity do the configured rates demand, and
+how does the budget compare against plausible spending envelopes?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig
+from repro.sim.system import TrialSystem, build_trial_system
+
+__all__ = ["SubscriptionReport", "subscription_report", "calibration_summary"]
+
+
+@dataclass(frozen=True)
+class SubscriptionReport:
+    """How a trial system's rates and budget relate to its capacity.
+
+    Attributes
+    ----------
+    service_rate:
+        Aggregate task-retirement rate of the cluster at the average
+        P-state mix: ``num_cores / t_avg``.
+    fast_utilization / slow_utilization:
+        Offered load over capacity during bursts / the lull; above 1.0
+        means oversubscribed.
+    budget_per_task:
+        ``zeta_max / num_tasks``.
+    min_energy_per_task / max_energy_per_task:
+        Expected per-task energy of the cheapest / most expensive
+        (node, P-state) pair averaged over task types — the spending
+        envelope heuristics choose within.
+    """
+
+    num_cores: int
+    t_avg: float
+    service_rate: float
+    fast_rate: float
+    slow_rate: float
+    fast_utilization: float
+    slow_utilization: float
+    budget_per_task: float
+    min_energy_per_task: float
+    max_energy_per_task: float
+
+    def is_oversubscribed_in_bursts(self) -> bool:
+        """Whether the fast rate exceeds capacity (the paper's premise)."""
+        return self.fast_utilization > 1.0
+
+    def is_undersubscribed_in_lull(self) -> bool:
+        """Whether the slow rate is below capacity (the paper's premise)."""
+        return self.slow_utilization < 1.0
+
+    def budget_forces_tradeoff(self) -> bool:
+        """Whether the budget lies inside the spending envelope.
+
+        If the budget per task exceeded the most expensive assignment's
+        energy, the constraint would never bind; below the cheapest, no
+        policy could finish the workload.  The paper sets it in between.
+        """
+        return self.min_energy_per_task < self.budget_per_task < self.max_energy_per_task
+
+
+def subscription_report(system: TrialSystem) -> SubscriptionReport:
+    """Compute the calibration diagnostics for a built trial system."""
+    num_cores = system.cluster.num_cores
+    t_avg = system.t_avg
+    service = num_cores / t_avg
+    rates = system.workload.rates
+    # Mean over task types of the cheapest / dearest (node, P-state) EEC.
+    eec = system.table.eec  # (T, N, P)
+    flat = eec.reshape(eec.shape[0], -1)
+    min_e = float(flat.min(axis=1).mean())
+    max_e = float(flat.max(axis=1).mean())
+    return SubscriptionReport(
+        num_cores=num_cores,
+        t_avg=t_avg,
+        service_rate=service,
+        fast_rate=rates.fast,
+        slow_rate=rates.slow,
+        fast_utilization=rates.fast / service,
+        slow_utilization=rates.slow / service,
+        budget_per_task=system.budget / system.num_tasks,
+        min_energy_per_task=min_e,
+        max_energy_per_task=max_e,
+    )
+
+
+def calibration_summary(config: SimulationConfig) -> str:
+    """Human-readable calibration report for a configuration."""
+    system = build_trial_system(config)
+    rep = subscription_report(system)
+    return "\n".join(
+        [
+            f"cores={rep.num_cores}  t_avg={rep.t_avg:.1f}  "
+            f"service rate={rep.service_rate:.5f}",
+            f"fast rate={rep.fast_rate:.5f} (utilization {rep.fast_utilization:.2f})  "
+            f"slow rate={rep.slow_rate:.5f} (utilization {rep.slow_utilization:.2f})",
+            f"budget/task={rep.budget_per_task:.0f} J  "
+            f"cheapest/task={rep.min_energy_per_task:.0f} J  "
+            f"dearest/task={rep.max_energy_per_task:.0f} J",
+            f"oversubscribed in bursts: {rep.is_oversubscribed_in_bursts()}  "
+            f"undersubscribed in lull: {rep.is_undersubscribed_in_lull()}  "
+            f"budget forces trade-off: {rep.budget_forces_tradeoff()}",
+        ]
+    )

@@ -1,0 +1,124 @@
+"""Rendering result tables (the rows behind each figure).
+
+Output is plain fixed-width text so benches can print it directly and
+``EXPERIMENTS.md`` can embed it verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import PAPER_MEDIANS
+from repro.experiments.runner import EnsembleResult, VariantSpec
+from repro.experiments.stats import box_stats, median_improvement
+from repro.filters.chain import VARIANTS
+from repro.heuristics.registry import HEURISTICS
+
+__all__ = ["figure_table", "summary_table", "best_variant_table"]
+
+
+def figure_table(ensemble: EnsembleResult, heuristic: str, num_tasks: int) -> str:
+    """Rows of a Figure 2-5 style box plot for one heuristic."""
+    lines = [
+        f"{heuristic}: missed deadlines out of {num_tasks} "
+        f"({ensemble.num_trials} trials)",
+        f"{'variant':>8} {'min':>7} {'q1':>7} {'median':>7} {'q3':>7} {'max':>7} "
+        f"{'med %':>7} {'paper med':>9}",
+    ]
+    for variant in VARIANTS:
+        spec = VariantSpec(heuristic, variant)
+        if spec not in ensemble.results:
+            continue
+        stats = box_stats(ensemble.misses(spec))
+        paper = PAPER_MEDIANS.get((heuristic, variant))
+        paper_s = f"{paper:9.1f}" if paper is not None else f"{'-':>9}"
+        lines.append(
+            f"{variant:>8} {stats.minimum:7.1f} {stats.q1:7.1f} {stats.median:7.1f} "
+            f"{stats.q3:7.1f} {stats.maximum:7.1f} "
+            f"{100.0 * stats.median / num_tasks:6.2f}% {paper_s}"
+        )
+    return "\n".join(lines)
+
+
+def best_variant_table(ensemble: EnsembleResult, num_tasks: int) -> str:
+    """Figure 6 style rows: the best variant of each heuristic."""
+    lines = [
+        f"Best variant per heuristic ({ensemble.num_trials} trials)",
+        f"{'heuristic':>9} {'best':>7} {'median':>7} {'med %':>7} "
+        f"{'vs none':>8} {'paper best med':>14}",
+    ]
+    for heuristic in HEURISTICS:
+        if not any(s.heuristic == heuristic for s in ensemble.specs):
+            continue
+        best = ensemble.best_variant(heuristic)
+        med = ensemble.median_misses(best)
+        none_spec = VariantSpec(heuristic, "none")
+        if none_spec in ensemble.results:
+            gain = median_improvement(ensemble.misses(none_spec), ensemble.misses(best))
+            gain_s = f"{100.0 * gain:7.2f}%"
+        else:
+            gain_s = f"{'-':>8}"
+        paper = PAPER_MEDIANS.get((heuristic, "en+rob"))
+        paper_s = f"{paper:14.1f}" if paper is not None else f"{'-':>14}"
+        lines.append(
+            f"{heuristic:>9} {best.variant:>7} {med:7.1f} "
+            f"{100.0 * med / num_tasks:6.2f}% {gain_s} {paper_s}"
+        )
+    return "\n".join(lines)
+
+
+def summary_table(ensemble: EnsembleResult, num_tasks: int) -> str:
+    """The Section VII in-text numbers: per-heuristic filtering gains.
+
+    For every heuristic present in the ensemble, reports the median of
+    each variant and the improvement of "en+rob" over "none" (the paper:
+    25%, 13.65%, 13.05% and 15.5% for Random, SQ, MECT and LL), plus the
+    gap between filtered Random and the best filtered heuristic
+    (paper: within 4%).
+    """
+    lines = [
+        f"Filtering summary ({ensemble.num_trials} trials, {num_tasks} tasks)",
+        f"{'heuristic':>9} " + " ".join(f"{v:>9}" for v in VARIANTS) + f" {'en+rob gain':>12}",
+    ]
+    medians: dict[tuple[str, str], float] = {}
+    for heuristic in HEURISTICS:
+        specs = [s for s in ensemble.specs if s.heuristic == heuristic]
+        if not specs:
+            continue
+        row = [f"{heuristic:>9}"]
+        for variant in VARIANTS:
+            spec = VariantSpec(heuristic, variant)
+            if spec in ensemble.results:
+                med = ensemble.median_misses(spec)
+                medians[(heuristic, variant)] = med
+                row.append(f"{med:9.1f}")
+            else:
+                row.append(f"{'-':>9}")
+        if (heuristic, "none") in medians and (heuristic, "en+rob") in medians:
+            gain = median_improvement(
+                np.array([medians[(heuristic, "none")]]),
+                np.array([medians[(heuristic, "en+rob")]]),
+            )
+            row.append(f"{100.0 * gain:11.2f}%")
+        else:
+            row.append(f"{'-':>12}")
+        lines.append(" ".join(row))
+
+    filtered = {
+        h: medians.get((h, "en+rob"))
+        for h in HEURISTICS
+        if medians.get((h, "en+rob")) is not None
+    }
+    if "Random" in filtered and len(filtered) > 1:
+        best_h = min((h for h in filtered if h != "Random"), key=lambda h: filtered[h])
+        best = filtered[best_h]
+        rand = filtered["Random"]
+        if best is not None and rand is not None:
+            # The paper quotes this gap in percentage points of the
+            # workload ("only 4% from the 'en+rob' LL heuristic").
+            gap_pp = 100.0 * (rand - best) / num_tasks
+            lines.append(
+                f"filtered Random vs best filtered heuristic ({best_h}): "
+                f"{gap_pp:+.2f} pp of the workload (paper: within 4 pp)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Box-and-whisker statistics matching the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "median_improvement"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus Tukey whiskers and outliers.
+
+    Whiskers extend to the most extreme data points within 1.5 IQR of
+    the quartiles (the conventional box-plot rule); points beyond are
+    outliers.
+    """
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} min={self.minimum:g} q1={self.q1:g} med={self.median:g} "
+            f"q3={self.q3:g} max={self.maximum:g}"
+        )
+
+
+def box_stats(values: np.ndarray | list[float]) -> BoxStats:
+    """Compute :class:`BoxStats` for a sample.
+
+    Quartiles use linear interpolation (NumPy's default), matching common
+    plotting libraries.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    outliers = arr[(arr < lo_fence) | (arr > hi_fence)]
+    return BoxStats(
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        whisker_low=float(inside.min()),
+        whisker_high=float(inside.max()),
+        outliers=tuple(float(x) for x in np.sort(outliers)),
+    )
+
+
+def median_improvement(baseline: np.ndarray, improved: np.ndarray) -> float:
+    """Relative median improvement, as the paper quotes it.
+
+    For miss counts (lower is better): ``(med(baseline) - med(improved))
+    / med(baseline)``; positive means ``improved`` is better.
+    """
+    base = float(np.median(np.asarray(baseline, dtype=np.float64)))
+    if base == 0.0:
+        return 0.0
+    imp = float(np.median(np.asarray(improved, dtype=np.float64)))
+    return (base - imp) / base

@@ -1,0 +1,122 @@
+"""Parameter sweeps with paired trials.
+
+A sweep reruns one or more (heuristic, variant) specs while varying a
+single configuration knob, holding trial seeds fixed, so each sweep point
+is directly comparable (same workload/cluster draws per trial index).
+Used by the ablation benches and the budget/heterogeneity examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.experiments.runner import EnsembleResult, VariantSpec, run_ensemble
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "budget_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep value's ensemble."""
+
+    value: Any
+    ensemble: EnsembleResult
+
+    def median_misses(self, spec: VariantSpec) -> float:
+        """Median missed deadlines of one spec at this point."""
+        return self.ensemble.median_misses(spec)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of a sweep, in sweep order."""
+
+    parameter: str
+    specs: tuple[VariantSpec, ...]
+    points: tuple[SweepPoint, ...]
+
+    def medians(self, spec: VariantSpec) -> np.ndarray:
+        """Median misses per sweep point for one spec."""
+        return np.array([p.median_misses(spec) for p in self.points])
+
+    def values(self) -> list[Any]:
+        """The swept parameter values."""
+        return [p.value for p in self.points]
+
+    def table(self, num_tasks: int | None = None) -> str:
+        """Fixed-width text table: one row per value, one column per spec."""
+        header = f"{self.parameter:>12} " + " ".join(
+            f"{s.label:>14}" for s in self.specs
+        )
+        lines = [header]
+        for point in self.points:
+            row = [f"{point.value!s:>12}"]
+            for spec in self.specs:
+                row.append(f"{point.median_misses(spec):14.1f}")
+            lines.append(" ".join(row))
+        if num_tasks is not None:
+            lines.append(f"(median missed deadlines out of {num_tasks})")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    patch: Callable[[SimulationConfig, Any], SimulationConfig],
+    specs: Sequence[VariantSpec],
+    base_config: SimulationConfig,
+    num_trials: int,
+    base_seed: int = 0,
+    *,
+    n_jobs: int = 1,
+) -> SweepResult:
+    """Run ``specs`` at every parameter value.
+
+    Parameters
+    ----------
+    patch:
+        ``(config, value) -> config`` applying the sweep value; it must
+        not change the seed (the sweep re-derives trial seeds from
+        ``base_seed`` so points stay paired).
+    """
+    if not values:
+        raise ValueError("need at least one sweep value")
+    specs = tuple(specs)
+    points: list[SweepPoint] = []
+    for value in values:
+        config = patch(base_config, value)
+        if config.seed != base_config.seed:
+            raise ValueError("patch must not change the seed")
+        ensemble = run_ensemble(specs, config, num_trials, base_seed, n_jobs=n_jobs)
+        points.append(SweepPoint(value=value, ensemble=ensemble))
+    return SweepResult(parameter=parameter, specs=specs, points=tuple(points))
+
+
+def budget_sweep(
+    multipliers: Sequence[float],
+    specs: Sequence[VariantSpec],
+    base_config: SimulationConfig,
+    num_trials: int,
+    base_seed: int = 0,
+    *,
+    n_jobs: int = 1,
+) -> SweepResult:
+    """Sweep the energy-budget multiplier (the constraint's tightness)."""
+
+    def patch(config: SimulationConfig, mult: float) -> SimulationConfig:
+        return config.with_updates(energy={"budget_mult": mult})
+
+    return run_sweep(
+        "budget_mult",
+        list(multipliers),
+        patch,
+        specs,
+        base_config,
+        num_trials,
+        base_seed,
+        n_jobs=n_jobs,
+    )

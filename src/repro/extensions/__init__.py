@@ -1,0 +1,77 @@
+"""Section VIII future-work features, implemented as optional extensions.
+
+The paper closes with four directions; each has a module here:
+
+* **varying task priorities** — :mod:`repro.extensions.priorities`
+  (priority assignment, a priority-weighted LL variant, weighted
+  scoring);
+* **cancelling and/or rescheduling tasks** —
+  :mod:`repro.extensions.cancellation` (an engine hook that abandons
+  queued tasks which have become hopeless, freeing their slot);
+* **a variety of arrival rates and patterns** —
+  :mod:`repro.extensions.arrival_patterns` (constant, sinusoidal,
+  multi-burst processes and a workload builder around them);
+* **full probability distributions for power consumption** —
+  :mod:`repro.extensions.power_distributions` (per-P-state power pmfs
+  and post-hoc energy re-accounting under power uncertainty);
+* **rescheduling** — :mod:`repro.extensions.rescheduling` (work stealing
+  between cores when rescheduling is permitted).
+
+:mod:`repro.extensions.baselines` additionally supplies four classic
+immediate-mode heuristics (MET, OLB, KPB, MEEC) from the same literature
+the paper draws SQ/MECT from, for broader head-to-head comparisons.
+
+None of these change the baseline reproduction; the benches ablate them
+separately.
+"""
+
+from repro.extensions.priorities import (
+    PriorityEnergyFilter,
+    PriorityLightestLoad,
+    weighted_missed,
+    with_priorities,
+)
+from repro.extensions.cancellation import AbandonHopelessPolicy
+from repro.extensions.arrival_patterns import (
+    constant_arrivals,
+    multi_burst_arrivals,
+    sinusoidal_arrivals,
+    workload_with_arrivals,
+)
+from repro.extensions.power_distributions import (
+    StochasticPowerModel,
+    resample_trial_energy,
+)
+from repro.extensions.rescheduling import WorkStealingPolicy
+from repro.extensions.batch_mode import BatchEngine, run_batch_trial
+from repro.extensions.baselines import (
+    EXTENDED_HEURISTICS,
+    KPercentBest,
+    MinimumExecutionTime,
+    MinimumExpectedEnergy,
+    OpportunisticLoadBalancing,
+    make_extended_heuristic,
+)
+
+__all__ = [
+    "BatchEngine",
+    "run_batch_trial",
+    "PriorityEnergyFilter",
+    "WorkStealingPolicy",
+    "EXTENDED_HEURISTICS",
+    "KPercentBest",
+    "MinimumExecutionTime",
+    "MinimumExpectedEnergy",
+    "OpportunisticLoadBalancing",
+    "make_extended_heuristic",
+    "PriorityLightestLoad",
+    "weighted_missed",
+    "with_priorities",
+    "AbandonHopelessPolicy",
+    "constant_arrivals",
+    "multi_burst_arrivals",
+    "sinusoidal_arrivals",
+    "workload_with_arrivals",
+    "StochasticPowerModel",
+    "resample_trial_energy",
+]

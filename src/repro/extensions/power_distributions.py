@@ -1,0 +1,150 @@
+"""Distribution-valued power consumption (paper Section VIII).
+
+The baseline model approximates each P-state's power by a scalar average
+(Section III-A).  This extension represents power as a pmf per (node,
+P-state) and lets you re-account a finished trial's energy under power
+uncertainty: each execution interval draws an actual power around its
+P-state's mean, shifting the budget-exhaustion instant and therefore the
+count of tasks "completed within the energy constraint".
+
+The extension is deliberately *post-hoc*: the heuristics still plan with
+expected power (as the paper's would — EEC is an expectation either way),
+so re-running the engine is unnecessary; only the ledger arithmetic
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.sim.results import TrialResult
+from repro.stoch.distributions import discretized_normal
+from repro.stoch.pmf import PMF
+from repro.stoch.samplers import sample_pmf
+
+__all__ = ["StochasticPowerModel", "resample_trial_energy", "EnergyResample"]
+
+
+class StochasticPowerModel:
+    """Per-(node, P-state) power pmfs around the cluster's scalar means.
+
+    Power of node ``n`` in state ``pi`` is a truncated normal with mean
+    ``mu(n, pi)`` and coefficient of variation ``power_cv``, discretized
+    with resolution ``mu * power_cv / 8`` (fine enough that the pmf mean
+    matches the scalar model to <0.1%).
+    """
+
+    def __init__(self, cluster: ClusterSpec, power_cv: float = 0.05) -> None:
+        if power_cv <= 0.0:
+            raise ValueError("power_cv must be positive")
+        self.cluster = cluster
+        self.power_cv = float(power_cv)
+        means = cluster.power_table()
+        self._pmfs: list[list[PMF]] = []
+        for n in range(cluster.num_nodes):
+            row: list[PMF] = []
+            for pi in range(cluster.num_pstates):
+                mu = float(means[n, pi])
+                std = self.power_cv * mu
+                row.append(discretized_normal(mu, std, dt=std / 8.0))
+            self._pmfs.append(row)
+
+    def pmf(self, node: int, pstate: int) -> PMF:
+        """Power pmf of one (node, P-state)."""
+        return self._pmfs[node][pstate]
+
+    def sample(self, node: int, pstate: int, rng: np.random.Generator) -> float:
+        """Draw one actual power value (watts)."""
+        return sample_pmf(self._pmfs[node][pstate], rng)
+
+
+@dataclass(frozen=True)
+class EnergyResample:
+    """Result of re-accounting a trial under stochastic power.
+
+    ``missed`` re-counts the paper's metric with the resampled
+    exhaustion time; ``baseline_missed`` is the scalar-power count.
+    """
+
+    total_energy: float
+    exhaustion_time: float
+    missed: int
+    baseline_missed: int
+
+    @property
+    def miss_shift(self) -> int:
+        """How many tasks changed status due to power uncertainty."""
+        return self.missed - self.baseline_missed
+
+
+def resample_trial_energy(
+    result: TrialResult,
+    cluster: ClusterSpec,
+    model: StochasticPowerModel,
+    rng: np.random.Generator,
+) -> EnergyResample:
+    """Re-draw per-execution power and re-score a finished trial.
+
+    Requires per-task outcomes (``keep_outcomes=True``).  Idle-floor
+    energy is left at its scalar value — idle draw is far steadier than
+    load draw, and the paper's uncertainty concern is execution power.
+    """
+    if not result.outcomes:
+        raise ValueError("result lacks per-task outcomes; run with keep_outcomes")
+    core_node = cluster.core_node_index
+    eff = cluster.efficiency_vector()
+
+    # Piecewise-constant consumed power from execution intervals with
+    # resampled draws, plus the scalar idle/baseline remainder inferred
+    # from the original totals.
+    exec_events: list[tuple[float, float]] = []
+    scalar_exec_energy = 0.0
+    resampled_exec_energy = 0.0
+    power_means = cluster.power_table()
+    for outcome in result.outcomes:
+        if outcome.discarded:
+            continue
+        node = int(core_node[outcome.core_id])
+        duration = outcome.completion - outcome.start
+        mean_p = float(power_means[node, outcome.pstate]) / eff[node]
+        actual_p = model.sample(node, outcome.pstate, rng) / eff[node]
+        scalar_exec_energy += mean_p * duration
+        resampled_exec_energy += actual_p * duration
+        exec_events.append((outcome.start, actual_p))
+        exec_events.append((outcome.completion, -actual_p))
+
+    idle_energy = result.total_energy - scalar_exec_energy
+    idle_rate = idle_energy / result.makespan if result.makespan > 0 else 0.0
+
+    exec_events.sort()
+    budget = result.budget
+    energy = 0.0
+    rate = idle_rate
+    prev = 0.0
+    exhaustion = float("inf")
+    for t, delta in exec_events:
+        step = energy + rate * (t - prev)
+        if rate > 0.0 and step >= budget and exhaustion == float("inf"):
+            exhaustion = prev + (budget - energy) / rate
+        energy = step
+        rate += delta
+        prev = t
+    if exhaustion == float("inf") and rate > 0.0:
+        remaining = budget - (energy + rate * (result.makespan - prev))
+        if remaining <= 0.0:
+            exhaustion = prev + (budget - energy) / rate
+
+    missed = 0
+    for outcome in result.outcomes:
+        counted = outcome.on_time() and outcome.completion <= exhaustion
+        if not counted:
+            missed += 1
+    return EnergyResample(
+        total_energy=resampled_exec_energy + idle_energy,
+        exhaustion_time=exhaustion,
+        missed=missed,
+        baseline_missed=result.missed,
+    )

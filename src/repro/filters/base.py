@@ -1,0 +1,27 @@
+"""Filter interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.heuristics.base import CandidateSet, MappingContext
+
+__all__ = ["AssignmentFilter"]
+
+
+class AssignmentFilter(abc.ABC):
+    """Restricts a :class:`~repro.heuristics.base.CandidateSet` in place.
+
+    Filters clear entries of ``cands.mask`` and never set them; chaining
+    filters therefore intersects their feasible sets regardless of order.
+    """
+
+    #: Short label used in variant names ("en", "rob").
+    label: str = "?"
+
+    @abc.abstractmethod
+    def apply(self, cands: CandidateSet, ctx: MappingContext) -> None:
+        """Clear mask entries for assignments this filter rejects."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

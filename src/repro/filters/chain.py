@@ -1,0 +1,73 @@
+"""Filter composition and the paper's variant labels."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.config import FilterConfig
+from repro.filters.base import AssignmentFilter
+from repro.filters.energy_filter import EnergyFilter
+from repro.filters.robustness_filter import RobustnessFilter
+from repro.heuristics.base import CandidateSet, MappingContext
+
+__all__ = ["FilterChain", "VARIANTS", "make_filter_chain"]
+
+#: The four filtering variants, in the order the paper's figures use.
+VARIANTS: tuple[str, ...] = ("none", "en", "rob", "en+rob")
+
+
+class FilterChain:
+    """An ordered sequence of filters applied to every candidate set.
+
+    Order is immaterial to the final mask (filters only intersect), but
+    the chain applies them as given for deterministic tracing.
+    """
+
+    def __init__(self, filters: Iterable[AssignmentFilter] = ()) -> None:
+        self._filters: tuple[AssignmentFilter, ...] = tuple(filters)
+
+    @property
+    def filters(self) -> Sequence[AssignmentFilter]:
+        """The composed filters, in application order."""
+        return self._filters
+
+    @property
+    def label(self) -> str:
+        """Variant label ("none", "en", "rob" or "en+rob")."""
+        if not self._filters:
+            return "none"
+        return "+".join(f.label for f in self._filters)
+
+    def apply(self, cands: CandidateSet, ctx: MappingContext) -> None:
+        """Run every filter over the candidate set."""
+        for f in self._filters:
+            f.apply(cands, ctx)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __repr__(self) -> str:
+        return f"FilterChain({self.label!r})"
+
+
+def make_filter_chain(variant: str, config: FilterConfig | None = None) -> FilterChain:
+    """Build the chain for a paper variant label.
+
+    Accepts "none", "en", "rob", "en+rob" (also "rob+en"), case-insensitive.
+    """
+    cfg = config if config is not None else FilterConfig()
+    key = variant.strip().lower()
+    if key == "none":
+        return FilterChain()
+    parts = key.split("+")
+    if not parts or len(set(parts)) != len(parts):
+        raise KeyError(f"bad filter variant {variant!r}")
+    filters: list[AssignmentFilter] = []
+    for part in parts:
+        if part == "en":
+            filters.append(EnergyFilter(cfg))
+        elif part == "rob":
+            filters.append(RobustnessFilter(cfg))
+        else:
+            raise KeyError(f"unknown filter {part!r} in variant {variant!r}")
+    return FilterChain(filters)

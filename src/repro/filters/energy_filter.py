@@ -1,0 +1,47 @@
+"""The energy filter (paper Section V-F).
+
+Eliminates potential assignments that would consume more than a "fair
+share" of the remaining energy budget::
+
+    zeta_fair(t_l) = zeta_mul * zeta(t_l) / T_left(t_l)
+
+where ``zeta(t_l)`` is the heuristic's running estimate of remaining
+energy (budget minus the EEC of every assignment made so far) and
+``T_left(t_l)`` the number of tasks that have not yet arrived.  To cope
+with arrival bursts the multiplier adapts to the cluster's average queue
+depth: tight (0.8) when idle — bank energy for the next burst — and
+loose (1.2) when congested — spend to clear the backlog (thresholds in
+:class:`~repro.config.FilterConfig`).
+"""
+
+from __future__ import annotations
+
+from repro.config import FilterConfig
+from repro.filters.base import AssignmentFilter
+from repro.heuristics.base import CandidateSet, MappingContext
+
+__all__ = ["EnergyFilter"]
+
+
+class EnergyFilter(AssignmentFilter):
+    """Reject assignments with ``EEC > zeta_fair(t_l)``."""
+
+    label = "en"
+
+    def __init__(self, config: FilterConfig | None = None) -> None:
+        self._config = config if config is not None else FilterConfig()
+
+    def fair_share(self, ctx: MappingContext) -> float:
+        """The threshold ``zeta_fair(t_l)`` for the current mapping event."""
+        remaining = ctx.energy_estimate
+        if remaining <= 0.0:
+            return 0.0
+        mul = self._config.zeta_mul(ctx.avg_queue_depth)
+        # T_left counts tasks not yet arrived; for the final task it is 0,
+        # where the fair share degenerates to "whatever remains".
+        divisor = max(ctx.tasks_left, 1)
+        return mul * remaining / divisor
+
+    def apply(self, cands: CandidateSet, ctx: MappingContext) -> None:
+        """Clear candidates whose EEC exceeds the fair share."""
+        cands.mask &= cands.eec <= self.fair_share(ctx)

@@ -1,0 +1,150 @@
+"""Shared heuristic machinery: candidate sets, contexts, selection helpers.
+
+An *assignment* maps a single task to a node, multicore processor, core
+and P-state (Section V-A); the simulator flattens (node, processor, core)
+into a flat core id, so a candidate is a (core_id, pstate) pair.  For each
+arriving task the mapper builds one :class:`CandidateSet` with dense,
+aligned arrays over all ``num_cores * num_pstates`` candidates; filters
+clear entries of its boolean feasibility mask; the heuristic then picks
+one index (or none, in which case the task is discarded).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.workload.task import Task
+
+__all__ = ["Assignment", "CandidateSet", "MappingContext", "Heuristic", "argmin_lexicographic"]
+
+
+class Assignment(NamedTuple):
+    """The heuristic's decision: run the task on ``core_id`` at ``pstate``."""
+
+    core_id: int
+    pstate: int
+
+
+@dataclass
+class CandidateSet:
+    """Vectorized view of every potential assignment for one task.
+
+    All arrays share length ``num_cores * num_pstates`` and candidate
+    order (core-major, then P-state), so ``argmin`` indices translate
+    directly to assignments.
+
+    Attributes
+    ----------
+    core_ids, pstates:
+        Candidate coordinates.
+    queue_len:
+        ``|MQ(i, j, k, t_l)|`` — tasks queued or executing on the
+        candidate's core.
+    eet:
+        Expected execution time of the task under the candidate.
+    eec:
+        Expected energy consumption (Section V-A: ``EET * mu / epsilon``).
+    ect:
+        Expected completion time (core ready-time mean + EET).
+    prob_on_time:
+        ``rho(i, j, k, pi, t_l, z)`` — probability of meeting the deadline.
+    mask:
+        Feasibility mask; filters clear entries, heuristics respect it.
+    """
+
+    core_ids: np.ndarray
+    pstates: np.ndarray
+    queue_len: np.ndarray
+    eet: np.ndarray
+    eec: np.ndarray
+    ect: np.ndarray
+    prob_on_time: np.ndarray
+    mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = self.core_ids.size
+        for name in ("pstates", "queue_len", "eet", "eec", "ect", "prob_on_time"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"candidate array {name!r} misaligned")
+        if self.mask is None:
+            self.mask = np.ones(n, dtype=bool)
+        elif self.mask.size != n:
+            raise ValueError("mask misaligned")
+
+    def __len__(self) -> int:
+        return int(self.core_ids.size)
+
+    @property
+    def num_feasible(self) -> int:
+        """How many candidates remain feasible."""
+        return int(np.count_nonzero(self.mask))
+
+    def assignment(self, index: int) -> Assignment:
+        """Translate a candidate index into an :class:`Assignment`."""
+        return Assignment(int(self.core_ids[index]), int(self.pstates[index]))
+
+
+@dataclass(frozen=True)
+class MappingContext:
+    """Everything filters/heuristics may consult besides the candidates.
+
+    Attributes
+    ----------
+    t_now:
+        The mapping time-step ``t_l`` (the task's arrival time).
+    task:
+        The task being mapped.
+    energy_estimate:
+        The heuristic's running estimate of remaining energy
+        ``zeta(t_l)`` (budget minus EEC of all previous assignments).
+    tasks_left:
+        ``T_left(t_l)``: tasks that have *not yet arrived* (excludes the
+        one being mapped).
+    avg_queue_depth:
+        Tasks queued or executing per core, cluster-wide, at ``t_l``.
+    """
+
+    t_now: float
+    task: Task
+    energy_estimate: float
+    tasks_left: int
+    avg_queue_depth: float
+
+
+class Heuristic(abc.ABC):
+    """Interface of an immediate-mode mapping heuristic."""
+
+    #: Short display name ("SQ", "MECT", ...).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def select(self, cands: CandidateSet, ctx: MappingContext) -> int | None:
+        """Pick a candidate index among ``cands.mask``, or ``None`` to discard."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def argmin_lexicographic(
+    mask: np.ndarray, primary: np.ndarray, secondary: np.ndarray | None = None
+) -> int | None:
+    """Index of the masked minimum of ``primary``; ties broken by ``secondary``.
+
+    Remaining ties resolve to the lowest candidate index, which makes all
+    heuristics fully deterministic.  Returns ``None`` when nothing is
+    feasible.
+    """
+    feasible = np.flatnonzero(mask)
+    if feasible.size == 0:
+        return None
+    p = primary[feasible]
+    best = p.min()
+    contenders = feasible[p <= best]
+    if secondary is None or contenders.size == 1:
+        return int(contenders[0])
+    s = secondary[contenders]
+    return int(contenders[int(np.argmin(s))])

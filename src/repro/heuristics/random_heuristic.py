@@ -1,0 +1,37 @@
+"""The Random heuristic (paper Section V-E).
+
+Uniform choice among the feasible assignments — the contrast baseline that
+demonstrates the filters, not the heuristic, drive most of the performance
+(filtered Random finishes within 4% of filtered LL in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import CandidateSet, Heuristic, MappingContext
+
+__all__ = ["RandomAssignment"]
+
+
+class RandomAssignment(Heuristic):
+    """Pick uniformly at random among feasible assignments.
+
+    Parameters
+    ----------
+    rng:
+        Dedicated generator; supplying it explicitly keeps trials
+        reproducible and independent of every other random stream.
+    """
+
+    name = "Random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def select(self, cands: CandidateSet, ctx: MappingContext) -> int | None:
+        """Pick uniformly among feasible candidates."""
+        feasible = np.flatnonzero(cands.mask)
+        if feasible.size == 0:
+            return None
+        return int(self._rng.choice(feasible))

@@ -1,0 +1,35 @@
+"""Name-based heuristic construction for experiment configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import Heuristic
+from repro.heuristics.lightest_load import LightestLoad
+from repro.heuristics.mect import MinimumExpectedCompletionTime
+from repro.heuristics.random_heuristic import RandomAssignment
+from repro.heuristics.shortest_queue import ShortestQueue
+
+__all__ = ["HEURISTICS", "make_heuristic"]
+
+#: Canonical heuristic names in the paper's presentation order.
+HEURISTICS: tuple[str, ...] = ("SQ", "MECT", "LL", "Random")
+
+
+def make_heuristic(name: str, rng: np.random.Generator | None = None) -> Heuristic:
+    """Instantiate a heuristic by its paper name (case-insensitive).
+
+    ``rng`` is required for "Random" and ignored otherwise.
+    """
+    key = name.strip().upper()
+    if key == "SQ":
+        return ShortestQueue()
+    if key == "MECT":
+        return MinimumExpectedCompletionTime()
+    if key == "LL":
+        return LightestLoad()
+    if key == "RANDOM":
+        if rng is None:
+            raise ValueError("the Random heuristic needs an rng")
+        return RandomAssignment(rng)
+    raise KeyError(f"unknown heuristic {name!r}; known: {', '.join(HEURISTICS)}")

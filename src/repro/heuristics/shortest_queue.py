@@ -1,0 +1,22 @@
+"""The Shortest Queue (SQ) heuristic (paper Section V-B, from [SmC09])."""
+
+from __future__ import annotations
+
+from repro.heuristics.base import CandidateSet, Heuristic, MappingContext, argmin_lexicographic
+
+__all__ = ["ShortestQueue"]
+
+
+class ShortestQueue(Heuristic):
+    """Map to the feasible core with the fewest tasks assigned.
+
+    Ties on queue length are broken by minimum expected execution time —
+    which, absent filtering, steers SQ to P0 (the fastest and hungriest
+    state), explaining its poor unfiltered energy behavior (Section VII).
+    """
+
+    name = "SQ"
+
+    def select(self, cands: CandidateSet, ctx: MappingContext) -> int | None:
+        """Pick the shortest-queue candidate (ties: fastest EET)."""
+        return argmin_lexicographic(cands.mask, cands.queue_len, cands.eet)

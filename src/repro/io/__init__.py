@@ -1,0 +1,37 @@
+"""Serialization: results, workloads and cluster specs as JSON.
+
+Everything a study produces or consumes can round-trip through plain JSON
+documents, so full-scale runs (minutes of CPU) can be archived, diffed and
+re-reported without re-simulation:
+
+* :mod:`repro.io.results_io` — :class:`~repro.sim.results.TrialResult`
+  and ensemble dumps (the format ``scripts/run_full_grid.py`` writes);
+* :mod:`repro.io.workload_io` — task streams (arrivals, types, deadlines,
+  priorities) for replaying identical workloads across studies;
+* :mod:`repro.io.cluster_io` — sampled cluster specs, pinning the exact
+  hardware draw of a trial.
+"""
+
+from repro.io.cluster_io import cluster_from_dict, cluster_to_dict
+from repro.io.results_io import (
+    ensemble_from_dict,
+    ensemble_to_dict,
+    load_json,
+    save_json,
+    trial_result_from_dict,
+    trial_result_to_dict,
+)
+from repro.io.workload_io import workload_from_dict, workload_to_dict
+
+__all__ = [
+    "cluster_from_dict",
+    "cluster_to_dict",
+    "ensemble_from_dict",
+    "ensemble_to_dict",
+    "load_json",
+    "save_json",
+    "trial_result_from_dict",
+    "trial_result_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+]

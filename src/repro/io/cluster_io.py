@@ -1,0 +1,65 @@
+"""Cluster-spec serialization.
+
+A generated cluster is fully described by, per node: processor count,
+cores per processor, P-state speeds/powers, and power-supply efficiency.
+Round-tripping a spec pins the exact hardware draw of a trial for later
+reruns or external analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.node import NodeSpec
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.pstate import PStateProfile
+
+__all__ = ["cluster_to_dict", "cluster_from_dict"]
+
+#: Format marker for forward compatibility.
+_FORMAT = "repro.cluster/1"
+
+
+def cluster_to_dict(cluster: ClusterSpec) -> dict[str, Any]:
+    """Serialize a cluster spec to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT,
+        "nodes": [
+            {
+                "index": node.index,
+                "num_processors": node.num_processors,
+                "cores_per_processor": node.cores_per_processor,
+                "speed": node.pstates.speed.tolist(),
+                "power": node.pstates.power.tolist(),
+                "efficiency": node.efficiency,
+            }
+            for node in cluster.nodes
+        ],
+    }
+
+
+def cluster_from_dict(data: dict[str, Any]) -> ClusterSpec:
+    """Rebuild a cluster spec from :func:`cluster_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    nodes = []
+    for entry in data["nodes"]:
+        profile = PStateProfile(
+            speed=np.asarray(entry["speed"], dtype=np.float64),
+            power=np.asarray(entry["power"], dtype=np.float64),
+        )
+        nodes.append(
+            NodeSpec(
+                index=int(entry["index"]),
+                processors=tuple(
+                    ProcessorSpec(int(entry["cores_per_processor"]))
+                    for _ in range(int(entry["num_processors"]))
+                ),
+                pstates=profile,
+                efficiency=float(entry["efficiency"]),
+            )
+        )
+    return ClusterSpec(tuple(nodes))

@@ -1,0 +1,162 @@
+"""Result serialization: trial results and ensemble dumps.
+
+The ensemble format is intentionally flat (per-spec miss arrays plus the
+scalar fields of every trial) so other tools — or a later session of this
+one — can regenerate every table in ``EXPERIMENTS.md`` without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any
+
+from repro.experiments.runner import EnsembleResult, VariantSpec
+from repro.sim.results import TaskOutcome, TrialResult
+
+__all__ = [
+    "trial_result_to_dict",
+    "trial_result_from_dict",
+    "ensemble_to_dict",
+    "ensemble_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_TRIAL_FORMAT = "repro.trial/1"
+_ENSEMBLE_FORMAT = "repro.ensemble/1"
+
+#: Scalar TrialResult fields copied verbatim (order matters for tests).
+_SCALAR_FIELDS = (
+    "heuristic",
+    "variant",
+    "seed",
+    "num_tasks",
+    "missed",
+    "completed_within",
+    "discarded",
+    "late",
+    "energy_cutoff",
+    "total_energy",
+    "budget",
+    "makespan",
+)
+
+
+def _encode_float(x: float) -> float | str:
+    """JSON has no inf/nan; encode them as strings."""
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    if math.isnan(x):
+        return "nan"
+    return x
+
+
+def _decode_float(x: float | str) -> float:
+    if isinstance(x, str):
+        return float(x)
+    return float(x)
+
+
+def trial_result_to_dict(result: TrialResult, *, keep_outcomes: bool = False) -> dict[str, Any]:
+    """Serialize one trial result (outcomes optional; they are bulky)."""
+    data: dict[str, Any] = {"format": _TRIAL_FORMAT}
+    for field in _SCALAR_FIELDS:
+        data[field] = getattr(result, field)
+    data["exhaustion_time"] = _encode_float(result.exhaustion_time)
+    if keep_outcomes and result.outcomes:
+        data["outcomes"] = [
+            {
+                "task_id": o.task_id,
+                "type_id": o.type_id,
+                "arrival": o.arrival,
+                "deadline": o.deadline,
+                "core_id": o.core_id,
+                "pstate": o.pstate,
+                "start": _encode_float(o.start),
+                "completion": _encode_float(o.completion),
+                "discarded": o.discarded,
+            }
+            for o in result.outcomes
+        ]
+    return data
+
+
+def trial_result_from_dict(data: dict[str, Any]) -> TrialResult:
+    """Rebuild a trial result from :func:`trial_result_to_dict` output."""
+    if data.get("format") != _TRIAL_FORMAT:
+        raise ValueError(f"not a {_TRIAL_FORMAT} document")
+    outcomes: tuple[TaskOutcome, ...] = ()
+    if "outcomes" in data:
+        outcomes = tuple(
+            TaskOutcome(
+                task_id=int(o["task_id"]),
+                type_id=int(o["type_id"]),
+                arrival=float(o["arrival"]),
+                deadline=float(o["deadline"]),
+                core_id=int(o["core_id"]),
+                pstate=int(o["pstate"]),
+                start=_decode_float(o["start"]),
+                completion=_decode_float(o["completion"]),
+                discarded=bool(o["discarded"]),
+            )
+            for o in data["outcomes"]
+        )
+    kwargs = {field: data[field] for field in _SCALAR_FIELDS}
+    return TrialResult(
+        exhaustion_time=_decode_float(data["exhaustion_time"]),
+        outcomes=outcomes,
+        **kwargs,
+    )
+
+
+def ensemble_to_dict(ensemble: EnsembleResult) -> dict[str, Any]:
+    """Serialize a whole ensemble (without per-task outcomes)."""
+    return {
+        "format": _ENSEMBLE_FORMAT,
+        "num_trials": ensemble.num_trials,
+        "base_seed": ensemble.base_seed,
+        "specs": [{"heuristic": s.heuristic, "variant": s.variant} for s in ensemble.specs],
+        "results": {
+            spec.label: [
+                trial_result_to_dict(result) for result in ensemble.results[spec]
+            ]
+            for spec in ensemble.specs
+        },
+    }
+
+
+def ensemble_from_dict(data: dict[str, Any]) -> EnsembleResult:
+    """Rebuild an ensemble from :func:`ensemble_to_dict` output."""
+    if data.get("format") != _ENSEMBLE_FORMAT:
+        raise ValueError(f"not a {_ENSEMBLE_FORMAT} document")
+    specs = tuple(
+        VariantSpec(heuristic=s["heuristic"], variant=s["variant"]) for s in data["specs"]
+    )
+    results = {
+        spec: tuple(
+            trial_result_from_dict(entry) for entry in data["results"][spec.label]
+        )
+        for spec in specs
+    }
+    return EnsembleResult(
+        specs=specs,
+        num_trials=int(data["num_trials"]),
+        base_seed=int(data["base_seed"]),
+        results=results,
+    )
+
+
+def save_json(data: dict[str, Any], path: str | pathlib.Path) -> pathlib.Path:
+    """Write a document produced by the ``*_to_dict`` functions."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read a document written by :func:`save_json`."""
+    return json.loads(pathlib.Path(path).read_text())

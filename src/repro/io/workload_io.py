@@ -1,0 +1,65 @@
+"""Workload serialization.
+
+A serialized workload carries exactly what the engine needs to replay the
+same task stream (arrivals, types, deadlines, priorities) plus the rate
+triple and ``t_avg`` for bookkeeping.  Execution-time *pmfs* are not part
+of the document — they derive from the cluster + ETC draw, which the
+trial seed (or :mod:`repro.io.cluster_io`) pins separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.workload.arrivals import ArrivalRates
+from repro.workload.task import Task
+from repro.workload.workload import Workload
+
+__all__ = ["workload_to_dict", "workload_from_dict"]
+
+_FORMAT = "repro.workload/1"
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialize a workload to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT,
+        "t_avg": workload.t_avg,
+        "rates": {
+            "eq": workload.rates.eq,
+            "fast": workload.rates.fast,
+            "slow": workload.rates.slow,
+        },
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "type_id": t.type_id,
+                "arrival": t.arrival,
+                "deadline": t.deadline,
+                "priority": t.priority,
+            }
+            for t in workload.tasks
+        ],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    rates = ArrivalRates(
+        eq=float(data["rates"]["eq"]),
+        fast=float(data["rates"]["fast"]),
+        slow=float(data["rates"]["slow"]),
+    )
+    tasks = tuple(
+        Task(
+            task_id=int(entry["task_id"]),
+            type_id=int(entry["type_id"]),
+            arrival=float(entry["arrival"]),
+            deadline=float(entry["deadline"]),
+            priority=float(entry.get("priority", 1.0)),
+        )
+        for entry in data["tasks"]
+    )
+    return Workload(tasks=tasks, rates=rates, t_avg=float(data["t_avg"]))

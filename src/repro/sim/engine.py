@@ -1,0 +1,385 @@
+"""The discrete-event engine: one (heuristic, filter) run over one trial.
+
+Event model
+-----------
+Two event kinds drive the simulation:
+
+* **arrival** — pre-scheduled from the workload's Poisson process.  The
+  mapper scores all candidates, the filter chain prunes, the heuristic
+  decides immediately (immediate-mode, [MaA99]); a task whose feasible
+  set is empty is discarded.  Assignments are final: no re-mapping, no
+  P-state change after commitment (Section III-B).
+* **completion** — the running task's sampled actual execution time
+  elapsed.  The core pops its FIFO queue; if empty it parks idle (the
+  ledger records the transition; P-states change only while idle).
+
+Ties at identical timestamps process completions before arrivals so a
+just-freed core is visible to the mapper; remaining ties follow insertion
+order (a monotone sequence number), keeping runs bit-reproducible.
+
+Energy semantics
+----------------
+The heuristic maintains the paper's running estimate ``zeta(t_l)``
+(budget minus EEC of every assignment), which only the energy filter
+consults.  Ground truth comes from the transition ledger: after the run,
+the first instant cumulative consumed energy crosses the budget is
+computed, and on-time completions after that instant do not count
+(DESIGN.md §4.4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.cluster.energy import IDLE_PSTATE, EnergyLedger
+from repro.filters.chain import FilterChain
+from repro.heuristics.base import Heuristic, MappingContext
+from repro.sim.mapper import build_candidates
+from repro.sim.metrics import TraceCollector
+from repro.sim.results import TaskOutcome, TrialResult
+from repro.sim.state import CoreState, QueuedTask, RunningTask
+from repro.sim.system import TrialSystem
+from repro.workload.task import Task
+
+__all__ = ["Engine", "EngineHooks", "run_trial"]
+
+# Event kinds; completions sort before arrivals at equal times.
+_COMPLETION = 0
+_ARRIVAL = 1
+
+
+class EngineHooks(Protocol):
+    """Extension points invoked by the engine (all optional semantics).
+
+    Implementations may mutate queues through the engine's public
+    cancellation API; they must not touch running tasks (the model
+    executes committed tasks to completion, Section III-B).
+    """
+
+    def on_mapped(self, engine: "Engine", task: Task, core_id: int, pstate: int) -> None:
+        """Called after a successful mapping."""
+
+    def on_discarded(self, engine: "Engine", task: Task) -> None:
+        """Called when filtering leaves no feasible assignment."""
+
+    def on_completion(self, engine: "Engine", core_id: int, task: Task, t_now: float) -> None:
+        """Called after a task finishes and before the next one starts."""
+
+
+@dataclass
+class _PendingOutcome:
+    core_id: int
+    pstate: int
+    start: float
+    completion: float
+
+
+class Engine:
+    """Simulate one trial under a heuristic and filter chain.
+
+    Parameters
+    ----------
+    system:
+        The generated trial environment (shareable across variants).
+    heuristic, filter_chain:
+        The policy under test.
+    collector:
+        Optional :class:`~repro.sim.metrics.TraceCollector`.
+    hooks:
+        Optional :class:`EngineHooks` for extensions.
+    """
+
+    def __init__(
+        self,
+        system: TrialSystem,
+        heuristic: Heuristic,
+        filter_chain: FilterChain,
+        *,
+        collector: TraceCollector | None = None,
+        hooks: EngineHooks | None = None,
+    ) -> None:
+        self.system = system
+        self.heuristic = heuristic
+        self.filter_chain = filter_chain
+        self.collector = collector
+        self.hooks = hooks
+
+        cluster = system.cluster
+        dt = system.config.grid.dt
+        self.cores: list[CoreState] = [
+            CoreState(cid, int(cluster.core_node_index[cid]), dt)
+            for cid in range(cluster.num_cores)
+        ]
+        self.ledger = EnergyLedger(cluster, system.config.energy.idle_power_mode)
+        self.energy_estimate = system.budget
+        self._in_system = 0
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._seq = 0
+        self._outcomes: dict[int, _PendingOutcome | None] = {}
+        self._now = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Introspection used by hooks / extensions
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def avg_queue_depth(self) -> float:
+        """Tasks queued or executing per core, cluster-wide."""
+        return self._in_system / len(self.cores)
+
+    def cancel_queued(self, core_id: int, task_id: int) -> bool:
+        """Cancellation extension: drop a *queued* (not running) task.
+
+        The task becomes a discard (it will never complete).  Returns
+        whether the task was found and removed.
+        """
+        entry = self.cores[core_id].remove_queued(task_id)
+        if entry is None:
+            return False
+        self._in_system -= 1
+        self._outcomes[task_id] = None  # rebranded as discarded
+        return True
+
+    def move_queued(
+        self, from_core_id: int, task_id: int, to_core_id: int, pstate: int
+    ) -> bool:
+        """Rescheduling extension: relocate a *queued* task to another core.
+
+        The baseline model forbids reassignment (Section III-B); this
+        method exists for the Section VIII "reschedule tasks" extension
+        and is only ever invoked by hooks that opt in.  The task keeps
+        its identity; its pmf is re-resolved for the destination node and
+        the heuristic's energy estimate is adjusted by the EEC delta.
+        Starts immediately if the destination core is idle.  Returns
+        whether the task was found and moved.
+        """
+        if from_core_id == to_core_id:
+            return False
+        entry = self.cores[from_core_id].remove_queued(task_id)
+        if entry is None:
+            return False
+        task = entry.task
+        to_core = self.cores[to_core_id]
+        exec_pmf = self.system.table.pmf(task.type_id, to_core.node_index, pstate)
+        new_entry = QueuedTask(task=task, pstate=pstate, exec_pmf=exec_pmf)
+        eec = self.system.table.eec
+        from_node = self.cores[from_core_id].node_index
+        old_cost = float(eec[task.type_id, from_node, entry.pstate])
+        new_cost = float(eec[task.type_id, to_core.node_index, pstate])
+        self.energy_estimate -= new_cost - old_cost
+        pending = self._outcomes[task_id]
+        assert pending is not None
+        pending.core_id = to_core_id
+        pending.pstate = pstate
+        if to_core.running is None:
+            self._start_task(to_core, new_entry, self._now)
+        else:
+            to_core.enqueue(new_entry)
+        return True
+
+    # ------------------------------------------------------------------
+    # Event helpers
+    # ------------------------------------------------------------------
+
+    def _push(self, time: float, kind: int, payload: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, kind, self._seq, payload))
+
+    def _start_task(self, core: CoreState, entry: QueuedTask, t_now: float) -> None:
+        """Begin executing ``entry`` on ``core`` at ``t_now``."""
+        luck = float(self.system.exec_luck[entry.task.task_id])
+        actual = entry.exec_pmf.quantile(luck)
+        completion = t_now + actual
+        core.set_running(
+            RunningTask(
+                task=entry.task,
+                pstate=entry.pstate,
+                exec_pmf=entry.exec_pmf,
+                start_time=t_now,
+                completion_time=completion,
+            )
+        )
+        self.ledger.record(core.core_id, t_now, entry.pstate)
+        pending = self._outcomes[entry.task.task_id]
+        assert pending is not None
+        pending.start = t_now
+        pending.completion = completion
+        self._push(completion, _COMPLETION, core.core_id)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _handle_arrival(self, task: Task, t_now: float) -> None:
+        ctx = MappingContext(
+            t_now=t_now,
+            task=task,
+            energy_estimate=self.energy_estimate,
+            tasks_left=self.system.num_tasks - task.task_id - 1,
+            avg_queue_depth=self.avg_queue_depth,
+        )
+        cands = build_candidates(task, self.cores, self.system.table, t_now)
+        self.filter_chain.apply(cands, ctx)
+        index = self.heuristic.select(cands, ctx)
+
+        if index is None:
+            self._outcomes[task.task_id] = None
+            if self.collector is not None:
+                self.collector.record_mapping(
+                    t_now, ctx.avg_queue_depth, self.energy_estimate, -1, cands.num_feasible
+                )
+            if self.hooks is not None:
+                self.hooks.on_discarded(self, task)
+            return
+
+        assignment = cands.assignment(index)
+        self.energy_estimate -= float(cands.eec[index])
+        core = self.cores[assignment.core_id]
+        exec_pmf = self.system.table.pmf(task.type_id, core.node_index, assignment.pstate)
+        entry = QueuedTask(task=task, pstate=assignment.pstate, exec_pmf=exec_pmf)
+        self._outcomes[task.task_id] = _PendingOutcome(
+            core_id=assignment.core_id,
+            pstate=assignment.pstate,
+            start=float("nan"),
+            completion=float("nan"),
+        )
+        self._in_system += 1
+        if core.running is None:
+            self._start_task(core, entry, t_now)
+        else:
+            core.enqueue(entry)
+        if self.collector is not None:
+            self.collector.record_mapping(
+                t_now,
+                ctx.avg_queue_depth,
+                self.energy_estimate,
+                assignment.pstate,
+                cands.num_feasible,
+                chosen_prob=float(cands.prob_on_time[index]),
+            )
+        if self.hooks is not None:
+            self.hooks.on_mapped(self, task, assignment.core_id, assignment.pstate)
+
+    def _handle_completion(self, core_id: int, t_now: float) -> None:
+        core = self.cores[core_id]
+        running = core.running
+        assert running is not None, "completion event for an idle core"
+        core.clear_running()
+        self._in_system -= 1
+        if self.hooks is not None:
+            self.hooks.on_completion(self, core_id, running.task, t_now)
+        if core.running is not None:
+            return  # a hook (e.g. work stealing) already started new work
+        nxt = core.pop_next()
+        if nxt is not None:
+            self._start_task(core, nxt, t_now)
+        else:
+            self.ledger.record(core_id, t_now, IDLE_PSTATE)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> TrialResult:
+        """Execute the trial to completion and score it."""
+        if self._ran:
+            raise RuntimeError("an Engine instance runs exactly once")
+        self._ran = True
+
+        tasks = self.system.workload.tasks
+        for task in tasks:
+            self._push(task.arrival, _ARRIVAL, task.task_id)
+
+        end_time = 0.0
+        while self._heap:
+            time, kind, _seq, payload = heapq.heappop(self._heap)
+            self._now = time
+            end_time = max(end_time, time)
+            if kind == _COMPLETION:
+                self._handle_completion(payload, time)
+            else:
+                self._handle_arrival(tasks[payload], time)
+
+        self.ledger.close(end_time)
+        return self._score(end_time)
+
+    def _score(self, end_time: float) -> TrialResult:
+        system = self.system
+        exhaustion = self.ledger.exhaustion_time(system.budget)
+        outcomes: list[TaskOutcome] = []
+        discarded = late = cutoff = within = 0
+        for task in system.workload.tasks:
+            pending = self._outcomes.get(task.task_id)
+            if pending is None:
+                discarded += 1
+                outcomes.append(
+                    TaskOutcome(
+                        task_id=task.task_id,
+                        type_id=task.type_id,
+                        arrival=task.arrival,
+                        deadline=task.deadline,
+                        core_id=-1,
+                        pstate=-1,
+                        start=float("nan"),
+                        completion=float("nan"),
+                        discarded=True,
+                    )
+                )
+                continue
+            outcome = TaskOutcome(
+                task_id=task.task_id,
+                type_id=task.type_id,
+                arrival=task.arrival,
+                deadline=task.deadline,
+                core_id=pending.core_id,
+                pstate=pending.pstate,
+                start=pending.start,
+                completion=pending.completion,
+                discarded=False,
+            )
+            outcomes.append(outcome)
+            if not outcome.on_time():
+                late += 1
+            elif outcome.completion > exhaustion:
+                cutoff += 1
+            else:
+                within += 1
+        missed = discarded + late + cutoff
+        return TrialResult(
+            heuristic=self.heuristic.name,
+            variant=self.filter_chain.label,
+            seed=system.config.seed,
+            num_tasks=system.num_tasks,
+            missed=missed,
+            completed_within=within,
+            discarded=discarded,
+            late=late,
+            energy_cutoff=cutoff,
+            total_energy=self.ledger.total_energy(),
+            budget=system.budget,
+            exhaustion_time=exhaustion,
+            makespan=end_time,
+            outcomes=tuple(outcomes),
+        )
+
+
+def run_trial(
+    system: TrialSystem,
+    heuristic: Heuristic,
+    filter_chain: FilterChain,
+    *,
+    collector: TraceCollector | None = None,
+    hooks: EngineHooks | None = None,
+) -> TrialResult:
+    """Convenience wrapper: construct an :class:`Engine` and run it."""
+    return Engine(
+        system, heuristic, filter_chain, collector=collector, hooks=hooks
+    ).run()

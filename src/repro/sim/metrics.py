@@ -1,0 +1,90 @@
+"""Optional time-series traces of a running trial.
+
+The engine emits samples into a :class:`TraceCollector` when one is
+supplied; the default (no collector) keeps the hot path allocation-free.
+Traces feed the examples and the diagnostic analysis in
+:mod:`repro.analysis`, not the headline results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceCollector"]
+
+
+@dataclass
+class TraceCollector:
+    """Accumulates per-event samples of system state.
+
+    Attributes
+    ----------
+    arrival_times:
+        Time of each mapping event.
+    queue_depths:
+        Cluster-average queue depth at each mapping event.
+    energy_estimates:
+        The heuristic's remaining-energy estimate ``zeta(t_l)`` after
+        each mapping event.
+    chosen_pstates:
+        P-state chosen at each successful mapping (-1 for discards).
+    chosen_probs:
+        ``rho(i, j, k, pi, t_l, z)`` of the chosen assignment (0.0 for
+        discards).  Their running sum is the allocation's *predicted*
+        number of on-time completions — the robustness measure whose
+        predictive validity the paper's contribution (a) claims.
+    feasible_counts:
+        Number of feasible assignments left after filtering.
+    """
+
+    arrival_times: list[float] = field(default_factory=list)
+    queue_depths: list[float] = field(default_factory=list)
+    energy_estimates: list[float] = field(default_factory=list)
+    chosen_pstates: list[int] = field(default_factory=list)
+    chosen_probs: list[float] = field(default_factory=list)
+    feasible_counts: list[int] = field(default_factory=list)
+
+    def record_mapping(
+        self,
+        t_now: float,
+        queue_depth: float,
+        energy_estimate: float,
+        chosen_pstate: int,
+        feasible: int,
+        chosen_prob: float = 0.0,
+    ) -> None:
+        """Store one mapping event's snapshot."""
+        self.arrival_times.append(t_now)
+        self.queue_depths.append(queue_depth)
+        self.energy_estimates.append(energy_estimate)
+        self.chosen_pstates.append(chosen_pstate)
+        self.chosen_probs.append(chosen_prob)
+        self.feasible_counts.append(feasible)
+
+    def predicted_on_time(self) -> float:
+        """Expected on-time completions as predicted at mapping time.
+
+        The sum over mapped tasks of their assignment's on-time
+        probability — the scheduler-side robustness aggregate.  Compare
+        with the trial's realized on-time count (before the energy
+        cutoff) to validate the robustness model's predictions.
+        """
+        return float(sum(self.chosen_probs))
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Return all traces as NumPy arrays keyed by field name."""
+        return {
+            "arrival_times": np.array(self.arrival_times),
+            "queue_depths": np.array(self.queue_depths),
+            "energy_estimates": np.array(self.energy_estimates),
+            "chosen_pstates": np.array(self.chosen_pstates, dtype=np.int64),
+            "chosen_probs": np.array(self.chosen_probs),
+            "feasible_counts": np.array(self.feasible_counts, dtype=np.int64),
+        }
+
+    def pstate_histogram(self, num_pstates: int) -> np.ndarray:
+        """Counts of chosen P-states (discards excluded)."""
+        chosen = np.array([p for p in self.chosen_pstates if p >= 0], dtype=np.int64)
+        return np.bincount(chosen, minlength=num_pstates)

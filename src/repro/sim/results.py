@@ -1,0 +1,125 @@
+"""Trial outcome records.
+
+The paper's figure of merit is the number of tasks *not* completed by
+their individual deadlines within the energy constraint, out of 1,000.
+:class:`TrialResult` decomposes that number into its three causes:
+
+* ``discarded`` — the filter chain eliminated every assignment, so the
+  task was never mapped;
+* ``late`` — the task completed after its deadline;
+* ``energy_cutoff`` — the task completed on time, but after the instant
+  cumulative consumed energy crossed the budget, so it does not count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TaskOutcome", "TrialResult"]
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class TaskOutcome:
+    """Per-task record of what the simulation did with one task.
+
+    ``core_id``/``pstate``/``start``/``completion`` are ``-1``/``nan``
+    for discarded tasks.  Equality is NaN-aware (two discarded outcomes
+    of the same task compare equal), so identical trials compare equal.
+    """
+
+    task_id: int
+    type_id: int
+    arrival: float
+    deadline: float
+    core_id: int
+    pstate: int
+    start: float
+    completion: float
+    discarded: bool
+
+    def on_time(self) -> bool:
+        """Whether the task completed by its deadline."""
+        return not self.discarded and self.completion <= self.deadline + 1e-9
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskOutcome):
+            return NotImplemented
+
+        def feq(a: float, b: float) -> bool:
+            return a == b or (math.isnan(a) and math.isnan(b))
+
+        return (
+            self.task_id == other.task_id
+            and self.type_id == other.type_id
+            and self.arrival == other.arrival
+            and self.deadline == other.deadline
+            and self.core_id == other.core_id
+            and self.pstate == other.pstate
+            and feq(self.start, other.start)
+            and feq(self.completion, other.completion)
+            and self.discarded == other.discarded
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.task_id, self.core_id, self.pstate, self.discarded))
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Aggregate result of one (heuristic, variant) run over one trial.
+
+    Attributes
+    ----------
+    missed:
+        The paper's metric — tasks not counted as completed
+        (``discarded + late + energy_cutoff``).
+    exhaustion_time:
+        When cumulative consumed energy crossed the budget (``inf`` if it
+        never did).
+    makespan:
+        Completion time of the last task (close of the ledger).
+    """
+
+    heuristic: str
+    variant: str
+    seed: int
+    num_tasks: int
+    missed: int
+    completed_within: int
+    discarded: int
+    late: int
+    energy_cutoff: int
+    total_energy: float
+    budget: float
+    exhaustion_time: float
+    makespan: float
+    outcomes: tuple[TaskOutcome, ...]
+
+    def __post_init__(self) -> None:
+        if self.missed != self.discarded + self.late + self.energy_cutoff:
+            raise ValueError("miss decomposition does not add up")
+        if self.missed + self.completed_within != self.num_tasks:
+            raise ValueError("missed + completed must cover all tasks")
+
+    @property
+    def miss_fraction(self) -> float:
+        """Missed deadlines as a fraction of the workload."""
+        return self.missed / self.num_tasks
+
+    @property
+    def label(self) -> str:
+        """"HEURISTIC/variant" display label."""
+        return f"{self.heuristic}/{self.variant}"
+
+    def energy_utilization(self) -> float:
+        """Consumed energy as a fraction of the budget."""
+        return self.total_energy / self.budget if self.budget > 0 else float("nan")
+
+    def completion_times(self) -> np.ndarray:
+        """Completion times of non-discarded tasks (for analysis)."""
+        return np.array(
+            [o.completion for o in self.outcomes if not o.discarded], dtype=np.float64
+        )

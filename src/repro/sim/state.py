@@ -1,0 +1,170 @@
+"""Per-core runtime state with cached ready-time distributions.
+
+The dominant cost of a mapping event is computing, for every core, the
+*ready-time* pmf — the completion distribution of everything already on
+the core (Section IV-B).  :class:`CoreState` caches both pieces:
+
+* the convolution of queued tasks' execution pmfs (invalidated only when
+  the queue mutates), and
+* the running task's truncated completion pmf.  Truncation at a later
+  time ``t`` changes nothing as long as the cached distribution has no
+  impulse before ``t``, so the cache records its first-impulse time and
+  stays valid across most events — typically only cores whose predicted
+  completion is overdue recompute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.stoch.ops import convolve, convolve_many, shift, truncate_below
+from repro.stoch.pmf import PMF
+from repro.workload.task import Task
+
+__all__ = ["RunningTask", "QueuedTask", "CoreState"]
+
+
+@dataclass(frozen=True)
+class RunningTask:
+    """The task currently executing on a core.
+
+    ``completion_time`` is the *actual* (sampled) completion instant; the
+    scheduler's predictions never read it — they only see ``exec_pmf``
+    and ``start_time``.
+    """
+
+    task: Task
+    pstate: int
+    exec_pmf: PMF
+    start_time: float
+    completion_time: float
+
+
+@dataclass(frozen=True)
+class QueuedTask:
+    """A task waiting on a core, with its committed P-state and pmf."""
+
+    task: Task
+    pstate: int
+    exec_pmf: PMF
+
+
+class CoreState:
+    """Mutable state of one core during a trial."""
+
+    __slots__ = (
+        "core_id",
+        "node_index",
+        "dt",
+        "running",
+        "queue",
+        "_version",
+        "_queue_conv",
+        "_ready_version",
+        "_ready_pmf",
+        "_ready_trunc_start",
+    )
+
+    def __init__(self, core_id: int, node_index: int, dt: float) -> None:
+        self.core_id = core_id
+        self.node_index = node_index
+        self.dt = dt
+        self.running: RunningTask | None = None
+        self.queue: deque[QueuedTask] = deque()
+        self._version = 0
+        self._queue_conv: PMF | None = None
+        self._ready_version = -1
+        self._ready_pmf: PMF | None = None
+        self._ready_trunc_start = 0.0
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+
+    @property
+    def assigned_count(self) -> int:
+        """``|MQ(i, j, k, t_l)|``: tasks queued for or in execution."""
+        return len(self.queue) + (1 if self.running is not None else 0)
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the core has no work at all."""
+        return self.running is None and not self.queue
+
+    # ------------------------------------------------------------------
+    # Mutations (each bumps the cache version)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, entry: QueuedTask) -> None:
+        """Append a task to the core's FIFO queue."""
+        if self.running is None:
+            raise RuntimeError("enqueue on an idle core; start the task instead")
+        self.queue.append(entry)
+        self._version += 1
+        self._queue_conv = None
+
+    def set_running(self, running: RunningTask) -> None:
+        """Begin executing a task (the core must not be busy)."""
+        if self.running is not None:
+            raise RuntimeError("core already running a task")
+        self.running = running
+        self._version += 1
+
+    def clear_running(self) -> None:
+        """Mark the running task finished."""
+        if self.running is None:
+            raise RuntimeError("no running task to clear")
+        self.running = None
+        self._version += 1
+
+    def pop_next(self) -> QueuedTask | None:
+        """Remove and return the next queued task (FIFO), if any."""
+        if not self.queue:
+            return None
+        entry = self.queue.popleft()
+        self._version += 1
+        self._queue_conv = None
+        return entry
+
+    def remove_queued(self, task_id: int) -> QueuedTask | None:
+        """Remove a specific queued task (cancellation extension)."""
+        for entry in self.queue:
+            if entry.task.task_id == task_id:
+                self.queue.remove(entry)
+                self._version += 1
+                self._queue_conv = None
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Ready-time distribution
+    # ------------------------------------------------------------------
+
+    def _queue_convolution(self) -> PMF | None:
+        """Cached convolution of queued tasks' execution pmfs."""
+        if not self.queue:
+            return None
+        if self._queue_conv is None:
+            self._queue_conv = convolve_many([e.exec_pmf for e in self.queue])
+        return self._queue_conv
+
+    def ready_pmf(self, t_now: float) -> PMF:
+        """Distribution of when this core can start a newly-mapped task."""
+        if self.running is None:
+            return PMF.delta(t_now, self.dt)
+        if (
+            self._ready_version == self._version
+            and self._ready_pmf is not None
+            and self._ready_trunc_start >= t_now - 1e-9
+        ):
+            return self._ready_pmf
+        running_c = truncate_below(
+            shift(self.running.exec_pmf, self.running.start_time), t_now
+        )
+        qconv = self._queue_convolution()
+        ready = running_c if qconv is None else convolve(running_c, qconv)
+        self._ready_version = self._version
+        self._ready_pmf = ready
+        self._ready_trunc_start = running_c.start
+        return ready

@@ -1,0 +1,114 @@
+"""Additional pmf combinators: mixtures and order statistics.
+
+Beyond the sum-of-independent-variables algebra the scheduler needs,
+analysis code wants two more constructions:
+
+* :func:`mixture` — the law of "draw a component first, then sample it";
+  e.g. the execution time of a *uniformly random* task type on a node.
+* :func:`max_of` / :func:`min_of` — distributions of the extremes of
+  independent variables; e.g. the finish time of a fork-join group of
+  tasks (makespan analysis), or the first core to free up.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.stoch.pmf import PMF
+
+__all__ = ["mixture", "max_of", "min_of", "expected_extreme"]
+
+
+def _common_grid(pmfs: Sequence[PMF]) -> tuple[float, float, int]:
+    """(start, dt, length) of the smallest grid covering all operands.
+
+    Operands must share ``dt``; offsets may differ by non-integer
+    multiples of ``dt``, in which case each pmf snaps to the common grid
+    anchored at the earliest start (snapping error < dt/2, consistent
+    with the discretization the pmfs already carry).
+    """
+    if not pmfs:
+        raise ValueError("need at least one pmf")
+    dt = pmfs[0].dt
+    for p in pmfs[1:]:
+        if not p.same_grid(pmfs[0]):
+            raise ValueError("grid mismatch across operands")
+    start = min(p.start for p in pmfs)
+    stop = max(p.stop for p in pmfs)
+    length = int(round((stop - start) / dt)) + 1
+    return start, dt, length
+
+
+def _project(pmf: PMF, start: float, dt: float, length: int) -> np.ndarray:
+    """Dense weights of ``pmf`` on the common grid (mass-preserving)."""
+    out = np.zeros(length)
+    offsets = (pmf.start - start) / dt + np.arange(len(pmf))
+    idx = np.rint(offsets).astype(np.int64)
+    np.clip(idx, 0, length - 1, out=idx)
+    np.add.at(out, idx, pmf.probs)
+    return out
+
+
+def mixture(pmfs: Sequence[PMF], weights: Sequence[float] | None = None) -> PMF:
+    """Mixture distribution ``sum_i w_i * pmf_i`` (weights normalized)."""
+    start, dt, length = _common_grid(pmfs)
+    if weights is None:
+        w = np.full(len(pmfs), 1.0 / len(pmfs))
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (len(pmfs),) or np.any(w < 0.0):
+            raise ValueError("weights must be non-negative and align with pmfs")
+        total = w.sum()
+        if total <= 0.0:
+            raise ValueError("weights must have positive total")
+        w = w / total
+    acc = np.zeros(length)
+    for weight, pmf in zip(w, pmfs):
+        if weight > 0.0:
+            acc += weight * _project(pmf, start, dt, length)
+    return PMF(start, dt, acc).compact()
+
+
+def max_of(pmfs: Sequence[PMF]) -> PMF:
+    """Distribution of ``max_i X_i`` for independent ``X_i ~ pmfs[i]``.
+
+    Uses the product-of-CDFs identity on the common grid:
+    ``F_max(t) = prod_i F_i(t)``.
+    """
+    start, dt, length = _common_grid(pmfs)
+    cdf = np.ones(length)
+    for pmf in pmfs:
+        cdf *= np.cumsum(_project(pmf, start, dt, length))
+    probs = np.diff(np.concatenate([[0.0], cdf]))
+    probs = np.clip(probs, 0.0, None)
+    return PMF(start, dt, probs).compact()
+
+
+def min_of(pmfs: Sequence[PMF]) -> PMF:
+    """Distribution of ``min_i X_i`` for independent ``X_i ~ pmfs[i]``.
+
+    Survival-function identity: ``S_min(t) = prod_i S_i(t)``.
+    """
+    start, dt, length = _common_grid(pmfs)
+    survival = np.ones(length)
+    for pmf in pmfs:
+        survival *= 1.0 - np.cumsum(_project(pmf, start, dt, length))
+    cdf = 1.0 - survival
+    probs = np.diff(np.concatenate([[0.0], cdf]))
+    probs = np.clip(probs, 0.0, None)
+    # The last grid point carries any residual mass lost to fp round-off.
+    deficit = 1.0 - probs.sum()
+    if deficit > 0.0:
+        probs[-1] += deficit
+    return PMF(start, dt, probs).compact()
+
+
+def expected_extreme(pmfs: Sequence[PMF], kind: str = "max") -> float:
+    """Convenience: ``E[max]`` or ``E[min]`` of independent variables."""
+    if kind == "max":
+        return max_of(pmfs).mean()
+    if kind == "min":
+        return min_of(pmfs).mean()
+    raise ValueError(f"kind must be 'max' or 'min', got {kind!r}")

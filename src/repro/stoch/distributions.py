@@ -1,0 +1,98 @@
+"""Discretizers: continuous laws -> grid pmfs.
+
+Execution-time distributions in the paper are "provided" pmfs; following
+the companion papers of the same group we realize them as discretized
+gamma laws (strictly positive support, right-skewed — the natural model
+for execution times).  Each discretizer integrates the continuous density
+over grid-aligned bins so the pmf mass matches the law's probability of
+falling in each bin, then renormalizes the truncated tails away.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.stoch.pmf import PMF
+
+__all__ = [
+    "discretized_gamma",
+    "discretized_normal",
+    "discretized_uniform",
+    "discretized_exponential",
+]
+
+
+def _bin_edges(lo: float, hi: float, dt: float) -> np.ndarray:
+    """Grid-aligned bin edges covering ``[lo, hi]`` (edges at multiples of dt)."""
+    first = math.floor(lo / dt)
+    last = math.ceil(hi / dt)
+    if last <= first:
+        last = first + 1
+    return dt * np.arange(first, last + 1)
+
+
+def _from_cdf(cdf_vals: np.ndarray, edges: np.ndarray, dt: float) -> PMF:
+    """Build a pmf from CDF values at bin edges; mass of bin i sits at its center."""
+    masses = np.diff(cdf_vals)
+    masses = np.clip(masses, 0.0, None)
+    if masses.sum() <= 0.0:
+        # Degenerate law narrower than one bin: all mass in the bin
+        # containing the midpoint of the range.
+        masses = np.zeros(edges.size - 1)
+        masses[masses.size // 2] = 1.0
+    centers_start = float(edges[0]) + 0.5 * dt
+    pmf = PMF(centers_start, dt, masses)
+    return pmf.compact()
+
+
+def discretized_gamma(mean: float, cv: float, dt: float, *, tail_sigmas: float = 4.0) -> PMF:
+    """Gamma law with the given mean and coefficient of variation.
+
+    Shape ``k = 1/cv**2`` and scale ``theta = mean * cv**2`` give
+    ``E = mean`` and ``std = cv * mean``.  The support is truncated to
+    ``[max(0, mean - tail_sigmas*std), mean + tail_sigmas*std]`` before
+    discretization onto the grid of step ``dt``.
+    """
+    if mean <= 0.0 or cv <= 0.0:
+        raise ValueError("mean and cv must be positive")
+    shape = 1.0 / (cv * cv)
+    scale = mean * cv * cv
+    std = cv * mean
+    lo = max(0.0, mean - tail_sigmas * std)
+    hi = mean + tail_sigmas * std
+    edges = _bin_edges(lo, hi, dt)
+    cdf_vals = stats.gamma.cdf(edges, a=shape, scale=scale)
+    return _from_cdf(cdf_vals, edges, dt)
+
+
+def discretized_normal(mean: float, std: float, dt: float, *, tail_sigmas: float = 4.0) -> PMF:
+    """Normal law truncated at ``mean ± tail_sigmas * std`` (and at zero)."""
+    if std <= 0.0:
+        raise ValueError("std must be positive")
+    lo = max(0.0, mean - tail_sigmas * std)
+    hi = mean + tail_sigmas * std
+    edges = _bin_edges(lo, hi, dt)
+    cdf_vals = stats.norm.cdf(edges, loc=mean, scale=std)
+    return _from_cdf(cdf_vals, edges, dt)
+
+
+def discretized_uniform(lo: float, hi: float, dt: float) -> PMF:
+    """Uniform law on ``[lo, hi]``."""
+    if hi <= lo:
+        raise ValueError("need lo < hi")
+    edges = _bin_edges(lo, hi, dt)
+    cdf_vals = np.clip((edges - lo) / (hi - lo), 0.0, 1.0)
+    return _from_cdf(cdf_vals, edges, dt)
+
+
+def discretized_exponential(mean: float, dt: float, *, tail_mass: float = 1e-4) -> PMF:
+    """Exponential law with the given mean, truncated at the ``1 - tail_mass`` quantile."""
+    if mean <= 0.0:
+        raise ValueError("mean must be positive")
+    hi = -mean * math.log(tail_mass)
+    edges = _bin_edges(0.0, hi, dt)
+    cdf_vals = 1.0 - np.exp(-edges / mean)
+    return _from_cdf(cdf_vals, edges, dt)

@@ -1,0 +1,242 @@
+"""The :class:`PMF` value type: a pmf on a regular time grid.
+
+A pmf is stored as ``(start, dt, probs)``: impulse ``i`` carries
+probability ``probs[i]`` at time ``start + i * dt``.  The representation is
+dense and contiguous, so all algebra reduces to NumPy vector primitives.
+``start`` may be any float (pmfs get shifted by continuous arrival/start
+times); only ``dt`` must agree between operands of a convolution, because
+offsets add while the grid step is preserved.
+
+Instances are *logically immutable*: no public method mutates ``probs``.
+The cumulative sum used by CDF queries is computed lazily and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["PMF"]
+
+#: Relative tolerance used when checking normalization and grid agreement.
+_RTOL = 1e-9
+#: Probabilities smaller than this (relative to the max) may be trimmed
+#: from pmf tails by :meth:`PMF.compact`.
+_TRIM_EPS = 1e-12
+
+
+class PMF:
+    """A probability mass function with impulses on a regular grid.
+
+    Parameters
+    ----------
+    start:
+        Time of the first impulse.
+    dt:
+        Grid step between consecutive impulses (must be positive).
+    probs:
+        Non-negative impulse weights.  They are normalized to sum to one
+        unless ``normalize=False`` *and* they already sum to one.
+    normalize:
+        When true (default) the weights are rescaled to sum to exactly one.
+
+    Notes
+    -----
+    Zero-probability leading/trailing bins are kept as given; call
+    :meth:`compact` to trim them (operations that can create long zero
+    tails do this internally).
+    """
+
+    __slots__ = ("start", "dt", "probs", "_cdf")
+
+    start: float
+    dt: float
+    probs: np.ndarray
+
+    def __init__(
+        self,
+        start: float,
+        dt: float,
+        probs: Iterable[float] | np.ndarray,
+        *,
+        normalize: bool = True,
+    ) -> None:
+        arr = np.asarray(probs, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("probs must be a non-empty 1-D array")
+        if dt <= 0.0 or not np.isfinite(dt):
+            raise ValueError(f"dt must be a positive finite float, got {dt}")
+        if not np.isfinite(start):
+            raise ValueError(f"start must be finite, got {start}")
+        if np.any(arr < 0.0) or not np.all(np.isfinite(arr)):
+            raise ValueError("probs must be finite and non-negative")
+        total = float(arr.sum())
+        if total <= 0.0:
+            raise ValueError("probs must have positive total mass")
+        if normalize:
+            if abs(total - 1.0) > _RTOL:
+                arr = arr / total
+            elif arr is probs:
+                arr = arr.copy()
+        elif abs(total - 1.0) > 1e-6:
+            raise ValueError(f"probs sum to {total}, not 1, and normalize=False")
+        arr.setflags(write=False)
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "dt", float(dt))
+        object.__setattr__(self, "probs", arr)
+        object.__setattr__(self, "_cdf", None)
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("PMF instances are immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def delta(time: float, dt: float) -> "PMF":
+        """A degenerate pmf: all mass at ``time``."""
+        return PMF(time, dt, np.ones(1), normalize=False)
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[float, float], dt: float) -> "PMF":
+        """Build a pmf from ``{time: probability}`` pairs.
+
+        Times are snapped to the grid anchored at the smallest time; a
+        ``ValueError`` is raised if any time is farther than ``dt * 1e-6``
+        from its grid point, to catch accidental off-grid input.
+        """
+        if not mapping:
+            raise ValueError("mapping must be non-empty")
+        times = np.array(sorted(mapping), dtype=np.float64)
+        start = float(times[0])
+        idx_f = (times - start) / dt
+        idx = np.rint(idx_f).astype(np.int64)
+        if np.any(np.abs(idx_f - idx) > 1e-6):
+            raise ValueError("mapping times are not grid-aligned")
+        probs = np.zeros(int(idx[-1]) + 1)
+        for t, i in zip(times, idx):
+            probs[int(i)] += mapping[float(t)]
+        return PMF(start, dt, probs)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.probs.size)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Impulse times (freshly computed; not cached)."""
+        return self.start + self.dt * np.arange(self.probs.size)
+
+    @property
+    def stop(self) -> float:
+        """Time of the last impulse."""
+        return self.start + self.dt * (self.probs.size - 1)
+
+    @property
+    def cdf(self) -> np.ndarray:
+        """Cached cumulative sum of ``probs`` (read-only view)."""
+        cached = object.__getattribute__(self, "_cdf")
+        if cached is None:
+            cached = np.cumsum(self.probs)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_cdf", cached)
+        return cached
+
+    def mean(self) -> float:
+        """Expectation ``E[X]``."""
+        return float(self.start + self.dt * np.dot(np.arange(self.probs.size), self.probs))
+
+    def var(self) -> float:
+        """Variance ``Var[X]`` (non-negative by clipping tiny round-off)."""
+        idx = np.arange(self.probs.size, dtype=np.float64)
+        m1 = float(np.dot(idx, self.probs))
+        m2 = float(np.dot(idx * idx, self.probs))
+        return max(0.0, (m2 - m1 * m1)) * self.dt * self.dt
+
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.var()))
+
+    def prob_at_most(self, t: float) -> float:
+        """``P[X <= t]`` — the CDF evaluated at an arbitrary time.
+
+        Times within ``1e-9 * dt`` of a grid point count as that grid
+        point, the same tolerance every CDF-indexing operation in
+        :mod:`repro.stoch.ops` uses.
+        """
+        # Index of the last impulse with time <= t: floor((t - start)/dt),
+        # nudged so times equal to an impulse (up to fp error) include it.
+        k = int(np.floor((t - self.start) / self.dt + 1e-9))
+        if k < 0:
+            return 0.0
+        k = min(k, self.probs.size - 1)
+        return float(self.cdf[k])
+
+    def prob_greater(self, t: float) -> float:
+        """``P[X > t]``."""
+        return 1.0 - self.prob_at_most(t)
+
+    def quantile(self, q: float) -> float:
+        """Smallest grid time ``t`` with ``P[X <= t] >= q``."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must be a probability")
+        k = int(np.searchsorted(self.cdf, q - 1e-15, side="left"))
+        k = min(k, self.probs.size - 1)
+        return self.start + self.dt * k
+
+    def total_mass(self) -> float:
+        """Sum of all impulse weights (1.0 up to round-off)."""
+        return float(self.probs.sum())
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def compact(self) -> "PMF":
+        """Trim negligible leading/trailing mass and renormalize.
+
+        Bins lighter than ``max(probs) * 1e-12`` at either end are
+        dropped; interior bins are never removed (grid alignment must be
+        preserved).
+        """
+        p = self.probs
+        thresh = float(p.max()) * _TRIM_EPS
+        nz = np.flatnonzero(p > thresh)
+        if nz.size == 0:  # pragma: no cover - guarded by constructor
+            return self
+        lo, hi = int(nz[0]), int(nz[-1])
+        if lo == 0 and hi == p.size - 1:
+            return self
+        return PMF(self.start + lo * self.dt, self.dt, p[lo : hi + 1])
+
+    def same_grid(self, other: "PMF") -> bool:
+        """Whether two pmfs share a grid step (offsets may differ)."""
+        return abs(self.dt - other.dt) <= _RTOL * self.dt
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"PMF(start={self.start:.6g}, dt={self.dt:.6g}, "
+            f"n={self.probs.size}, mean={self.mean():.6g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PMF):
+            return NotImplemented
+        return (
+            abs(self.start - other.start) <= _RTOL * max(1.0, abs(self.start))
+            and self.same_grid(other)
+            and self.probs.size == other.probs.size
+            and bool(np.allclose(self.probs, other.probs, rtol=_RTOL, atol=1e-15))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)

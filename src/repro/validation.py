@@ -1,0 +1,145 @@
+"""Post-run consistency validation.
+
+:func:`validate_trial` re-derives every structural invariant of a
+finished trial from its raw artifacts and raises
+:class:`ValidationError` on the first violation.  The test suite uses it,
+and downstream users can run it after modifying the engine, adding
+heuristics, or writing engine hooks (hooks are the easiest place to break
+accounting).
+
+Checked invariants:
+
+1. every task has exactly one outcome; ids are dense and ordered;
+2. miss decomposition and totals close;
+3. causality: starts after arrivals, completions after starts;
+4. per-core exclusivity: executions on one core never overlap;
+5. durations lie within the assigned pmf's support;
+6. the reported energy equals the ledger's Eq. 2 total (when the engine
+   is supplied), and the exhaustion time is consistent with the budget;
+7. discarded tasks carry the discard sentinel values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.engine import Engine
+from repro.sim.results import TrialResult
+from repro.sim.system import TrialSystem
+
+__all__ = ["ValidationError", "validate_trial"]
+
+
+class ValidationError(AssertionError):
+    """A trial violated a structural invariant."""
+
+
+def _fail(message: str) -> None:
+    raise ValidationError(message)
+
+
+def validate_trial(
+    system: TrialSystem,
+    result: TrialResult,
+    engine: Engine | None = None,
+    *,
+    tol: float = 1e-9,
+) -> None:
+    """Validate a finished trial; raises :class:`ValidationError` on failure.
+
+    ``engine`` (the instance that produced ``result``) enables the
+    ledger-level checks; without it only outcome-level invariants run.
+    """
+    outcomes = result.outcomes
+    if len(outcomes) != system.num_tasks:
+        _fail(f"{len(outcomes)} outcomes for {system.num_tasks} tasks")
+
+    # 1. identity and ordering
+    for i, outcome in enumerate(outcomes):
+        if outcome.task_id != i:
+            _fail(f"outcome {i} carries task_id {outcome.task_id}")
+        task = system.workload.tasks[i]
+        if outcome.arrival != task.arrival or outcome.deadline != task.deadline:
+            _fail(f"outcome {i} does not match its task's arrival/deadline")
+
+    # 2. totals
+    discarded = sum(1 for o in outcomes if o.discarded)
+    if discarded != result.discarded:
+        _fail(f"discarded mismatch: {discarded} vs {result.discarded}")
+    if result.missed != result.discarded + result.late + result.energy_cutoff:
+        _fail("miss decomposition does not add up")
+    if result.missed + result.completed_within != result.num_tasks:
+        _fail("missed + completed does not cover the workload")
+
+    late = cutoff = within = 0
+    for outcome in outcomes:
+        if outcome.discarded:
+            continue
+        if not outcome.on_time():
+            late += 1
+        elif outcome.completion > result.exhaustion_time:
+            cutoff += 1
+        else:
+            within += 1
+    if (late, cutoff, within) != (result.late, result.energy_cutoff, result.completed_within):
+        _fail(
+            f"recount mismatch: late {late}/{result.late}, "
+            f"cutoff {cutoff}/{result.energy_cutoff}, "
+            f"within {within}/{result.completed_within}"
+        )
+
+    # 3-5. causality, exclusivity, support
+    by_core: dict[int, list] = {}
+    cluster = system.cluster
+    for outcome in outcomes:
+        if outcome.discarded:
+            if outcome.core_id != -1 or outcome.pstate != -1:
+                _fail(f"discarded task {outcome.task_id} carries an assignment")
+            if not (math.isnan(outcome.start) and math.isnan(outcome.completion)):
+                _fail(f"discarded task {outcome.task_id} carries times")
+            continue
+        if not (0 <= outcome.core_id < cluster.num_cores):
+            _fail(f"task {outcome.task_id} on invalid core {outcome.core_id}")
+        if not (0 <= outcome.pstate < cluster.num_pstates):
+            _fail(f"task {outcome.task_id} in invalid P-state {outcome.pstate}")
+        if outcome.start < outcome.arrival - tol:
+            _fail(f"task {outcome.task_id} started before arrival")
+        if outcome.completion <= outcome.start:
+            _fail(f"task {outcome.task_id} has non-positive duration")
+        node = int(cluster.core_node_index[outcome.core_id])
+        pmf = system.table.pmf(outcome.type_id, node, outcome.pstate)
+        duration = outcome.completion - outcome.start
+        if not (pmf.start - tol <= duration <= pmf.stop + tol):
+            _fail(
+                f"task {outcome.task_id} duration {duration:.3f} outside "
+                f"pmf support [{pmf.start:.3f}, {pmf.stop:.3f}]"
+            )
+        by_core.setdefault(outcome.core_id, []).append(outcome)
+
+    for core_id, core_outcomes in by_core.items():
+        ordered = sorted(core_outcomes, key=lambda o: o.start)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start < a.completion - tol:
+                _fail(
+                    f"core {core_id}: tasks {a.task_id} and {b.task_id} overlap"
+                )
+        last = max(o.completion for o in core_outcomes)
+        if last > result.makespan + tol:
+            _fail(f"core {core_id} finishes after the makespan")
+
+    # 6. ledger-level checks
+    if engine is not None:
+        ledger_total = engine.ledger.total_energy()
+        if not math.isclose(ledger_total, result.total_energy, rel_tol=1e-9):
+            _fail(
+                f"energy mismatch: ledger {ledger_total} vs result "
+                f"{result.total_energy}"
+            )
+        exhaustion = engine.ledger.exhaustion_time(system.budget)
+        if not (
+            (math.isinf(exhaustion) and math.isinf(result.exhaustion_time))
+            or math.isclose(exhaustion, result.exhaustion_time, rel_tol=1e-9)
+        ):
+            _fail("exhaustion time mismatch between ledger and result")
+        if result.total_energy > system.budget and math.isinf(result.exhaustion_time):
+            _fail("energy exceeds budget but exhaustion is infinite")

@@ -1,0 +1,37 @@
+"""Workload substrate (paper Sections III-B and VI).
+
+The workload is a dynamically-arriving stream of independent tasks:
+
+* each task's type is uniform over 100 well-known types;
+* the CVB (coefficient-of-variation based) method of [AlS00] generates a
+  heterogeneous, *inconsistent* mean execution-time matrix (task type x
+  node) with gamma sampling;
+* each (type, node, P-state) combination gets an execution-time pmf — a
+  discretized gamma around the CVB mean scaled by the node's P-state
+  multiplier;
+* arrivals follow a three-phase bursty Poisson process (fast / slow /
+  fast) that oversubscribes the system during bursts;
+* each task's hard deadline is its arrival time plus the mean execution
+  time of its type plus a "load factor" (t_avg).
+"""
+
+from repro.workload.task import Task
+from repro.workload.cvb import cvb_etc_matrix
+from repro.workload.etc_matrix import ETCMatrix
+from repro.workload.pmf_table import ExecutionTimeTable
+from repro.workload.arrivals import ArrivalRates, bursty_poisson_arrivals, derive_rates
+from repro.workload.deadlines import assign_deadlines
+from repro.workload.workload import Workload, build_workload
+
+__all__ = [
+    "Task",
+    "cvb_etc_matrix",
+    "ETCMatrix",
+    "ExecutionTimeTable",
+    "ArrivalRates",
+    "bursty_poisson_arrivals",
+    "derive_rates",
+    "assign_deadlines",
+    "Workload",
+    "build_workload",
+]

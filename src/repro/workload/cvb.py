@@ -1,0 +1,54 @@
+"""CVB heterogeneity: the gamma-based ETC generation method of [AlS00].
+
+The Coefficient-of-Variation Based method generates an Expected
+Time-to-Compute matrix ``e(t, m)`` (task type ``t`` on machine ``m``) in
+two stages:
+
+1. a task vector ``q[t] ~ Gamma(alpha_task, beta_task)`` with mean
+   ``mu_task`` and coefficient of variation ``V_task`` captures how much
+   task types differ from each other;
+2. each row is expanded across machines with
+   ``e(t, m) ~ Gamma(alpha_mach, q[t] / alpha_mach)`` (mean ``q[t]``,
+   coefficient of variation ``V_mach``), capturing machine heterogeneity.
+
+Because every entry is sampled independently within its row, the matrix
+is *inconsistent* in the sense of [AlS00]: machine A being faster than B
+for one task type implies nothing for other types — exactly the
+heterogeneity model the paper assumes (Section III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cvb_etc_matrix"]
+
+
+def cvb_etc_matrix(
+    num_task_types: int,
+    num_machines: int,
+    mu_task: float,
+    v_task: float,
+    v_mach: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample a ``(num_task_types, num_machines)`` inconsistent ETC matrix.
+
+    Parameters mirror [AlS00]: ``mu_task`` is the overall mean execution
+    time, ``v_task`` the across-type coefficient of variation, ``v_mach``
+    the across-machine coefficient of variation.
+    """
+    if num_task_types < 1 or num_machines < 1:
+        raise ValueError("matrix dimensions must be >= 1")
+    if mu_task <= 0.0 or v_task <= 0.0 or v_mach <= 0.0:
+        raise ValueError("mu_task, v_task and v_mach must be positive")
+    alpha_task = 1.0 / (v_task * v_task)
+    beta_task = mu_task / alpha_task
+    q = rng.gamma(shape=alpha_task, scale=beta_task, size=num_task_types)
+    alpha_mach = 1.0 / (v_mach * v_mach)
+    # scale per row: q[t] / alpha_mach keeps the row mean at q[t].
+    scales = q[:, None] / alpha_mach
+    etc = rng.gamma(shape=alpha_mach, scale=scales, size=(num_task_types, num_machines))
+    # Gamma support is (0, inf) but guard against denormal draws that
+    # would produce empty pmfs downstream.
+    return np.maximum(etc, 1e-6 * mu_task)

@@ -1,0 +1,50 @@
+"""Deadline assignment (paper Section VI).
+
+Each task's deadline is the sum of
+
+* its arrival time,
+* the average execution time of its task type over all machines and all
+  P-states, and
+* a constant "load factor" representing the anticipated waiting time —
+  the average execution time ``t_avg`` over all types, machines and
+  P-states (scaled by ``load_factor_mult``, 1.0 in the paper).
+
+Deadlines are deliberately tight: the actual wait exceeds ``t_avg`` during
+fast-rate bursts, so some misses are unavoidable — the heuristics compete
+on how few.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+
+__all__ = ["assign_deadlines"]
+
+
+def assign_deadlines(
+    cfg: WorkloadConfig,
+    arrivals: np.ndarray,
+    type_ids: np.ndarray,
+    mean_exec_per_type: np.ndarray,
+    t_avg: float,
+) -> np.ndarray:
+    """Vector of deadlines for a trial's tasks.
+
+    Parameters
+    ----------
+    arrivals:
+        Arrival times, shape ``(num_tasks,)``.
+    type_ids:
+        Task-type index per task.
+    mean_exec_per_type:
+        Per-type average execution time over nodes and P-states.
+    t_avg:
+        Overall average execution time (the load factor).
+    """
+    if arrivals.shape != type_ids.shape:
+        raise ValueError("arrivals and type_ids must align")
+    if t_avg <= 0.0:
+        raise ValueError("t_avg must be positive")
+    return arrivals + mean_exec_per_type[type_ids] + cfg.load_factor_mult * t_avg

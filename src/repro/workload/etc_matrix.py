@@ -1,0 +1,49 @@
+"""Expected Time-to-Compute matrix wrapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ETCMatrix"]
+
+
+@dataclass(frozen=True)
+class ETCMatrix:
+    """Mean base (P0) execution times per (task type, node).
+
+    The CVB matrix gives the mean execution time of each task type on
+    each node at the highest-performance P-state; deeper P-states scale
+    these means by the node's execution-time multipliers.
+    """
+
+    means: np.ndarray  # (num_task_types, num_nodes)
+
+    def __post_init__(self) -> None:
+        means = np.asarray(self.means, dtype=np.float64)
+        if means.ndim != 2:
+            raise ValueError("means must be 2-D (task types x nodes)")
+        if np.any(means <= 0.0) or not np.all(np.isfinite(means)):
+            raise ValueError("means must be finite and positive")
+        means = means.copy()
+        means.setflags(write=False)
+        object.__setattr__(self, "means", means)
+
+    @property
+    def num_task_types(self) -> int:
+        """Number of task types (rows)."""
+        return int(self.means.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (columns)."""
+        return int(self.means.shape[1])
+
+    def mean_of_type(self, type_id: int) -> float:
+        """Mean base execution time of one task type across nodes."""
+        return float(self.means[type_id].mean())
+
+    def overall_mean(self) -> float:
+        """Mean base execution time over all types and nodes."""
+        return float(self.means.mean())

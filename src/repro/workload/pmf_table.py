@@ -1,0 +1,171 @@
+"""Execution-time pmfs for every (task type, node, P-state) combination.
+
+The paper assumes "we are provided an execution-time probability mass
+function for each task type executing on a single core of each node in
+each P-state".  :class:`ExecutionTimeTable` realizes that assumption: the
+pmf of type ``t`` on node ``n`` in state ``pi`` is a discretized gamma
+with mean ``etc[t, n] * exec_multiplier[n, pi]`` and a configurable
+coefficient of variation.
+
+The table also precomputes everything the vectorized mapping hot path
+needs:
+
+* ``eet[t, n, pi]``  — expected execution times (pmf means);
+* ``eec[t, n, pi]``  — expected energy consumption
+  (``eet * mu(n, pi) / epsilon(n)``, Section V-A);
+* per ``(t, n)`` padded ``(num_pstates, L)`` impulse time/probability
+  matrices, letting one NumPy pass score all P-states of a core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.config import GridConfig
+from repro.stoch.distributions import discretized_gamma
+from repro.stoch.pmf import PMF
+from repro.workload.etc_matrix import ETCMatrix
+
+__all__ = ["ExecutionTimeTable", "PaddedPMFMatrix"]
+
+
+@dataclass(frozen=True)
+class PaddedPMFMatrix:
+    """All P-state pmfs of one (type, node) pair as padded 2-D arrays.
+
+    Rows are P-states; padding entries carry zero probability (their time
+    values repeat the row's last impulse so array math stays finite).
+    """
+
+    times: np.ndarray  # (num_pstates, L)
+    probs: np.ndarray  # (num_pstates, L)
+
+
+class ExecutionTimeTable:
+    """Pmfs plus derived expectation tables for the whole workload."""
+
+    def __init__(
+        self,
+        etc: ETCMatrix,
+        cluster: ClusterSpec,
+        grid: GridConfig,
+        exec_cv: float,
+    ) -> None:
+        if exec_cv <= 0.0:
+            raise ValueError("exec_cv must be positive")
+        if etc.num_nodes != cluster.num_nodes:
+            raise ValueError("ETC matrix width must match the cluster's node count")
+        self._etc = etc
+        self._cluster = cluster
+        self._grid = grid
+        self._exec_cv = float(exec_cv)
+
+        T, N, P = etc.num_task_types, cluster.num_nodes, cluster.num_pstates
+        mult = cluster.exec_multiplier_table()  # (N, P)
+        power = cluster.power_table()  # (N, P)
+        eff = cluster.efficiency_vector()  # (N,)
+
+        pmfs: list[list[list[PMF]]] = []
+        eet = np.empty((T, N, P))
+        padded: list[list[PaddedPMFMatrix]] = []
+        for t in range(T):
+            row_pmfs: list[list[PMF]] = []
+            row_padded: list[PaddedPMFMatrix] = []
+            for n in range(N):
+                cell: list[PMF] = []
+                for pi in range(P):
+                    mean = float(etc.means[t, n] * mult[n, pi])
+                    pmf = discretized_gamma(
+                        mean, exec_cv, grid.dt, tail_sigmas=grid.tail_sigmas
+                    )
+                    cell.append(pmf)
+                    eet[t, n, pi] = pmf.mean()
+                row_pmfs.append(cell)
+                row_padded.append(_pad(cell))
+            pmfs.append(row_pmfs)
+            padded.append(row_padded)
+
+        self._pmfs = pmfs
+        self._padded = padded
+        self._eet = eet
+        self._eet.setflags(write=False)
+        eec = eet * (power / eff[:, None])[None, :, :]
+        eec.setflags(write=False)
+        self._eec = eec
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster this table was built against."""
+        return self._cluster
+
+    @property
+    def etc(self) -> ETCMatrix:
+        """The underlying mean-time matrix."""
+        return self._etc
+
+    @property
+    def grid(self) -> GridConfig:
+        """Grid configuration of every pmf in the table."""
+        return self._grid
+
+    @property
+    def exec_cv(self) -> float:
+        """Coefficient of variation of each execution-time pmf."""
+        return self._exec_cv
+
+    def pmf(self, type_id: int, node: int, pstate: int) -> PMF:
+        """Execution-time pmf of a (type, node, P-state) combination."""
+        return self._pmfs[type_id][node][pstate]
+
+    def padded(self, type_id: int, node: int) -> PaddedPMFMatrix:
+        """Padded per-P-state impulse matrices of a (type, node) pair."""
+        return self._padded[type_id][node]
+
+    @property
+    def eet(self) -> np.ndarray:
+        """Expected execution times, shape (types, nodes, pstates)."""
+        return self._eet
+
+    @property
+    def eec(self) -> np.ndarray:
+        """Expected energy consumptions (joules), same shape as ``eet``."""
+        return self._eec
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the simulation environment (Section VI)
+    # ------------------------------------------------------------------
+
+    def t_avg(self) -> float:
+        """Average execution time over all types, nodes and P-states."""
+        return float(self._eet.mean())
+
+    def mean_exec_of_type(self, type_id: int) -> float:
+        """Average execution time of one type over nodes and P-states."""
+        return float(self._eet[type_id].mean())
+
+    def mean_exec_per_type(self) -> np.ndarray:
+        """Vector of per-type averages (types,)."""
+        return self._eet.mean(axis=(1, 2))
+
+
+def _pad(cell: list[PMF]) -> PaddedPMFMatrix:
+    """Pad a list of pmfs into rectangular (P, L) time/prob matrices."""
+    length = max(len(p) for p in cell)
+    P = len(cell)
+    times = np.empty((P, length))
+    probs = np.zeros((P, length))
+    for pi, pmf in enumerate(cell):
+        n = len(pmf)
+        times[pi, :n] = pmf.times
+        times[pi, n:] = pmf.stop
+        probs[pi, :n] = pmf.probs
+    times.setflags(write=False)
+    probs.setflags(write=False)
+    return PaddedPMFMatrix(times=times, probs=probs)

@@ -1,0 +1,43 @@
+"""The :class:`Task` value type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One independent task of the workload.
+
+    Attributes
+    ----------
+    task_id:
+        Dense index in arrival order (0-based).
+    type_id:
+        Index into the task-type axis of the ETC matrix / pmf table.
+    arrival:
+        Arrival time; the task is unknown to the mapper before this.
+    deadline:
+        Hard individual deadline ``delta(z)``; completing later has no
+        value (the task still runs to completion, best-effort, but is not
+        counted).
+    priority:
+        Task priority for the :mod:`repro.extensions.priorities`
+        extension; the baseline paper model ignores it (all 1.0).
+    """
+
+    task_id: int
+    type_id: int
+    arrival: float
+    deadline: float
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0 or self.type_id < 0:
+            raise ValueError("task_id and type_id must be non-negative")
+        if self.deadline < self.arrival:
+            raise ValueError("deadline cannot precede arrival")
+        if self.priority <= 0.0:
+            raise ValueError("priority must be positive")

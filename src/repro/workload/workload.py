@@ -1,0 +1,87 @@
+"""Assembling a trial's full workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro import rng as rng_mod
+from repro.config import WorkloadConfig
+from repro.workload.arrivals import ArrivalRates, bursty_poisson_arrivals, derive_rates
+from repro.workload.deadlines import assign_deadlines
+from repro.workload.pmf_table import ExecutionTimeTable
+from repro.workload.task import Task
+
+__all__ = ["Workload", "build_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One trial's tasks plus the environment constants they imply.
+
+    Attributes
+    ----------
+    tasks:
+        Tasks in arrival order (``tasks[i].task_id == i``).
+    rates:
+        The Poisson rate triple used to generate arrivals.
+    t_avg:
+        Overall average execution time (Section VI), the deadline load
+        factor and a term of the energy budget.
+    """
+
+    tasks: tuple[Task, ...]
+    rates: ArrivalRates
+    t_avg: float
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a workload needs at least one task")
+        for i, task in enumerate(self.tasks):
+            if task.task_id != i:
+                raise ValueError("tasks must be dense and in arrival order")
+        arr = [t.arrival for t in self.tasks]
+        if any(b < a for a, b in zip(arr, arr[1:])):
+            raise ValueError("arrival times must be non-decreasing")
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks in the trial."""
+        return len(self.tasks)
+
+    def arrival_span(self) -> float:
+        """Time between the first and last arrival."""
+        return self.tasks[-1].arrival - self.tasks[0].arrival
+
+
+def build_workload(
+    cfg: WorkloadConfig,
+    table: ExecutionTimeTable,
+    seed: int,
+) -> Workload:
+    """Generate one trial's task stream.
+
+    Independent sub-streams (types, arrivals) derive from ``seed`` so the
+    workload is reproducible and uncorrelated with cluster generation or
+    the simulator's execution-time draws.
+    """
+    type_rng = rng_mod.stream(seed, "task-types")
+    arrival_rng = rng_mod.stream(seed, "arrivals")
+
+    type_ids = type_rng.integers(0, cfg.num_task_types, size=cfg.num_tasks)
+    t_avg = table.t_avg()
+    rates = derive_rates(cfg, table.cluster.num_cores, t_avg)
+    arrivals = bursty_poisson_arrivals(cfg, rates, arrival_rng)
+    deadlines = assign_deadlines(
+        cfg, arrivals, type_ids, table.mean_exec_per_type(), t_avg
+    )
+    tasks = tuple(
+        Task(
+            task_id=i,
+            type_id=int(type_ids[i]),
+            arrival=float(arrivals[i]),
+            deadline=float(deadlines[i]),
+        )
+        for i in range(cfg.num_tasks)
+    )
+    return Workload(tasks=tasks, rates=rates, t_avg=t_avg)

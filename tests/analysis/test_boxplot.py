@@ -1,0 +1,58 @@
+"""Tests for ASCII box plots (repro.analysis.boxplot)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.boxplot import ascii_boxplot, ascii_boxplot_group
+
+
+class TestAsciiBoxplot:
+    def test_contains_median_marker(self):
+        out = ascii_boxplot([1, 2, 3, 4, 5], label="demo")
+        assert "#" in out
+        assert "demo" in out
+        assert "med=3" in out
+
+    def test_whisker_markers(self):
+        out = ascii_boxplot([1, 2, 3, 4, 5])
+        assert out.count("|") >= 2
+
+    def test_constant_sample(self):
+        out = ascii_boxplot([5, 5, 5])
+        assert "med=5" in out
+
+    def test_outlier_marker(self):
+        out = ascii_boxplot([10, 11, 12, 13, 14, 200])
+        assert "o" in out
+
+
+class TestGroup:
+    def test_shared_scale(self):
+        samples = {
+            "a": np.array([10.0, 20.0, 30.0]),
+            "b": np.array([100.0, 110.0, 120.0]),
+        }
+        out = ascii_boxplot_group(samples, title="demo group")
+        lines = out.splitlines()
+        assert lines[0] == "demo group"
+        assert len(lines) == 4  # title + 2 rows + axis
+        assert "a" in lines[1] and "b" in lines[2]
+
+    def test_axis_bounds(self):
+        samples = {"x": np.array([10.0, 90.0])}
+        out = ascii_boxplot_group(samples)
+        assert "10" in out and "90" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot_group({})
+
+    def test_rows_have_requested_width(self):
+        samples = {"x": np.array([0.0, 100.0])}
+        out = ascii_boxplot_group(samples, width=30)
+        row = out.splitlines()[0]
+        assert "[" in row and "]" in row
+        inner = row[row.index("[") + 1 : row.index("]")]
+        assert len(inner) == 30

@@ -1,0 +1,60 @@
+"""Tests for SVG box plots (repro.analysis.svg)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.svg import boxplot_svg, save_boxplot_svg
+
+SAMPLES = {
+    "none": np.array([370.0, 380.0, 360.0, 375.0, 390.0]),
+    "en+rob": np.array([230.0, 240.0, 220.0, 226.0, 250.0]),
+}
+
+
+class TestBoxplotSvg:
+    def test_valid_xml(self):
+        svg = boxplot_svg(SAMPLES, title="demo")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_box_per_sample(self):
+        svg = boxplot_svg(SAMPLES)
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        # background + one IQR box per sample
+        assert len(rects) == 1 + len(SAMPLES)
+
+    def test_labels_present(self):
+        svg = boxplot_svg(SAMPLES, title="fig demo")
+        assert "fig demo" in svg
+        assert "none" in svg and "en+rob" in svg
+
+    def test_outlier_circles(self):
+        samples = {"x": np.array([10.0, 11.0, 12.0, 13.0, 14.0, 200.0])}
+        svg = boxplot_svg(samples)
+        assert "<circle" in svg
+
+    def test_escapes_markup(self):
+        svg = boxplot_svg({"a<b": np.array([1.0, 2.0])})
+        assert "a&lt;b" in svg
+        ET.fromstring(svg)  # still valid XML
+
+    def test_constant_sample(self):
+        svg = boxplot_svg({"flat": np.array([5.0, 5.0, 5.0])})
+        ET.fromstring(svg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_svg({})
+
+
+class TestSaveBoxplotSvg:
+    def test_writes_file(self, tmp_path):
+        path = save_boxplot_svg(SAMPLES, tmp_path / "figs" / "out.svg", title="t")
+        assert path.exists()
+        ET.fromstring(path.read_text())

@@ -1,0 +1,37 @@
+"""Tests for markdown tables (repro.analysis.tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import markdown_table
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1].replace("|", "").strip()) <= {"-", " "}
+
+    def test_column_alignment(self):
+        out = markdown_table(["name", "v"], [["long-name-here", 1]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_empty_rows_ok(self):
+        out = markdown_table(["a"], [])
+        assert out.splitlines()[0] == "| a |"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [[1]])
+
+    def test_rejects_no_columns(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_stringifies_cells(self):
+        out = markdown_table(["x"], [[3.5], [None]])
+        assert "3.5" in out and "None" in out

@@ -1,0 +1,84 @@
+"""Tests for time-series views (repro.analysis.timeseries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    active_tasks_series,
+    completion_rate_series,
+    cumulative_energy_series,
+)
+from repro.filters.chain import make_filter_chain
+from repro.heuristics.shortest_queue import ShortestQueue
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def run(tiny_system):
+    engine = Engine(tiny_system, ShortestQueue(), make_filter_chain("none"))
+    result = engine.run()
+    return engine, result
+
+
+class TestCumulativeEnergy:
+    def test_monotone_from_zero(self, run):
+        engine, result = run
+        ts, energy = cumulative_energy_series(engine.ledger, result.makespan)
+        assert energy[0] == pytest.approx(0.0, abs=1e-6)
+        assert np.all(np.diff(energy) >= -1e-9)
+
+    def test_endpoint_matches_total(self, run):
+        engine, result = run
+        _, energy = cumulative_energy_series(engine.ledger, result.makespan)
+        assert energy[-1] == pytest.approx(result.total_energy, rel=1e-9)
+
+    def test_matches_pointwise_queries(self, run):
+        engine, result = run
+        ts, energy = cumulative_energy_series(engine.ledger, result.makespan, samples=50)
+        for i in (10, 25, 40):
+            assert energy[i] == pytest.approx(
+                engine.ledger.cumulative_energy_at(float(ts[i])), rel=1e-9
+            )
+
+    def test_rejects_bad_args(self, run):
+        engine, _ = run
+        with pytest.raises(ValueError):
+            cumulative_energy_series(engine.ledger, 0.0)
+        with pytest.raises(ValueError):
+            cumulative_energy_series(engine.ledger, 10.0, samples=1)
+
+
+class TestActiveTasks:
+    def test_bounds(self, run, tiny_system):
+        _, result = run
+        _, active = active_tasks_series(result)
+        assert active.min() >= 0
+        assert active.max() <= tiny_system.cluster.num_cores
+
+    def test_starts_and_ends_idle(self, run):
+        _, result = run
+        _, active = active_tasks_series(result)
+        assert active[0] == 0 or active[0] <= 2  # first arrival near t=0
+        assert active[-1] == 0
+
+    def test_requires_outcomes(self, run):
+        from dataclasses import replace
+
+        _, result = run
+        with pytest.raises(ValueError):
+            active_tasks_series(replace(result, outcomes=()))
+
+
+class TestCompletionRate:
+    def test_monotone_to_completed_count(self, run):
+        _, result = run
+        _, counts = completion_rate_series(result)
+        assert np.all(np.diff(counts) >= 0)
+        assert counts[-1] == result.completed_within
+
+    def test_zero_at_start(self, run):
+        _, result = run
+        _, counts = completion_rate_series(result)
+        assert counts[0] == 0

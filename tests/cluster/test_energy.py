@@ -1,0 +1,214 @@
+"""Tests for the energy ledger (repro.cluster.energy, Eqs. 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.energy import IDLE_PSTATE, EnergyLedger
+from repro.cluster.node import NodeSpec
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.pstate import PStateProfile
+from repro.config import IdlePowerMode
+
+
+def one_core_cluster(eff: float = 1.0) -> ClusterSpec:
+    profile = PStateProfile(
+        speed=np.array([1.0, 0.5]),
+        power=np.array([100.0, 40.0]),
+    )
+    return ClusterSpec(
+        (NodeSpec(0, (ProcessorSpec(1),), profile, efficiency=eff),)
+    )
+
+
+def two_node_cluster() -> ClusterSpec:
+    p = lambda hi: PStateProfile(np.array([1.0, 0.5]), np.array([hi, hi * 0.4]))
+    return ClusterSpec(
+        (
+            NodeSpec(0, (ProcessorSpec(2),), p(100.0), efficiency=0.5),
+            NodeSpec(1, (ProcessorSpec(1),), p(80.0), efficiency=1.0),
+        )
+    )
+
+
+class TestEq1CoreEnergy:
+    def test_single_execution_interval(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 10.0, 0)  # P0 for 5s at 100 W
+        ledger.record(0, 15.0, IDLE_PSTATE)
+        ledger.close(20.0)
+        assert ledger.core_energy(0) == pytest.approx(500.0)
+
+    def test_multiple_pstates(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)  # 100 W x 2s
+        ledger.record(0, 2.0, 1)  # 40 W x 3s
+        ledger.record(0, 5.0, IDLE_PSTATE)
+        ledger.close(10.0)
+        assert ledger.core_energy(0) == pytest.approx(200.0 + 120.0)
+
+    def test_idle_floor_counts_deepest_power(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.P4_FLOOR)
+        ledger.close(10.0)  # idle 0..10 at 40 W (deepest state)
+        assert ledger.core_energy(0) == pytest.approx(400.0)
+
+    def test_idle_excluded_is_free(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.close(10.0)
+        assert ledger.core_energy(0) == 0.0
+
+    def test_initial_transition_is_idle_at_zero(self):
+        ledger = EnergyLedger(one_core_cluster())
+        trail = ledger.transitions(0)
+        assert trail[0].time == 0.0
+        assert trail[0].pstate == IDLE_PSTATE
+
+
+class TestEq2TotalEnergy:
+    def test_efficiency_division(self):
+        ledger = EnergyLedger(one_core_cluster(eff=0.5), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)
+        ledger.record(0, 1.0, IDLE_PSTATE)
+        ledger.close(1.0)
+        # 100 J supplied / 0.5 efficiency = 200 J consumed.
+        assert ledger.total_energy() == pytest.approx(200.0)
+
+    def test_sums_across_cores(self):
+        ledger = EnergyLedger(two_node_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)  # node0: 100 W / 0.5
+        ledger.record(0, 1.0, IDLE_PSTATE)
+        ledger.record(2, 0.0, 1)  # node1: 32 W / 1.0
+        ledger.record(2, 2.0, IDLE_PSTATE)
+        ledger.close(2.0)
+        assert ledger.total_energy() == pytest.approx(100.0 / 0.5 + 32.0 * 2.0)
+
+
+class TestRecordingRules:
+    def test_rejects_nonmonotonic_times(self):
+        ledger = EnergyLedger(one_core_cluster())
+        ledger.record(0, 5.0, 0)
+        with pytest.raises(ValueError):
+            ledger.record(0, 4.0, 1)
+
+    def test_same_time_replaces(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 5.0, 0)
+        ledger.record(0, 5.0, 1)
+        ledger.record(0, 7.0, IDLE_PSTATE)
+        ledger.close(7.0)
+        # 2s at P1 (40 W), not P0.
+        assert ledger.core_energy(0) == pytest.approx(80.0)
+
+    def test_same_state_is_coalesced(self):
+        ledger = EnergyLedger(one_core_cluster())
+        ledger.record(0, 1.0, 0)
+        ledger.record(0, 2.0, 0)
+        assert len(ledger.transitions(0)) == 2  # initial idle + one P0
+
+    def test_rejects_invalid_pstate(self):
+        ledger = EnergyLedger(one_core_cluster())
+        with pytest.raises(ValueError):
+            ledger.record(0, 1.0, 9)
+
+    def test_rejects_records_after_close(self):
+        ledger = EnergyLedger(one_core_cluster())
+        ledger.close(1.0)
+        with pytest.raises(RuntimeError):
+            ledger.record(0, 2.0, 0)
+
+    def test_double_close_rejected(self):
+        ledger = EnergyLedger(one_core_cluster())
+        ledger.close(1.0)
+        with pytest.raises(RuntimeError):
+            ledger.close(2.0)
+
+    def test_close_appends_final_idle(self):
+        ledger = EnergyLedger(one_core_cluster())
+        ledger.record(0, 1.0, 0)
+        ledger.close(5.0)
+        trail = ledger.transitions(0)
+        assert trail[-1].time == 5.0
+        assert trail[-1].pstate == IDLE_PSTATE
+
+
+class TestExhaustion:
+    def test_never_exhausted(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 1)  # 40 W
+        ledger.record(0, 1.0, IDLE_PSTATE)
+        ledger.close(1.0)
+        assert ledger.exhaustion_time(1e9) == float("inf")
+
+    def test_crossing_inside_interval(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)  # 100 W from t=0
+        ledger.record(0, 10.0, IDLE_PSTATE)
+        ledger.close(10.0)
+        # 250 J at 100 W -> t = 2.5
+        assert ledger.exhaustion_time(250.0) == pytest.approx(2.5)
+
+    def test_crossing_in_second_interval(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)  # 100 W x 2s = 200 J
+        ledger.record(0, 2.0, 1)  # 40 W onward
+        ledger.record(0, 12.0, IDLE_PSTATE)
+        ledger.close(12.0)
+        # Need 80 J more at 40 W -> t = 2 + 2 = 4.
+        assert ledger.exhaustion_time(280.0) == pytest.approx(4.0)
+
+    def test_open_ended_rate_extrapolates(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.P4_FLOOR)
+        # Never closed: idle floor of 40 W burns forever.
+        assert ledger.exhaustion_time(400.0) == pytest.approx(10.0)
+
+    def test_rejects_negative_budget(self):
+        ledger = EnergyLedger(one_core_cluster())
+        with pytest.raises(ValueError):
+            ledger.exhaustion_time(-1.0)
+
+    def test_efficiency_affects_consumed_crossing(self):
+        ledger = EnergyLedger(one_core_cluster(eff=0.5), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)  # consumed rate 200 W
+        ledger.record(0, 10.0, IDLE_PSTATE)
+        ledger.close(10.0)
+        assert ledger.exhaustion_time(400.0) == pytest.approx(2.0)
+
+
+class TestCumulativeEnergy:
+    def test_matches_total_at_end(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.P4_FLOOR)
+        ledger.record(0, 1.0, 0)
+        ledger.record(0, 4.0, IDLE_PSTATE)
+        ledger.close(10.0)
+        assert ledger.cumulative_energy_at(10.0) == pytest.approx(ledger.total_energy())
+
+    def test_zero_at_start(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.P4_FLOOR)
+        ledger.close(10.0)
+        assert ledger.cumulative_energy_at(0.0) == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.EXCLUDED)
+        ledger.record(0, 0.0, 0)  # 100 W
+        ledger.record(0, 10.0, IDLE_PSTATE)
+        ledger.close(10.0)
+        assert ledger.cumulative_energy_at(4.0) == pytest.approx(400.0)
+
+    def test_monotone_nondecreasing(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.P4_FLOOR)
+        ledger.record(0, 2.0, 0)
+        ledger.record(0, 6.0, IDLE_PSTATE)
+        ledger.close(9.0)
+        values = [ledger.cumulative_energy_at(t) for t in np.linspace(0, 9, 19)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_consistent_with_exhaustion(self):
+        ledger = EnergyLedger(one_core_cluster(), IdlePowerMode.P4_FLOOR)
+        ledger.record(0, 1.0, 0)
+        ledger.record(0, 5.0, IDLE_PSTATE)
+        ledger.close(20.0)
+        budget = 0.6 * ledger.total_energy()
+        t_star = ledger.exhaustion_time(budget)
+        assert ledger.cumulative_energy_at(t_star) == pytest.approx(budget, rel=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for random cluster generation (repro.cluster.generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.generator import generate_cluster, generate_pstate_profile
+from repro.config import ClusterConfig
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    cfg = ClusterConfig()
+    return [generate_cluster(cfg, np.random.default_rng(seed)) for seed in range(12)]
+
+
+class TestProfileGeneration:
+    def test_speed_bounds(self, rng):
+        cfg = ClusterConfig()
+        for _ in range(30):
+            prof = generate_pstate_profile(cfg, rng)
+            # Each step improves performance by 15-25%.
+            ratios = prof.speed[:-1] / prof.speed[1:]
+            assert np.all(ratios >= cfg.perf_step_low - 1e-12)
+            assert np.all(ratios <= cfg.perf_step_high + 1e-12)
+
+    def test_min_speed_ratio_respected(self, rng):
+        cfg = ClusterConfig()
+        for _ in range(50):
+            prof = generate_pstate_profile(cfg, rng)
+            assert prof.min_speed_ratio() >= cfg.min_speed_ratio
+
+    def test_p0_power_in_range(self, rng):
+        cfg = ClusterConfig()
+        for _ in range(30):
+            prof = generate_pstate_profile(cfg, rng)
+            assert cfg.p0_power_low <= prof.power[0] <= cfg.p0_power_high
+
+    def test_low_pstate_power_near_quarter(self, rng):
+        # Paper: "power consumption for the low P-state of about 25% that
+        # in the high P-state".
+        cfg = ClusterConfig()
+        ratios = [
+            generate_pstate_profile(cfg, rng).power[-1]
+            / generate_pstate_profile(cfg, rng).power[0]
+            for _ in range(40)
+        ]
+        assert 0.1 < float(np.median(ratios)) < 0.45
+
+    def test_power_strictly_decreasing(self, rng):
+        prof = generate_pstate_profile(ClusterConfig(), rng)
+        assert np.all(np.diff(prof.power) < 0)
+
+
+class TestClusterGeneration:
+    def test_node_count(self, clusters):
+        assert all(c.num_nodes == 8 for c in clusters)
+
+    def test_processor_and_core_ranges(self, clusters):
+        for cluster in clusters:
+            for node in cluster.nodes:
+                assert 1 <= node.num_processors <= 4
+                assert 1 <= node.cores_per_processor <= 4
+
+    def test_efficiency_range(self, clusters):
+        for cluster in clusters:
+            eff = cluster.efficiency_vector()
+            assert np.all(eff >= 0.90) and np.all(eff <= 0.98)
+
+    def test_deterministic_under_seed(self):
+        cfg = ClusterConfig()
+        a = generate_cluster(cfg, np.random.default_rng(7))
+        b = generate_cluster(cfg, np.random.default_rng(7))
+        assert a.num_cores == b.num_cores
+        assert np.allclose(a.power_table(), b.power_table())
+        assert np.allclose(a.efficiency_vector(), b.efficiency_vector())
+
+    def test_different_seeds_differ(self):
+        cfg = ClusterConfig()
+        a = generate_cluster(cfg, np.random.default_rng(1))
+        b = generate_cluster(cfg, np.random.default_rng(2))
+        assert not np.allclose(a.power_table(), b.power_table())
+
+    def test_heterogeneous_across_nodes(self, clusters):
+        # Power profiles should differ between nodes of the same cluster.
+        cluster = clusters[0]
+        p0 = [n.pstates.power[0] for n in cluster.nodes]
+        assert len(set(np.round(p0, 6))) > 1
+
+    def test_expected_total_cores(self, clusters):
+        # E[cores/node] = E[procs] * E[cores/proc] = 2.5 * 2.5 = 6.25;
+        # so E[total] = 50 for 8 nodes.  Check the ensemble is in range.
+        totals = [c.num_cores for c in clusters]
+        assert 20 < float(np.mean(totals)) < 80
+
+    def test_respects_custom_config(self, rng):
+        cfg = ClusterConfig(num_nodes=3, min_processors=2, max_processors=2, min_cores=2, max_cores=2)
+        cluster = generate_cluster(cfg, rng)
+        assert cluster.num_nodes == 3
+        assert cluster.num_cores == 12

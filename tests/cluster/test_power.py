@@ -1,0 +1,72 @@
+"""Tests for the CMOS power model (repro.cluster.power)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.power import (
+    activity_capacitance_constant,
+    cmos_power,
+    interpolate_voltages,
+)
+
+
+class TestCmosPower:
+    def test_formula(self):
+        # P = A*C_L * V^2 * f  (paper Eq. 7)
+        assert cmos_power(2.0, 3.0, 4.0) == pytest.approx(2.0 * 9.0 * 4.0)
+
+    def test_quadratic_in_voltage(self):
+        assert cmos_power(1.0, 2.0, 1.0) == pytest.approx(4.0 * cmos_power(1.0, 1.0, 1.0))
+
+    def test_linear_in_frequency(self):
+        assert cmos_power(1.0, 1.0, 3.0) == pytest.approx(3.0 * cmos_power(1.0, 1.0, 1.0))
+
+    def test_vectorized(self):
+        v = np.array([1.0, 2.0])
+        f = np.array([1.0, 0.5])
+        out = cmos_power(10.0, v, f)
+        assert np.allclose(out, [10.0, 20.0])
+
+
+class TestActCapConstant:
+    def test_round_trip(self):
+        act_cap = activity_capacitance_constant(130.0, 1.5, 1.0)
+        assert cmos_power(act_cap, 1.5, 1.0) == pytest.approx(130.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            activity_capacitance_constant(0.0, 1.5, 1.0)
+
+
+class TestInterpolateVoltages:
+    def test_endpoints(self):
+        v = interpolate_voltages(1.5, 1.0, 5)
+        assert v[0] == pytest.approx(1.5)
+        assert v[-1] == pytest.approx(1.0)
+
+    def test_linear_spacing(self):
+        v = interpolate_voltages(1.5, 1.1, 5)
+        assert np.allclose(np.diff(v), -0.1)
+
+    def test_monotone_decreasing(self):
+        v = interpolate_voltages(1.55, 1.0, 7)
+        assert np.all(np.diff(v) < 0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            interpolate_voltages(1.0, 1.5, 5)
+
+    def test_rejects_single_state(self):
+        with pytest.raises(ValueError):
+            interpolate_voltages(1.5, 1.0, 1)
+
+    def test_paper_power_ratio(self):
+        # Low P-state should land near 25% of the high P-state's power
+        # with paper-typical voltages and ~0.48 relative frequency.
+        v = interpolate_voltages(1.475, 1.075, 5)
+        speeds = np.array([1.0, 0.833, 0.694, 0.579, 0.482])
+        powers = cmos_power(1.0, v, speeds)
+        ratio = powers[-1] / powers[0]
+        assert 0.15 < ratio < 0.4

@@ -1,0 +1,66 @@
+"""Tests for P-state profiles (repro.cluster.pstate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.pstate import PStateProfile
+
+
+def profile() -> PStateProfile:
+    return PStateProfile(
+        speed=np.array([1.0, 0.8, 0.65, 0.55, 0.45]),
+        power=np.array([130.0, 95.0, 70.0, 50.0, 33.0]),
+    )
+
+
+class TestValidation:
+    def test_valid_profile(self):
+        p = profile()
+        assert p.num_pstates == 5
+        assert p.deepest == 4
+
+    def test_rejects_p0_speed_not_one(self):
+        with pytest.raises(ValueError):
+            PStateProfile(np.array([0.9, 0.5]), np.array([100.0, 50.0]))
+
+    def test_rejects_nondecreasing_speed(self):
+        with pytest.raises(ValueError):
+            PStateProfile(np.array([1.0, 1.0]), np.array([100.0, 50.0]))
+
+    def test_rejects_increasing_power(self):
+        with pytest.raises(ValueError):
+            PStateProfile(np.array([1.0, 0.5]), np.array([50.0, 100.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PStateProfile(np.array([1.0, 0.5]), np.array([100.0, 50.0, 25.0]))
+
+    def test_rejects_single_state(self):
+        with pytest.raises(ValueError):
+            PStateProfile(np.array([1.0]), np.array([100.0]))
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            PStateProfile(np.array([1.0, 0.5]), np.array([100.0, 0.0]))
+
+
+class TestDerived:
+    def test_exec_multiplier_is_inverse_speed(self):
+        p = profile()
+        assert np.allclose(p.exec_multiplier, 1.0 / p.speed)
+        assert p.exec_multiplier[0] == pytest.approx(1.0)
+        assert np.all(np.diff(p.exec_multiplier) > 0)
+
+    def test_mean_power(self):
+        p = profile()
+        assert p.mean_power() == pytest.approx(np.mean([130.0, 95.0, 70.0, 50.0, 33.0]))
+
+    def test_min_speed_ratio(self):
+        assert profile().min_speed_ratio() == pytest.approx(0.45)
+
+    def test_arrays_readonly(self):
+        p = profile()
+        with pytest.raises(ValueError):
+            p.speed[0] = 2.0

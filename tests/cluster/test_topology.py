@@ -1,0 +1,154 @@
+"""Tests for the node/processor/cluster hierarchy (repro.cluster)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.core import CoreAddress
+from repro.cluster.node import NodeSpec
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.pstate import PStateProfile
+
+
+def make_profile(p0: float = 130.0) -> PStateProfile:
+    return PStateProfile(
+        speed=np.array([1.0, 0.8, 0.65, 0.55, 0.45]),
+        power=np.array([p0, p0 * 0.7, p0 * 0.5, p0 * 0.37, p0 * 0.25]),
+    )
+
+
+def make_cluster() -> ClusterSpec:
+    """2 nodes: node 0 has 2x3 cores, node 1 has 1x2 cores."""
+    nodes = (
+        NodeSpec(
+            index=0,
+            processors=(ProcessorSpec(3), ProcessorSpec(3)),
+            pstates=make_profile(130.0),
+            efficiency=0.95,
+        ),
+        NodeSpec(
+            index=1,
+            processors=(ProcessorSpec(2),),
+            pstates=make_profile(126.0),
+            efficiency=0.91,
+        ),
+    )
+    return ClusterSpec(nodes)
+
+
+class TestProcessorSpec:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ProcessorSpec(0)
+
+
+class TestNodeSpec:
+    def test_counts(self):
+        node = make_cluster().nodes[0]
+        assert node.num_processors == 2
+        assert node.cores_per_processor == 3
+        assert node.num_cores == 6
+
+    def test_rejects_heterogeneous_processors(self):
+        with pytest.raises(ValueError):
+            NodeSpec(
+                index=0,
+                processors=(ProcessorSpec(2), ProcessorSpec(3)),
+                pstates=make_profile(),
+                efficiency=0.9,
+            )
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0, (ProcessorSpec(1),), make_profile(), efficiency=1.5)
+
+    def test_rejects_no_processors(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0, (), make_profile(), efficiency=0.9)
+
+
+class TestClusterSpec:
+    def test_sizes(self):
+        cluster = make_cluster()
+        assert cluster.num_nodes == 2
+        assert cluster.num_cores == 8
+        assert cluster.num_pstates == 5
+
+    def test_rejects_sparse_node_indices(self):
+        node = NodeSpec(1, (ProcessorSpec(1),), make_profile(), efficiency=0.9)
+        with pytest.raises(ValueError):
+            ClusterSpec((node,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(())
+
+    def test_addresses_depth_first(self):
+        cluster = make_cluster()
+        addrs = cluster.core_addresses
+        assert addrs[0] == CoreAddress(0, 0, 0)
+        assert addrs[2] == CoreAddress(0, 0, 2)
+        assert addrs[3] == CoreAddress(0, 1, 0)
+        assert addrs[6] == CoreAddress(1, 0, 0)
+        assert addrs[7] == CoreAddress(1, 0, 1)
+
+    def test_round_trip_address_and_id(self):
+        cluster = make_cluster()
+        for cid in range(cluster.num_cores):
+            assert cluster.core_id_of(cluster.address_of(cid)) == cid
+
+    def test_core_id_of_rejects_out_of_range(self):
+        cluster = make_cluster()
+        with pytest.raises(IndexError):
+            cluster.core_id_of(CoreAddress(0, 0, 3))
+        with pytest.raises(IndexError):
+            cluster.core_id_of(CoreAddress(1, 1, 0))
+
+    def test_core_node_index(self):
+        cluster = make_cluster()
+        assert np.array_equal(cluster.core_node_index, [0, 0, 0, 0, 0, 0, 1, 1])
+
+    def test_node_of_core(self):
+        cluster = make_cluster()
+        assert cluster.node_of_core(7).index == 1
+
+    def test_power_table_shape_and_values(self):
+        cluster = make_cluster()
+        table = cluster.power_table()
+        assert table.shape == (2, 5)
+        assert table[0, 0] == pytest.approx(130.0)
+        assert table[1, 0] == pytest.approx(126.0)
+
+    def test_exec_multiplier_table(self):
+        table = make_cluster().exec_multiplier_table()
+        assert table.shape == (2, 5)
+        assert np.all(table[:, 0] == 1.0)
+        assert np.all(np.diff(table, axis=1) > 0)
+
+    def test_efficiency_vector(self):
+        assert np.allclose(make_cluster().efficiency_vector(), [0.95, 0.91])
+
+    def test_mean_power_is_eq8(self):
+        cluster = make_cluster()
+        expected = cluster.power_table().mean()
+        assert cluster.mean_power() == pytest.approx(expected)
+
+    def test_describe_mentions_every_node(self):
+        text = make_cluster().describe()
+        assert "node 0" in text and "node 1" in text
+
+    def test_address_str(self):
+        assert str(CoreAddress(1, 2, 3)) == "n1.p2.c3"
+
+    def test_rejects_mismatched_pstate_counts(self):
+        short_profile = PStateProfile(
+            speed=np.array([1.0, 0.5]), power=np.array([100.0, 40.0])
+        )
+        nodes = (
+            NodeSpec(0, (ProcessorSpec(1),), make_profile(), efficiency=0.9),
+            NodeSpec(1, (ProcessorSpec(1),), short_profile, efficiency=0.9),
+        )
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes)

@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+``tiny_system`` / ``small_system`` are session-scoped because building an
+execution-time table discretizes thousands of gamma laws; tests must not
+mutate them (engines copy what they need — each Engine builds its own
+core states and ledger).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, build_trial_system
+from repro.sim.system import TrialSystem
+
+
+def tiny_config(seed: int = 123) -> SimulationConfig:
+    """A fast-to-build configuration for unit tests."""
+    return SimulationConfig(seed=seed).with_updates(
+        workload={
+            "num_tasks": 60,
+            "num_task_types": 12,
+            "burst_head": 15,
+            "burst_tail": 15,
+        },
+        cluster={"num_nodes": 3},
+    )
+
+
+def small_config(seed: int = 11) -> SimulationConfig:
+    """A paper-shaped but reduced configuration for integration tests."""
+    cfg = SimulationConfig(seed=seed)
+    return cfg.with_updates(
+        workload={"num_tasks": 250, "burst_head": 50, "burst_tail": 50}
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_system() -> TrialSystem:
+    """Session-wide tiny trial system (do not mutate)."""
+    return build_trial_system(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def small_system() -> TrialSystem:
+    """Session-wide reduced paper-shaped system (do not mutate)."""
+    return build_trial_system(small_config())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(2011)

@@ -1,0 +1,49 @@
+"""Tests for calibration diagnostics (repro.experiments.calibrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibrate import calibration_summary, subscription_report
+from tests.conftest import tiny_config
+
+
+class TestSubscriptionReport:
+    def test_paper_premises_hold(self, small_system):
+        rep = subscription_report(small_system)
+        assert rep.is_oversubscribed_in_bursts()
+        assert rep.is_undersubscribed_in_lull()
+
+    def test_utilization_ratios_match_config(self, small_system):
+        rep = subscription_report(small_system)
+        cfg = small_system.config.workload
+        assert rep.fast_utilization == pytest.approx(cfg.fast_ratio)
+        assert rep.slow_utilization == pytest.approx(cfg.slow_ratio)
+
+    def test_budget_forces_tradeoff(self, small_system):
+        # The paper's budget sits inside the spending envelope.
+        rep = subscription_report(small_system)
+        assert rep.budget_forces_tradeoff()
+
+    def test_energy_envelope_ordering(self, small_system):
+        rep = subscription_report(small_system)
+        assert 0 < rep.min_energy_per_task < rep.max_energy_per_task
+
+    def test_budget_per_task(self, small_system):
+        rep = subscription_report(small_system)
+        assert rep.budget_per_task == pytest.approx(
+            small_system.budget / small_system.num_tasks
+        )
+
+    def test_service_rate(self, small_system):
+        rep = subscription_report(small_system)
+        assert rep.service_rate == pytest.approx(
+            small_system.cluster.num_cores / small_system.t_avg
+        )
+
+
+class TestCalibrationSummary:
+    def test_renders(self):
+        text = calibration_summary(tiny_config())
+        assert "cores=" in text
+        assert "budget forces trade-off" in text

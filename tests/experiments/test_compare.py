@@ -1,0 +1,100 @@
+"""Tests for paired comparisons (repro.experiments.compare)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.compare import PairedComparison, compare_variants
+from repro.experiments.runner import EnsembleResult, VariantSpec
+from repro.sim.results import TrialResult
+
+
+def fake_trial(spec: VariantSpec, seed: int, missed: int, num_tasks: int = 100) -> TrialResult:
+    return TrialResult(
+        heuristic=spec.heuristic,
+        variant=spec.variant,
+        seed=seed,
+        num_tasks=num_tasks,
+        missed=missed,
+        completed_within=num_tasks - missed,
+        discarded=0,
+        late=missed,
+        energy_cutoff=0,
+        total_energy=1.0,
+        budget=2.0,
+        exhaustion_time=float("inf"),
+        makespan=1000.0,
+        outcomes=(),
+    )
+
+
+def fake_ensemble(misses_a: list[int], misses_b: list[int]) -> EnsembleResult:
+    a = VariantSpec("LL", "none")
+    b = VariantSpec("LL", "en+rob")
+    results = {
+        a: tuple(fake_trial(a, i, m) for i, m in enumerate(misses_a)),
+        b: tuple(fake_trial(b, i, m) for i, m in enumerate(misses_b)),
+    }
+    return EnsembleResult(
+        specs=(a, b), num_trials=len(misses_a), base_seed=0, results=results
+    )
+
+
+class TestCompareVariants:
+    def test_clear_improvement_is_significant(self):
+        ens = fake_ensemble(
+            [50, 52, 55, 48, 51, 53, 49, 50], [30, 31, 33, 28, 29, 35, 27, 30]
+        )
+        cmp = compare_variants(ens, VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+        assert cmp.b_is_better
+        assert cmp.wins_b == 8 and cmp.losses_b == 0
+        assert cmp.significant(0.05)
+        assert cmp.method == "wilcoxon"
+
+    def test_all_ties(self):
+        ens = fake_ensemble([40, 40, 40], [40, 40, 40])
+        cmp = compare_variants(ens, VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+        assert cmp.method == "all-ties"
+        assert cmp.p_value == 1.0
+        assert not cmp.significant()
+
+    def test_small_sample_uses_sign_test(self):
+        ens = fake_ensemble([50, 52, 55], [30, 31, 33])
+        cmp = compare_variants(ens, VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+        assert cmp.method == "sign-test"
+        assert cmp.n == 3
+
+    def test_noise_is_not_significant(self):
+        rng = np.random.default_rng(0)
+        base = list(rng.integers(40, 60, size=12))
+        noisy = [int(m + rng.integers(-2, 3)) for m in base]
+        ens = fake_ensemble(base, noisy)
+        cmp = compare_variants(ens, VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+        assert cmp.p_value > 0.01
+
+    def test_median_fields(self):
+        ens = fake_ensemble([10, 20, 30], [5, 15, 25])
+        cmp = compare_variants(ens, VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+        assert cmp.median_a == 20 and cmp.median_b == 15
+        assert cmp.mean_diff == pytest.approx(5.0)
+
+    def test_str_contains_p_value(self):
+        ens = fake_ensemble([10, 20, 30], [5, 15, 25])
+        cmp = compare_variants(ens, VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+        assert "p=" in str(cmp)
+
+
+class TestRealEnsemble:
+    def test_filtering_improvement_is_directional(self, tiny_system):
+        # Not asserting significance at tiny scale, just that the paired
+        # machinery runs on genuine ensemble output.
+        from repro.experiments.runner import run_ensemble
+        from tests.conftest import tiny_config
+
+        specs = (VariantSpec("MECT", "none"), VariantSpec("MECT", "en+rob"))
+        ens = run_ensemble(specs, tiny_config(), num_trials=3, base_seed=5)
+        cmp = compare_variants(ens, *specs)
+        assert isinstance(cmp, PairedComparison)
+        assert cmp.n == 3
+        assert 0.0 <= cmp.p_value <= 1.0

@@ -1,0 +1,57 @@
+"""Tests for report rendering (repro.experiments.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import best_variant_table, figure_table, summary_table
+from repro.experiments.runner import run_ensemble
+from repro.experiments.figures import full_grid_specs, figure_specs
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def grid_ensemble():
+    return run_ensemble(full_grid_specs(), tiny_config(), num_trials=2, base_seed=3)
+
+
+@pytest.fixture(scope="module")
+def sq_ensemble():
+    return run_ensemble(figure_specs("fig2"), tiny_config(), num_trials=2, base_seed=3)
+
+
+class TestFigureTable:
+    def test_contains_all_variants(self, sq_ensemble):
+        text = figure_table(sq_ensemble, "SQ", num_tasks=60)
+        for variant in ("none", "en", "rob", "en+rob"):
+            assert variant in text
+
+    def test_contains_paper_reference(self, sq_ensemble):
+        text = figure_table(sq_ensemble, "SQ", num_tasks=60)
+        assert "375.5" in text  # paper median for SQ/none
+
+    def test_skips_missing_heuristic(self, sq_ensemble):
+        text = figure_table(sq_ensemble, "LL", num_tasks=60)
+        # Header only, no variant rows.
+        assert "none" not in text.splitlines()[-1] or len(text.splitlines()) == 2
+
+
+class TestBestVariantTable:
+    def test_lists_every_heuristic(self, grid_ensemble):
+        text = best_variant_table(grid_ensemble, num_tasks=60)
+        for heuristic in ("SQ", "MECT", "LL", "Random"):
+            assert heuristic in text
+
+    def test_shows_gain_column(self, grid_ensemble):
+        assert "vs none" in best_variant_table(grid_ensemble, num_tasks=60)
+
+
+class TestSummaryTable:
+    def test_structure(self, grid_ensemble):
+        text = summary_table(grid_ensemble, num_tasks=60)
+        assert "Filtering summary" in text
+        assert "Random" in text
+
+    def test_random_vs_best_line(self, grid_ensemble):
+        text = summary_table(grid_ensemble, num_tasks=60)
+        assert "filtered Random vs best filtered heuristic" in text

@@ -1,0 +1,165 @@
+"""Tests for the energy and robustness filters (repro.filters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FilterConfig
+from repro.filters.chain import VARIANTS, FilterChain, make_filter_chain
+from repro.filters.energy_filter import EnergyFilter
+from repro.filters.robustness_filter import RobustnessFilter
+from repro.heuristics.base import CandidateSet, MappingContext
+from repro.workload.task import Task
+
+
+def cands() -> CandidateSet:
+    return CandidateSet(
+        core_ids=np.repeat([0, 1], 2),
+        pstates=np.tile([0, 1], 2),
+        queue_len=np.zeros(4, dtype=np.int64),
+        eet=np.array([10.0, 14.0, 11.0, 15.0]),
+        eec=np.array([120.0, 60.0, 100.0, 55.0]),
+        ect=np.array([10.0, 14.0, 11.0, 15.0]),
+        prob_on_time=np.array([0.9, 0.6, 0.45, 0.3]),
+    )
+
+
+def ctx(
+    energy_estimate: float = 1000.0,
+    tasks_left: int = 10,
+    avg_queue_depth: float = 0.5,
+) -> MappingContext:
+    return MappingContext(
+        t_now=0.0,
+        task=Task(0, 0, 0.0, 100.0),
+        energy_estimate=energy_estimate,
+        tasks_left=tasks_left,
+        avg_queue_depth=avg_queue_depth,
+    )
+
+
+class TestEnergyFilter:
+    def test_fair_share_formula(self):
+        f = EnergyFilter(FilterConfig())
+        # depth 0.5 -> zeta_mul 0.8; share = 0.8 * 1000 / 10 = 80.
+        assert f.fair_share(ctx()) == pytest.approx(80.0)
+
+    def test_eliminates_expensive_assignments(self):
+        f = EnergyFilter(FilterConfig())
+        c = cands()
+        f.apply(c, ctx())  # share 80 -> EEC 120 and 100 rejected
+        assert c.mask.tolist() == [False, True, False, True]
+
+    def test_adaptive_multiplier_loosens_under_congestion(self):
+        f = EnergyFilter(FilterConfig())
+        share_idle = f.fair_share(ctx(avg_queue_depth=0.2))
+        share_mid = f.fair_share(ctx(avg_queue_depth=1.0))
+        share_busy = f.fair_share(ctx(avg_queue_depth=3.0))
+        assert share_idle < share_mid < share_busy
+
+    def test_exhausted_budget_blocks_everything(self):
+        f = EnergyFilter(FilterConfig())
+        c = cands()
+        f.apply(c, ctx(energy_estimate=0.0))
+        assert not c.mask.any()
+
+    def test_negative_estimate_blocks_everything(self):
+        f = EnergyFilter(FilterConfig())
+        c = cands()
+        f.apply(c, ctx(energy_estimate=-50.0))
+        assert not c.mask.any()
+
+    def test_last_task_gets_whole_remainder(self):
+        f = EnergyFilter(FilterConfig())
+        # tasks_left == 0: divisor clamps to 1.
+        share = f.fair_share(ctx(energy_estimate=100.0, tasks_left=0, avg_queue_depth=1.0))
+        assert share == pytest.approx(100.0)
+
+    def test_label(self):
+        assert EnergyFilter().label == "en"
+
+
+class TestRobustnessFilter:
+    def test_threshold_cut(self):
+        f = RobustnessFilter(FilterConfig())  # rho_thresh = 0.5
+        c = cands()
+        f.apply(c, ctx())
+        assert c.mask.tolist() == [True, True, False, False]
+
+    def test_boundary_inclusive(self):
+        f = RobustnessFilter(FilterConfig(rho_thresh=0.6))
+        c = cands()
+        f.apply(c, ctx())
+        # prob exactly 0.6 survives (paper: rho < thresh is eliminated).
+        assert c.mask.tolist() == [True, True, False, False]
+
+    def test_zero_threshold_keeps_all(self):
+        f = RobustnessFilter(FilterConfig(rho_thresh=0.0))
+        c = cands()
+        f.apply(c, ctx())
+        assert c.mask.all()
+
+    def test_threshold_property(self):
+        assert RobustnessFilter(FilterConfig(rho_thresh=0.7)).threshold == 0.7
+
+    def test_label(self):
+        assert RobustnessFilter().label == "rob"
+
+
+class TestFilterChain:
+    def test_variants_constant(self):
+        assert VARIANTS == ("none", "en", "rob", "en+rob")
+
+    def test_none_chain_is_identity(self):
+        chain = make_filter_chain("none")
+        c = cands()
+        chain.apply(c, ctx())
+        assert c.mask.all()
+        assert chain.label == "none"
+        assert len(chain) == 0
+
+    def test_en_chain(self):
+        chain = make_filter_chain("en")
+        assert chain.label == "en"
+        assert len(chain) == 1
+
+    def test_combined_chain_intersects(self):
+        chain = make_filter_chain("en+rob")
+        c = cands()
+        chain.apply(c, ctx())
+        # energy keeps {1, 3}; robustness keeps {0, 1} -> intersection {1}.
+        assert c.mask.tolist() == [False, True, False, False]
+
+    def test_order_is_immaterial(self):
+        a, b = cands(), cands()
+        make_filter_chain("en+rob").apply(a, ctx())
+        make_filter_chain("rob+en").apply(b, ctx())
+        assert a.mask.tolist() == b.mask.tolist()
+
+    def test_chain_can_empty_the_set(self):
+        chain = make_filter_chain("en+rob")
+        c = cands()
+        chain.apply(c, ctx(energy_estimate=1.0))
+        assert c.mask.sum() == 0
+
+    def test_case_insensitive(self):
+        assert make_filter_chain("EN+ROB").label == "en+rob"
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            make_filter_chain("fast")
+
+    def test_duplicate_part_rejected(self):
+        with pytest.raises(KeyError):
+            make_filter_chain("en+en")
+
+    def test_custom_config_threads_through(self):
+        cfg = FilterConfig(rho_thresh=0.99)
+        chain = make_filter_chain("rob", cfg)
+        c = cands()
+        chain.apply(c, ctx())
+        assert not c.mask.any()
+
+    def test_repr(self):
+        assert "en+rob" in repr(make_filter_chain("en+rob"))

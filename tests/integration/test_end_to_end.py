@@ -1,0 +1,94 @@
+"""End-to-end integration: the paper's qualitative claims at reduced scale.
+
+These tests run the real engine over a paper-shaped (but smaller) trial
+and assert the *shape* of Section VII's results — the statements that
+must hold for the reproduction to be meaningful.  Reduced scale keeps
+them to a few seconds; the benches replay them at figure scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import VariantSpec, run_ensemble
+from tests.conftest import small_config
+
+TRIALS = 3
+
+GRID = tuple(
+    VariantSpec(h, v)
+    for h in ("SQ", "MECT", "LL", "Random")
+    for v in ("none", "en", "rob", "en+rob")
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_ensemble(GRID, small_config(seed=2), num_trials=TRIALS, base_seed=20)
+
+
+def med(grid, h, v):
+    return grid.median_misses(VariantSpec(h, v))
+
+
+class TestPaperShape:
+    def test_nobody_misses_everything_or_nothing(self, grid):
+        for spec in GRID:
+            m = grid.median_misses(spec)
+            assert 0 <= m < small_config().workload.num_tasks
+
+    def test_unfiltered_random_is_worst(self, grid):
+        worst = max(med(grid, h, "none") for h in ("SQ", "MECT", "LL"))
+        assert med(grid, "Random", "none") > worst
+
+    def test_energy_filter_helps_informed_heuristics(self, grid):
+        # Figures 2-4: "en" markedly improves SQ, MECT and LL.
+        for h in ("SQ", "MECT", "LL"):
+            assert med(grid, h, "en") < med(grid, h, "none")
+
+    def test_robustness_filter_alone_is_inert_for_informed(self, grid):
+        # Figures 2-4: "rob" alone causes no significant change for
+        # heuristics other than Random.
+        for h in ("SQ", "MECT"):
+            assert med(grid, h, "rob") == pytest.approx(
+                med(grid, h, "none"), rel=0.12, abs=8
+            )
+
+    def test_robustness_filter_rescues_random(self, grid):
+        # Figure 5: "rob" alone is a large benefit for Random.
+        assert med(grid, "Random", "rob") < 0.75 * med(grid, "Random", "none")
+
+    def test_en_rob_is_best_variant_for_informed(self, grid):
+        for h in ("SQ", "MECT", "LL"):
+            best = min(med(grid, h, v) for v in ("none", "en", "rob", "en+rob"))
+            assert med(grid, h, "en+rob") <= best + 5
+
+    def test_filtering_brings_random_near_informed(self, grid):
+        # The paper's headline: filters, not heuristics, drive results.
+        best_informed = min(med(grid, h, "en+rob") for h in ("SQ", "MECT", "LL"))
+        gap_pp = (med(grid, "Random", "en+rob") - best_informed) / small_config().workload.num_tasks
+        assert gap_pp < 0.15  # paper: 4pp at full scale
+
+    def test_filtered_beats_unfiltered_for_every_heuristic(self, grid):
+        for h in ("SQ", "MECT", "LL", "Random"):
+            assert med(grid, h, "en+rob") < med(grid, h, "none")
+
+
+class TestEnergyShape:
+    def test_unfiltered_overruns_budget(self, grid):
+        # MECT/none rides P0 and busts the constraint (energy cutoff
+        # misses dominate), per the paper's Section VII explanation.
+        results = grid.results[VariantSpec("MECT", "none")]
+        overruns = [r.total_energy > r.budget for r in results]
+        assert np.mean(overruns) >= 0.5
+
+    def test_filtering_reduces_energy(self, grid):
+        for h in ("SQ", "MECT", "LL"):
+            e_none = np.median(
+                [r.total_energy for r in grid.results[VariantSpec(h, "none")]]
+            )
+            e_filtered = np.median(
+                [r.total_energy for r in grid.results[VariantSpec(h, "en+rob")]]
+            )
+            assert e_filtered < e_none

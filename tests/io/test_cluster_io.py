@@ -1,0 +1,37 @@
+"""Tests for cluster serialization (repro.io.cluster_io)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.cluster_io import cluster_from_dict, cluster_to_dict
+
+
+class TestRoundTrip:
+    def test_identity(self, tiny_system):
+        cluster = tiny_system.cluster
+        rebuilt = cluster_from_dict(cluster_to_dict(cluster))
+        assert rebuilt.num_nodes == cluster.num_nodes
+        assert rebuilt.num_cores == cluster.num_cores
+        assert np.allclose(rebuilt.power_table(), cluster.power_table())
+        assert np.allclose(
+            rebuilt.exec_multiplier_table(), cluster.exec_multiplier_table()
+        )
+        assert np.allclose(rebuilt.efficiency_vector(), cluster.efficiency_vector())
+
+    def test_addresses_preserved(self, tiny_system):
+        cluster = tiny_system.cluster
+        rebuilt = cluster_from_dict(cluster_to_dict(cluster))
+        assert rebuilt.core_addresses == cluster.core_addresses
+
+    def test_json_serializable(self, tiny_system):
+        text = json.dumps(cluster_to_dict(tiny_system.cluster))
+        rebuilt = cluster_from_dict(json.loads(text))
+        assert rebuilt.num_cores == tiny_system.cluster.num_cores
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            cluster_from_dict({"format": "something/else"})

@@ -1,0 +1,47 @@
+"""Tests for workload serialization (repro.io.workload_io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io.workload_io import workload_from_dict, workload_to_dict
+
+
+class TestRoundTrip:
+    def test_identity(self, tiny_system):
+        wl = tiny_system.workload
+        rebuilt = workload_from_dict(workload_to_dict(wl))
+        assert rebuilt.tasks == wl.tasks
+        assert rebuilt.t_avg == wl.t_avg
+        assert rebuilt.rates == wl.rates
+
+    def test_json_serializable(self, tiny_system):
+        text = json.dumps(workload_to_dict(tiny_system.workload))
+        rebuilt = workload_from_dict(json.loads(text))
+        assert rebuilt.num_tasks == tiny_system.workload.num_tasks
+
+    def test_priorities_preserved(self, tiny_system, rng):
+        from repro.extensions.priorities import with_priorities
+
+        wl = with_priorities(tiny_system.workload, rng, levels=(1.0, 4.0))
+        rebuilt = workload_from_dict(workload_to_dict(wl))
+        assert [t.priority for t in rebuilt.tasks] == [t.priority for t in wl.tasks]
+
+    def test_default_priority_backfill(self, tiny_system):
+        data = workload_to_dict(tiny_system.workload)
+        for entry in data["tasks"]:
+            del entry["priority"]
+        rebuilt = workload_from_dict(data)
+        assert all(t.priority == 1.0 for t in rebuilt.tasks)
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"format": "nope"})
+
+    def test_validation_still_applies(self, tiny_system):
+        data = workload_to_dict(tiny_system.workload)
+        data["tasks"][0]["task_id"] = 99  # break density
+        with pytest.raises(ValueError):
+            workload_from_dict(data)

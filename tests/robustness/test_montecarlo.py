@@ -1,0 +1,113 @@
+"""Monte-Carlo validation of the Section IV-B prediction machinery.
+
+The analytic on-time probabilities and completion distributions must
+agree with brute-force simulation of the same queue: sample execution
+times, replay the FIFO core, and compare frequencies.  This is the
+strongest correctness evidence for the scheduler's decision inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.robustness.completion import prob_on_time, ready_pmf, running_completion_pmf
+from repro.robustness.robustness import QueueEntry, core_robustness
+from repro.stoch.distributions import discretized_gamma
+from repro.stoch.pmf import PMF
+from repro.stoch.samplers import sample_pmf_many
+
+N = 40_000
+
+
+def simulate_queue_completions(
+    exec_pmfs: list[PMF],
+    start_time: float,
+    t_now: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sampled completion times of the *last* task in a FIFO queue.
+
+    The first pmf belongs to the running task (started at ``start_time``);
+    its samples are rejected (resampled) unless completion >= t_now —
+    conditioning identical to the paper's truncate-and-renormalize.
+    """
+    first = sample_pmf_many(exec_pmfs[0], rng, N) + start_time
+    # Conditioning via rejection: resample past completions.
+    for _ in range(100):
+        past = first < t_now - 1e-9
+        if not past.any():
+            break
+        first[past] = sample_pmf_many(exec_pmfs[0], rng, int(past.sum())) + start_time
+    else:
+        first = np.maximum(first, t_now)
+    total = first
+    for pmf in exec_pmfs[1:]:
+        total = total + sample_pmf_many(pmf, rng, N)
+    return total
+
+
+class TestAgainstMonteCarlo:
+    def test_prob_on_time_fresh_task_idle_core(self, rng):
+        ex = discretized_gamma(100.0, 0.3, dt=2.0)
+        ready = PMF.delta(50.0, 2.0)
+        deadline = 160.0
+        analytic = prob_on_time(ready, ex, deadline)
+        samples = sample_pmf_many(ex, rng, N) + 50.0
+        empirical = float(np.mean(samples <= deadline + 1e-9))
+        assert analytic == pytest.approx(empirical, abs=0.01)
+
+    def test_prob_on_time_behind_running_task(self, rng):
+        running_exec = discretized_gamma(80.0, 0.25, dt=2.0)
+        new_exec = discretized_gamma(60.0, 0.25, dt=2.0)
+        start, t_now = 0.0, 40.0
+        running = running_completion_pmf(running_exec, start, t_now)
+        ready = ready_pmf(running, [], t_now, dt=2.0)
+        deadline = 150.0
+        analytic = prob_on_time(ready, new_exec, deadline)
+        completions = simulate_queue_completions(
+            [running_exec, new_exec], start, t_now, rng
+        )
+        empirical = float(np.mean(completions <= deadline + 1e-9))
+        assert analytic == pytest.approx(empirical, abs=0.015)
+
+    def test_prob_on_time_deep_queue(self, rng):
+        running_exec = discretized_gamma(70.0, 0.2, dt=2.0)
+        q1 = discretized_gamma(50.0, 0.3, dt=2.0)
+        q2 = discretized_gamma(90.0, 0.15, dt=2.0)
+        new_exec = discretized_gamma(40.0, 0.25, dt=2.0)
+        start, t_now = 10.0, 30.0
+        running = running_completion_pmf(running_exec, start, t_now)
+        ready = ready_pmf(running, [q1, q2], t_now, dt=2.0)
+        deadline = 280.0
+        analytic = prob_on_time(ready, new_exec, deadline)
+        completions = simulate_queue_completions(
+            [running_exec, q1, q2, new_exec], start, t_now, rng
+        )
+        empirical = float(np.mean(completions <= deadline + 1e-9))
+        assert analytic == pytest.approx(empirical, abs=0.015)
+
+    def test_ready_mean_against_montecarlo(self, rng):
+        running_exec = discretized_gamma(100.0, 0.3, dt=2.0)
+        q1 = discretized_gamma(80.0, 0.2, dt=2.0)
+        start, t_now = 0.0, 60.0
+        running = running_completion_pmf(running_exec, start, t_now)
+        ready = ready_pmf(running, [q1], t_now, dt=2.0)
+        completions = simulate_queue_completions([running_exec, q1], start, t_now, rng)
+        assert ready.mean() == pytest.approx(float(completions.mean()), rel=0.01)
+
+    def test_core_robustness_against_montecarlo(self, rng):
+        running_exec = discretized_gamma(60.0, 0.25, dt=2.0)
+        q_exec = discretized_gamma(50.0, 0.25, dt=2.0)
+        start, t_now = 0.0, 20.0
+        d1, d2 = 75.0, 130.0
+        entries = [
+            QueueEntry(running_exec, d1, start_time=start),
+            QueueEntry(q_exec, d2),
+        ]
+        analytic = core_robustness(entries, t_now)
+        c1 = simulate_queue_completions([running_exec], start, t_now, rng)
+        rng2 = np.random.default_rng(rng.integers(2**31))
+        c2 = simulate_queue_completions([running_exec, q_exec], start, t_now, rng2)
+        empirical = float(np.mean(c1 <= d1 + 1e-9)) + float(np.mean(c2 <= d2 + 1e-9))
+        assert analytic == pytest.approx(empirical, abs=0.02)

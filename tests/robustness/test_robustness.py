@@ -1,0 +1,88 @@
+"""Tests for robustness aggregation (repro.robustness.robustness, Eqs. 3/4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness.robustness import (
+    QueueEntry,
+    core_completion_pmfs,
+    core_robustness,
+    system_robustness,
+)
+from repro.stoch.ops import convolve
+from repro.stoch.pmf import PMF
+
+
+def ex() -> PMF:
+    return PMF(10.0, 1.0, [0.5, 0.5])  # mass at 10 and 11
+
+
+class TestCoreCompletionPMFs:
+    def test_empty_queue(self):
+        assert core_completion_pmfs([], t_now=0.0) == []
+
+    def test_chained_construction(self):
+        entries = [
+            QueueEntry(ex(), deadline=100.0, start_time=0.0),
+            QueueEntry(ex(), deadline=100.0),
+            QueueEntry(ex(), deadline=100.0),
+        ]
+        out = core_completion_pmfs(entries, t_now=0.0)
+        assert len(out) == 3
+        assert out[1] == convolve(out[0], ex())
+        assert out[2] == convolve(out[1], ex())
+
+    def test_requires_running_first(self):
+        with pytest.raises(ValueError):
+            core_completion_pmfs([QueueEntry(ex(), 10.0)], t_now=0.0)
+
+    def test_rejects_second_running(self):
+        entries = [
+            QueueEntry(ex(), 10.0, start_time=0.0),
+            QueueEntry(ex(), 10.0, start_time=1.0),
+        ]
+        with pytest.raises(ValueError):
+            core_completion_pmfs(entries, t_now=2.0)
+
+    def test_truncation_applies_to_running(self):
+        entries = [QueueEntry(ex(), 100.0, start_time=0.0)]
+        out = core_completion_pmfs(entries, t_now=10.5)
+        assert out[0].start == pytest.approx(11.0)
+
+
+class TestCoreRobustness:
+    def test_sums_on_time_probabilities(self):
+        # Running task surely on time; queued task surely late.
+        entries = [
+            QueueEntry(ex(), deadline=50.0, start_time=0.0),
+            QueueEntry(ex(), deadline=5.0),
+        ]
+        rho = core_robustness(entries, t_now=0.0)
+        assert rho == pytest.approx(1.0)
+
+    def test_partial_probabilities(self):
+        # Completion at {10, 11} each 0.5; deadline 10 -> P = 0.5.
+        entries = [QueueEntry(ex(), deadline=10.0, start_time=0.0)]
+        assert core_robustness(entries, t_now=0.0) == pytest.approx(0.5)
+
+    def test_bounded_by_queue_length(self):
+        entries = [
+            QueueEntry(ex(), deadline=1000.0, start_time=0.0),
+            QueueEntry(ex(), deadline=1000.0),
+            QueueEntry(ex(), deadline=1000.0),
+        ]
+        rho = core_robustness(entries, t_now=0.0)
+        assert 0.0 <= rho <= 3.0
+        assert rho == pytest.approx(3.0)
+
+
+class TestSystemRobustness:
+    def test_sums_over_cores(self):
+        core_a = [QueueEntry(ex(), deadline=50.0, start_time=0.0)]
+        core_b = [QueueEntry(ex(), deadline=10.0, start_time=0.0)]
+        rho = system_robustness([core_a, core_b, []], t_now=0.0)
+        assert rho == pytest.approx(1.0 + 0.5)
+
+    def test_empty_system(self):
+        assert system_robustness([[], []], t_now=0.0) == 0.0

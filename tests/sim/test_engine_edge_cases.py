@@ -1,0 +1,153 @@
+"""Engine edge cases: degenerate topologies, budgets and workloads."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SimulationConfig, build_trial_system
+from repro.config import IdlePowerMode
+from repro.filters.chain import make_filter_chain
+from repro.heuristics.lightest_load import LightestLoad
+from repro.heuristics.mect import MinimumExpectedCompletionTime
+from repro.sim.engine import run_trial
+from repro.workload.task import Task
+
+
+def tiny(seed: int = 1, **updates) -> SimulationConfig:
+    cfg = SimulationConfig(seed=seed).with_updates(
+        workload={
+            "num_tasks": 30,
+            "num_task_types": 5,
+            "burst_head": 10,
+            "burst_tail": 10,
+        },
+        cluster={"num_nodes": 2},
+    )
+    return cfg.with_updates(**updates) if updates else cfg
+
+
+class TestDegenerateTopology:
+    def test_single_core_cluster(self):
+        cfg = tiny(
+            cluster={
+                "num_nodes": 1,
+                "min_processors": 1,
+                "max_processors": 1,
+                "min_cores": 1,
+                "max_cores": 1,
+            }
+        )
+        system = build_trial_system(cfg)
+        assert system.cluster.num_cores == 1
+        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        # Everything serializes through one core: heavy queueing but
+        # accounting must still close.
+        assert result.missed + result.completed_within == 30
+        by_start = sorted(
+            (o for o in result.outcomes if not o.discarded), key=lambda o: o.start
+        )
+        for a, b in zip(by_start, by_start[1:]):
+            assert b.start >= a.completion - 1e-9
+
+    def test_two_pstate_cluster(self):
+        cfg = tiny(cluster={"num_pstates": 2})
+        system = build_trial_system(cfg)
+        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        assert all(o.pstate in (-1, 0, 1) for o in result.outcomes)
+
+
+class TestDegenerateWorkload:
+    def test_all_burst_no_lull(self):
+        cfg = tiny(workload={"burst_head": 15, "burst_tail": 15})
+        system = build_trial_system(cfg)
+        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        assert result.num_tasks == 30
+
+    def test_single_task(self):
+        # Idle energy excluded: a one-task budget cannot cover the whole
+        # cluster's P4 floor, which is a property of the model, not a bug.
+        cfg = SimulationConfig(seed=2).with_updates(
+            workload={
+                "num_tasks": 1,
+                "num_task_types": 2,
+                "burst_head": 1,
+                "burst_tail": 0,
+            },
+            cluster={"num_nodes": 2},
+            energy={"idle_power_mode": IdlePowerMode.EXCLUDED},
+        )
+        system = build_trial_system(cfg)
+        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        assert result.num_tasks == 1
+        # A lone task on an idle cluster with a fresh budget must count.
+        assert result.completed_within == 1
+
+    def test_single_task_p4_floor_budget_gap(self):
+        # Companion check: under the paper's idle floor the same lone
+        # task is cut off — the per-task budget excludes idle burn.
+        cfg = SimulationConfig(seed=2).with_updates(
+            workload={
+                "num_tasks": 1,
+                "num_task_types": 2,
+                "burst_head": 1,
+                "burst_tail": 0,
+            },
+            cluster={"num_nodes": 2},
+        )
+        system = build_trial_system(cfg)
+        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        assert result.total_energy > result.budget
+
+    def test_simultaneous_arrivals(self):
+        system = build_trial_system(tiny(seed=3))
+        # Force the first five arrivals to the same instant.
+        t0 = system.workload.tasks[4].arrival
+        tasks = list(system.workload.tasks)
+        for i in range(5):
+            old = tasks[i]
+            tasks[i] = Task(
+                task_id=old.task_id,
+                type_id=old.type_id,
+                arrival=t0,
+                deadline=t0 + (old.deadline - old.arrival),
+            )
+        workload = replace(system.workload, tasks=tuple(tasks))
+        system = replace(system, workload=workload)
+        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        assert len(result.outcomes) == 30
+        firsts = [o for o in result.outcomes[:5]]
+        # Simultaneous arrivals map in task-id order, deterministically.
+        assert all(not o.discarded for o in firsts)
+
+
+class TestBudgetExtremes:
+    def test_huge_budget_never_exhausts(self):
+        cfg = tiny(energy={"budget_mult": 100.0})
+        system = build_trial_system(cfg)
+        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        assert result.exhaustion_time == float("inf")
+        assert result.energy_cutoff == 0
+
+    def test_tiny_budget_cuts_everything(self):
+        cfg = tiny(energy={"budget_mult": 1e-6})
+        system = build_trial_system(cfg)
+        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        # Unfiltered: tasks still execute, but nothing counts after the
+        # (immediate) exhaustion.
+        assert result.completed_within == 0
+
+    def test_tiny_budget_with_filter_discards(self):
+        cfg = tiny(energy={"budget_mult": 1e-6})
+        system = build_trial_system(cfg)
+        result = run_trial(system, LightestLoad(), make_filter_chain("en"))
+        # The energy filter sees no fair share at all: every task is
+        # discarded at mapping time.
+        assert result.discarded == result.num_tasks
+
+    def test_excluded_idle_mode_runs(self):
+        cfg = tiny(energy={"idle_power_mode": IdlePowerMode.EXCLUDED})
+        system = build_trial_system(cfg)
+        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        assert result.total_energy > 0.0

@@ -1,0 +1,92 @@
+"""Tests for result records (repro.sim.results)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.results import TaskOutcome, TrialResult
+
+
+def outcome(completion: float = 50.0, deadline: float = 60.0, discarded: bool = False):
+    return TaskOutcome(
+        task_id=0,
+        type_id=1,
+        arrival=0.0,
+        deadline=deadline,
+        core_id=-1 if discarded else 2,
+        pstate=-1 if discarded else 1,
+        start=float("nan") if discarded else 10.0,
+        completion=float("nan") if discarded else completion,
+        discarded=discarded,
+    )
+
+
+def result(**overrides) -> TrialResult:
+    base = dict(
+        heuristic="LL",
+        variant="en+rob",
+        seed=7,
+        num_tasks=10,
+        missed=4,
+        completed_within=6,
+        discarded=1,
+        late=2,
+        energy_cutoff=1,
+        total_energy=900.0,
+        budget=1000.0,
+        exhaustion_time=float("inf"),
+        makespan=5000.0,
+        outcomes=(),
+    )
+    base.update(overrides)
+    return TrialResult(**base)
+
+
+class TestTaskOutcome:
+    def test_on_time(self):
+        assert outcome(50.0, 60.0).on_time()
+
+    def test_late(self):
+        assert not outcome(61.0, 60.0).on_time()
+
+    def test_boundary_counts_as_on_time(self):
+        assert outcome(60.0, 60.0).on_time()
+
+    def test_discarded_never_on_time(self):
+        assert not outcome(discarded=True).on_time()
+
+
+class TestTrialResult:
+    def test_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            result(missed=5)  # decomposition no longer adds up
+
+    def test_total_coverage_enforced(self):
+        with pytest.raises(ValueError):
+            result(num_tasks=11)
+
+    def test_miss_fraction(self):
+        assert result().miss_fraction == pytest.approx(0.4)
+
+    def test_label(self):
+        assert result().label == "LL/en+rob"
+
+    def test_energy_utilization(self):
+        assert result().energy_utilization() == pytest.approx(0.9)
+
+    def test_completion_times_skips_discarded(self):
+        outcomes = (outcome(50.0), outcome(discarded=True), outcome(70.0, 60.0))
+        r = result(
+            num_tasks=3,
+            missed=2,
+            completed_within=1,
+            discarded=1,
+            late=1,
+            energy_cutoff=0,
+            outcomes=outcomes,
+        )
+        times = r.completion_times()
+        assert times.tolist() == [50.0, 70.0]
+        assert not any(math.isnan(t) for t in times)

@@ -1,0 +1,151 @@
+"""Tests for per-core runtime state (repro.sim.state)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness.completion import running_completion_pmf
+from repro.sim.state import CoreState, QueuedTask, RunningTask
+from repro.stoch.ops import convolve
+from repro.stoch.pmf import PMF
+from repro.workload.task import Task
+
+
+def ex(start: float = 10.0) -> PMF:
+    return PMF(start, 1.0, [0.25, 0.5, 0.25])
+
+
+def task(i: int = 0) -> Task:
+    return Task(i, 0, 0.0, 1000.0)
+
+
+def running(start_time: float = 0.0) -> RunningTask:
+    return RunningTask(
+        task=task(0),
+        pstate=1,
+        exec_pmf=ex(),
+        start_time=start_time,
+        completion_time=start_time + 11.0,
+    )
+
+
+def queued(i: int) -> QueuedTask:
+    return QueuedTask(task=task(i), pstate=2, exec_pmf=ex())
+
+
+class TestOccupancy:
+    def test_idle_initially(self):
+        core = CoreState(0, 0, dt=1.0)
+        assert core.is_idle
+        assert core.assigned_count == 0
+
+    def test_counts_running_and_queue(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running())
+        core.enqueue(queued(1))
+        core.enqueue(queued(2))
+        assert core.assigned_count == 3
+        assert not core.is_idle
+
+
+class TestMutationRules:
+    def test_enqueue_on_idle_rejected(self):
+        core = CoreState(0, 0, dt=1.0)
+        with pytest.raises(RuntimeError):
+            core.enqueue(queued(1))
+
+    def test_double_running_rejected(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running())
+        with pytest.raises(RuntimeError):
+            core.set_running(running())
+
+    def test_clear_idle_rejected(self):
+        core = CoreState(0, 0, dt=1.0)
+        with pytest.raises(RuntimeError):
+            core.clear_running()
+
+    def test_fifo_pop_order(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running())
+        core.enqueue(queued(1))
+        core.enqueue(queued(2))
+        assert core.pop_next().task.task_id == 1
+        assert core.pop_next().task.task_id == 2
+        assert core.pop_next() is None
+
+    def test_remove_queued(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running())
+        core.enqueue(queued(1))
+        core.enqueue(queued(2))
+        removed = core.remove_queued(1)
+        assert removed is not None and removed.task.task_id == 1
+        assert core.assigned_count == 2
+        assert core.remove_queued(99) is None
+
+
+class TestReadyPMF:
+    def test_idle_ready_now(self):
+        core = CoreState(0, 0, dt=1.0)
+        out = core.ready_pmf(33.0)
+        assert len(out) == 1 and out.mean() == pytest.approx(33.0)
+
+    def test_running_only_matches_reference(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=5.0))
+        out = core.ready_pmf(t_now=6.0)
+        expected = running_completion_pmf(ex(), 5.0, 6.0)
+        assert out == expected
+
+    def test_running_plus_queue_matches_reference(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=0.0))
+        core.enqueue(queued(1))
+        core.enqueue(queued(2))
+        out = core.ready_pmf(t_now=0.0)
+        expected = convolve(
+            convolve(running_completion_pmf(ex(), 0.0, 0.0), ex()), ex()
+        )
+        assert out == expected
+
+    def test_cache_returns_same_object_when_valid(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=0.0))
+        a = core.ready_pmf(1.0)
+        b = core.ready_pmf(2.0)  # still before first impulse at 10
+        assert a is b
+
+    def test_cache_invalidated_by_time_advance_past_impulses(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=0.0))
+        a = core.ready_pmf(1.0)
+        b = core.ready_pmf(10.5)  # truncates the impulse at 10
+        assert a is not b
+        assert b == running_completion_pmf(ex(), 0.0, 10.5)
+
+    def test_cache_invalidated_by_enqueue(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=0.0))
+        a = core.ready_pmf(1.0)
+        core.enqueue(queued(1))
+        b = core.ready_pmf(1.0)
+        assert a is not b
+        assert b.mean() == pytest.approx(a.mean() + ex().mean())
+
+    def test_cache_consistency_after_pop(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=0.0))
+        core.enqueue(queued(1))
+        core.enqueue(queued(2))
+        _ = core.ready_pmf(1.0)
+        core.pop_next()
+        out = core.ready_pmf(1.0)
+        expected = convolve(running_completion_pmf(ex(), 0.0, 1.0), ex())
+        assert out == expected
+
+    def test_ready_never_in_past(self):
+        core = CoreState(0, 0, dt=1.0)
+        core.set_running(running(start_time=0.0))
+        out = core.ready_pmf(t_now=500.0)  # far past all impulses
+        assert out.start >= 500.0 - 1e-9

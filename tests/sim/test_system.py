@@ -1,0 +1,68 @@
+"""Tests for trial-system construction (repro.sim.system)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_trial_system
+from tests.conftest import tiny_config
+
+
+class TestBuildTrialSystem:
+    def test_budget_formula(self, tiny_system):
+        # zeta_max = budget_mult * t_avg * p_avg * num_tasks (Section VI).
+        expected = (
+            tiny_system.config.energy.budget_mult
+            * tiny_system.t_avg
+            * tiny_system.p_avg
+            * tiny_system.num_tasks
+        )
+        assert tiny_system.budget == pytest.approx(expected)
+
+    def test_p_avg_is_eq8(self, tiny_system):
+        assert tiny_system.p_avg == pytest.approx(tiny_system.cluster.power_table().mean())
+
+    def test_exec_luck_shape_and_range(self, tiny_system):
+        luck = tiny_system.exec_luck
+        assert luck.shape == (tiny_system.num_tasks,)
+        assert np.all((luck >= 0.0) & (luck < 1.0))
+
+    def test_exec_luck_readonly(self, tiny_system):
+        with pytest.raises(ValueError):
+            tiny_system.exec_luck[0] = 0.5
+
+    def test_deterministic_under_seed(self):
+        a = build_trial_system(tiny_config(seed=5))
+        b = build_trial_system(tiny_config(seed=5))
+        assert np.array_equal(a.exec_luck, b.exec_luck)
+        assert a.workload.tasks == b.workload.tasks
+        assert np.allclose(a.cluster.power_table(), b.cluster.power_table())
+        assert np.allclose(a.etc.means, b.etc.means)
+
+    def test_seed_varies_everything(self):
+        a = build_trial_system(tiny_config(seed=1))
+        b = build_trial_system(tiny_config(seed=2))
+        assert not np.array_equal(a.exec_luck, b.exec_luck)
+        assert a.workload.tasks != b.workload.tasks
+        assert not np.allclose(a.etc.means, b.etc.means)
+
+    def test_streams_are_independent(self):
+        # Changing only the cluster config must not change the ETC draw.
+        cfg_a = tiny_config(seed=9)
+        cfg_b = tiny_config(seed=9).with_updates(cluster={"min_cores": 2, "max_cores": 2})
+        a = build_trial_system(cfg_a)
+        b = build_trial_system(cfg_b)
+        assert np.allclose(a.etc.means, b.etc.means)
+        assert np.array_equal(a.exec_luck, b.exec_luck)
+
+    def test_table_matches_workload_scale(self, tiny_system):
+        cfg = tiny_system.config.workload
+        assert tiny_system.table.eet.shape == (
+            cfg.num_task_types,
+            tiny_system.cluster.num_nodes,
+            tiny_system.cluster.num_pstates,
+        )
+
+    def test_t_avg_consistency(self, tiny_system):
+        assert tiny_system.t_avg == pytest.approx(tiny_system.table.t_avg())

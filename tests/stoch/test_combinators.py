@@ -1,0 +1,150 @@
+"""Tests for pmf combinators (repro.stoch.combinators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stoch.combinators import expected_extreme, max_of, min_of, mixture
+from repro.stoch.pmf import PMF
+from repro.stoch.samplers import sample_pmf_many
+
+
+def die(faces: int = 4, start: float = 0.0) -> PMF:
+    return PMF(start, 1.0, np.full(faces, 1.0 / faces))
+
+
+class TestMixture:
+    def test_uniform_mixture_mean(self):
+        a, b = PMF.delta(0.0, 1.0), PMF.delta(10.0, 1.0)
+        mix = mixture([a, b])
+        assert mix.mean() == pytest.approx(5.0)
+
+    def test_weighted_mixture(self):
+        a, b = PMF.delta(0.0, 1.0), PMF.delta(10.0, 1.0)
+        mix = mixture([a, b], weights=[3.0, 1.0])
+        assert mix.mean() == pytest.approx(2.5)
+
+    def test_mass_conserved(self):
+        mix = mixture([die(4), die(6, start=2.0)])
+        assert mix.total_mass() == pytest.approx(1.0)
+
+    def test_single_component_identity(self):
+        d = die(6)
+        assert mixture([d]).mean() == pytest.approx(d.mean())
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            mixture([die(4)], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            mixture([die(4)], weights=[0.0])
+
+    def test_rejects_grid_mismatch(self):
+        with pytest.raises(ValueError):
+            mixture([die(4), PMF(0.0, 2.0, [0.5, 0.5])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mixture([])
+
+
+class TestMaxOf:
+    def test_max_of_two_deltas(self):
+        out = max_of([PMF.delta(3.0, 1.0), PMF.delta(7.0, 1.0)])
+        assert len(out) == 1
+        assert out.mean() == pytest.approx(7.0)
+
+    def test_max_of_two_coins(self):
+        coin = PMF(0.0, 1.0, [0.5, 0.5])
+        out = max_of([coin, coin])
+        # P[max=0] = 1/4, P[max=1] = 3/4.
+        assert out.prob_at_most(0.0) == pytest.approx(0.25)
+        assert out.mean() == pytest.approx(0.75)
+
+    def test_max_dominates_components(self):
+        a, b = die(6), die(4, start=1.0)
+        out = max_of([a, b])
+        assert out.mean() >= max(a.mean(), b.mean()) - 1e-9
+
+    def test_against_monte_carlo(self, rng):
+        a, b, c = die(6), die(8, start=1.0), die(3, start=2.0)
+        out = max_of([a, b, c])
+        samples = np.maximum.reduce(
+            [sample_pmf_many(p, rng, 40_000) for p in (a, b, c)]
+        )
+        assert out.mean() == pytest.approx(float(samples.mean()), abs=0.05)
+
+
+class TestMinOf:
+    def test_min_of_two_deltas(self):
+        out = min_of([PMF.delta(3.0, 1.0), PMF.delta(7.0, 1.0)])
+        assert out.mean() == pytest.approx(3.0)
+
+    def test_min_of_two_coins(self):
+        coin = PMF(0.0, 1.0, [0.5, 0.5])
+        out = min_of([coin, coin])
+        # P[min=0] = 3/4.
+        assert out.prob_at_most(0.0) == pytest.approx(0.75)
+
+    def test_min_below_components(self):
+        a, b = die(6), die(4, start=1.0)
+        out = min_of([a, b])
+        assert out.mean() <= min(a.mean(), b.mean()) + 1e-9
+
+    def test_against_monte_carlo(self, rng):
+        a, b = die(6), die(8, start=1.0)
+        out = min_of([a, b])
+        samples = np.minimum(
+            sample_pmf_many(a, rng, 40_000), sample_pmf_many(b, rng, 40_000)
+        )
+        assert out.mean() == pytest.approx(float(samples.mean()), abs=0.05)
+
+
+class TestExpectedExtreme:
+    def test_dispatch(self):
+        pmfs = [die(4), die(6)]
+        assert expected_extreme(pmfs, "max") == pytest.approx(max_of(pmfs).mean())
+        assert expected_extreme(pmfs, "min") == pytest.approx(min_of(pmfs).mean())
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            expected_extreme([die(4)], "median")
+
+
+@st.composite
+def pmf_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    out = []
+    for _ in range(n):
+        size = draw(st.integers(min_value=1, max_value=10))
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        start = draw(st.integers(min_value=-5, max_value=5))
+        out.append(PMF(float(start), 1.0, np.array(weights)))
+    return out
+
+
+@given(pmf_lists())
+@settings(max_examples=40, deadline=None)
+def test_extremes_bracket_components(pmfs):
+    mx, mn = max_of(pmfs), min_of(pmfs)
+    assert mx.total_mass() == pytest.approx(1.0)
+    assert mn.total_mass() == pytest.approx(1.0)
+    assert mn.mean() <= min(p.mean() for p in pmfs) + 1e-6
+    assert mx.mean() >= max(p.mean() for p in pmfs) - 1e-6
+    assert mn.mean() <= mx.mean() + 1e-9
+
+
+@given(pmf_lists())
+@settings(max_examples=40, deadline=None)
+def test_mixture_mean_is_weighted_average(pmfs):
+    mix = mixture(pmfs)
+    expected = float(np.mean([p.mean() for p in pmfs]))
+    assert mix.mean() == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,126 @@
+"""Tests for continuous-law discretizers (repro.stoch.distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stoch.distributions import (
+    discretized_exponential,
+    discretized_gamma,
+    discretized_normal,
+    discretized_uniform,
+)
+
+
+class TestGamma:
+    def test_mean_matches(self):
+        pmf = discretized_gamma(mean=750.0, cv=0.2, dt=5.0)
+        assert pmf.mean() == pytest.approx(750.0, rel=0.01)
+
+    def test_std_matches_cv(self):
+        pmf = discretized_gamma(mean=750.0, cv=0.2, dt=5.0)
+        assert pmf.std() == pytest.approx(150.0, rel=0.05)
+
+    def test_mass_normalized(self):
+        pmf = discretized_gamma(mean=100.0, cv=0.3, dt=2.0)
+        assert pmf.total_mass() == pytest.approx(1.0)
+
+    def test_support_positive(self):
+        pmf = discretized_gamma(mean=50.0, cv=0.5, dt=1.0)
+        assert pmf.start >= 0.0
+
+    def test_tail_truncation_shrinks_support(self):
+        wide = discretized_gamma(mean=100.0, cv=0.2, dt=1.0, tail_sigmas=5.0)
+        narrow = discretized_gamma(mean=100.0, cv=0.2, dt=1.0, tail_sigmas=2.0)
+        assert len(narrow) < len(wide)
+
+    def test_small_mean_relative_to_dt(self):
+        # Narrower than a single bin: degenerates but stays a valid pmf.
+        pmf = discretized_gamma(mean=1.0, cv=0.05, dt=10.0)
+        assert pmf.total_mass() == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            discretized_gamma(0.0, 0.2, 1.0)
+        with pytest.raises(ValueError):
+            discretized_gamma(10.0, -0.2, 1.0)
+
+    def test_right_skewed(self):
+        # Gamma with large cv has mean > median.
+        pmf = discretized_gamma(mean=100.0, cv=0.8, dt=0.5)
+        assert pmf.mean() > pmf.quantile(0.5)
+
+
+class TestNormal:
+    def test_moments(self):
+        pmf = discretized_normal(mean=40.0, std=4.0, dt=0.5)
+        assert pmf.mean() == pytest.approx(40.0, rel=0.01)
+        assert pmf.std() == pytest.approx(4.0, rel=0.05)
+
+    def test_clipped_at_zero(self):
+        pmf = discretized_normal(mean=1.0, std=5.0, dt=0.5)
+        assert pmf.start >= 0.0
+
+    def test_rejects_bad_std(self):
+        with pytest.raises(ValueError):
+            discretized_normal(10.0, 0.0, 1.0)
+
+    def test_symmetry(self):
+        pmf = discretized_normal(mean=100.0, std=5.0, dt=0.25)
+        med = pmf.quantile(0.5)
+        assert med == pytest.approx(100.0, abs=0.5)
+
+
+class TestUniform:
+    def test_moments(self):
+        pmf = discretized_uniform(10.0, 20.0, dt=0.25)
+        assert pmf.mean() == pytest.approx(15.0, rel=0.01)
+        assert pmf.var() == pytest.approx(100.0 / 12.0, rel=0.05)
+
+    def test_support(self):
+        pmf = discretized_uniform(10.0, 20.0, dt=1.0)
+        assert pmf.start >= 9.0 and pmf.stop <= 21.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            discretized_uniform(5.0, 5.0, 1.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        pmf = discretized_exponential(mean=30.0, dt=0.25)
+        assert pmf.mean() == pytest.approx(30.0, rel=0.02)
+
+    def test_tail_mass_controls_support(self):
+        short = discretized_exponential(mean=10.0, dt=0.5, tail_mass=1e-2)
+        long = discretized_exponential(mean=10.0, dt=0.5, tail_mass=1e-6)
+        assert long.stop > short.stop
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            discretized_exponential(-1.0, 1.0)
+
+    def test_memoryless_head(self):
+        # P[X <= mean] for an exponential is 1 - e^-1 ~ 0.632.
+        pmf = discretized_exponential(mean=20.0, dt=0.1)
+        assert pmf.prob_at_most(20.0) == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+
+class TestGridAlignment:
+    def test_all_laws_share_grid_step(self):
+        dt = 2.5
+        laws = [
+            discretized_gamma(100.0, 0.2, dt),
+            discretized_normal(100.0, 10.0, dt),
+            discretized_uniform(50.0, 150.0, dt),
+            discretized_exponential(100.0, dt),
+        ]
+        for pmf in laws:
+            assert pmf.dt == pytest.approx(dt)
+
+    def test_bin_centers_half_offset(self):
+        # Edges at multiples of dt put centers at (k + 0.5) * dt.
+        pmf = discretized_uniform(0.0, 10.0, dt=1.0)
+        frac = (pmf.start / pmf.dt) % 1.0
+        assert frac == pytest.approx(0.5)

@@ -1,0 +1,68 @@
+"""Tests for grid utilities (repro.stoch.grid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stoch.grid import regrid, snap
+from repro.stoch.distributions import discretized_gamma
+from repro.stoch.pmf import PMF
+
+
+class TestSnap:
+    def test_exact_multiple(self):
+        assert snap(10.0, 2.5) == 10.0
+
+    def test_rounds_to_nearest(self):
+        assert snap(10.9, 2.0) == 10.0
+        assert snap(11.1, 2.0) == 12.0
+
+    def test_negative_values(self):
+        assert snap(-3.2, 2.0) == -4.0
+
+
+class TestRegrid:
+    def test_mass_conserved(self):
+        pmf = discretized_gamma(100.0, 0.3, dt=2.0)
+        out = regrid(pmf, 7.0)
+        assert out.total_mass() == pytest.approx(1.0)
+
+    def test_mean_conserved(self):
+        pmf = discretized_gamma(100.0, 0.3, dt=2.0)
+        out = regrid(pmf, 5.0)
+        assert out.mean() == pytest.approx(pmf.mean(), rel=1e-9)
+
+    def test_new_dt(self):
+        out = regrid(PMF(0.0, 1.0, [0.5, 0.5]), 0.25)
+        assert out.dt == pytest.approx(0.25)
+
+    def test_finer_grid_preserves_impulses(self):
+        pmf = PMF(0.0, 1.0, [0.5, 0.5])
+        out = regrid(pmf, 0.5)
+        # Original impulses at 0 and 1 are multiples of 0.5: exact.
+        assert out.prob_at_most(0.0) == pytest.approx(0.5)
+        assert out.prob_at_most(0.9) == pytest.approx(0.5)
+
+    def test_coarser_grid_merges(self):
+        pmf = PMF(0.0, 1.0, [0.25, 0.25, 0.25, 0.25])
+        out = regrid(pmf, 3.0)
+        assert len(out) <= 3
+
+    def test_offgrid_impulse_splits_linearly(self):
+        # Impulse at 1.0 regridded to dt=4: splits 0.75 to 0, 0.25 to 4.
+        pmf = PMF.delta(1.0, 1.0)
+        out = regrid(pmf, 4.0)
+        assert out.mean() == pytest.approx(1.0)
+        assert out.prob_at_most(0.0) == pytest.approx(0.75)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            regrid(PMF.delta(0.0, 1.0), 0.0)
+
+    def test_variance_grows_boundedly(self):
+        # Linear mass splitting adds at most (new_dt^2)/4 of variance.
+        pmf = discretized_gamma(200.0, 0.2, dt=1.0)
+        out = regrid(pmf, 10.0)
+        assert out.var() <= pmf.var() + 10.0**2
+        assert out.var() >= pmf.var() - 1e-6

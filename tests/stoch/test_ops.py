@@ -1,0 +1,172 @@
+"""Tests for pmf operations (repro.stoch.ops)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stoch.ops import (
+    convolve,
+    convolve_many,
+    expectation_of_sum,
+    prob_sum_at_most,
+    shift,
+    truncate_below,
+)
+from repro.stoch.pmf import PMF
+
+
+def coin(start: float = 0.0) -> PMF:
+    """Fair mass at start and start+1."""
+    return PMF(start, 1.0, [0.5, 0.5])
+
+
+class TestConvolve:
+    def test_two_coins(self):
+        # Sum of two fair {0,1} variables: {0: .25, 1: .5, 2: .25}.
+        out = convolve(coin(), coin())
+        assert out.start == pytest.approx(0.0)
+        assert np.allclose(out.probs, [0.25, 0.5, 0.25])
+
+    def test_offsets_add(self):
+        out = convolve(coin(3.0), coin(10.0))
+        assert out.start == pytest.approx(13.0)
+
+    def test_mean_additivity(self):
+        a = PMF(0.0, 0.5, [0.2, 0.3, 0.5])
+        b = PMF(2.5, 0.5, [0.6, 0.4])
+        out = convolve(a, b)
+        assert out.mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_variance_additivity(self):
+        a = PMF(0.0, 0.5, [0.2, 0.3, 0.5])
+        b = PMF(2.5, 0.5, [0.6, 0.4])
+        assert convolve(a, b).var() == pytest.approx(a.var() + b.var())
+
+    def test_commutative(self):
+        a = PMF(0.0, 1.0, [0.1, 0.9])
+        b = PMF(5.0, 1.0, [0.3, 0.3, 0.4])
+        assert convolve(a, b) == convolve(b, a)
+
+    def test_delta_shifts(self):
+        out = convolve(PMF.delta(4.0, 1.0), coin())
+        assert out.start == pytest.approx(4.0)
+        assert np.allclose(out.probs, [0.5, 0.5])
+
+    def test_grid_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            convolve(PMF(0.0, 1.0, [1.0, 0.0, 0.0]), PMF(0.0, 2.0, [0.5, 0.5]))
+
+    def test_mass_conserved(self):
+        a = PMF(0.0, 1.0, np.random.default_rng(0).random(20))
+        b = PMF(0.0, 1.0, np.random.default_rng(1).random(30))
+        assert convolve(a, b).total_mass() == pytest.approx(1.0)
+
+
+class TestConvolveMany:
+    def test_single(self):
+        a = coin()
+        assert convolve_many([a]) == a
+
+    def test_three_way_matches_pairwise(self):
+        a, b, c = coin(), coin(1.0), PMF(0.0, 1.0, [0.2, 0.3, 0.5])
+        assert convolve_many([a, b, c]) == convolve(convolve(a, b), c)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            convolve_many([])
+
+    def test_order_invariant(self):
+        a, b, c = coin(), PMF(0.0, 1.0, [0.2, 0.8]), PMF(1.0, 1.0, [0.6, 0.4])
+        assert convolve_many([a, b, c]) == convolve_many([c, a, b])
+
+
+class TestShift:
+    def test_shift_moves_start(self):
+        out = shift(coin(), 7.5)
+        assert out.start == pytest.approx(7.5)
+        assert np.allclose(out.probs, [0.5, 0.5])
+
+    def test_zero_shift_returns_same(self):
+        a = coin()
+        assert shift(a, 0.0) is a
+
+    def test_negative_shift(self):
+        assert shift(coin(5.0), -5.0).start == pytest.approx(0.0)
+
+
+class TestTruncateBelow:
+    def test_noop_when_before_support(self):
+        a = coin(10.0)
+        assert truncate_below(a, 5.0) is a
+
+    def test_removes_past_and_renormalizes(self):
+        pmf = PMF(0.0, 1.0, [0.25, 0.25, 0.5])
+        out = truncate_below(pmf, 1.0)
+        # impulse at 0 removed; {1: 1/3, 2: 2/3}
+        assert out.start == pytest.approx(1.0)
+        assert np.allclose(out.probs, [1 / 3, 2 / 3])
+
+    def test_impulse_at_cut_survives(self):
+        pmf = PMF(0.0, 1.0, [0.5, 0.5])
+        out = truncate_below(pmf, 1.0)
+        assert out.start == pytest.approx(1.0)
+        assert out.total_mass() == pytest.approx(1.0)
+
+    def test_cut_between_impulses(self):
+        pmf = PMF(0.0, 1.0, [0.5, 0.5])
+        out = truncate_below(pmf, 0.5)
+        assert out.start == pytest.approx(1.0)
+
+    def test_all_mass_past_degenerates_to_now(self):
+        pmf = PMF(0.0, 1.0, [0.5, 0.5])
+        out = truncate_below(pmf, 42.0)
+        assert len(out) == 1
+        assert out.mean() == pytest.approx(42.0)
+
+    def test_conditional_distribution_is_correct(self):
+        # P[X = x | X >= t] = P[X = x] / P[X >= t]
+        probs = np.array([0.1, 0.2, 0.3, 0.4])
+        pmf = PMF(0.0, 1.0, probs)
+        out = truncate_below(pmf, 2.0)
+        tail = probs[2:] / probs[2:].sum()
+        assert np.allclose(out.probs, tail)
+
+
+class TestProbSumAtMost:
+    def test_matches_explicit_convolution(self):
+        rng = np.random.default_rng(3)
+        a = PMF(2.0, 1.0, rng.random(15))
+        b = PMF(5.0, 1.0, rng.random(9))
+        conv = convolve(a, b)
+        for d in (6.0, 9.5, 12.0, 20.0, 40.0):
+            assert prob_sum_at_most(a, b, d) == pytest.approx(
+                conv.prob_at_most(d), abs=1e-12
+            )
+
+    def test_zero_below_joint_support(self):
+        assert prob_sum_at_most(coin(5.0), coin(5.0), 9.0) == 0.0
+
+    def test_one_above_joint_support(self):
+        assert prob_sum_at_most(coin(), coin(), 10.0) == pytest.approx(1.0)
+
+    def test_with_delta_ready(self):
+        ready = PMF.delta(10.0, 1.0)
+        ex = PMF(0.0, 1.0, [0.5, 0.5])
+        # completion = 10 + {0, 1}
+        assert prob_sum_at_most(ready, ex, 10.0) == pytest.approx(0.5)
+        assert prob_sum_at_most(ready, ex, 11.0) == pytest.approx(1.0)
+
+    def test_grid_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            prob_sum_at_most(PMF.delta(0.0, 1.0), PMF.delta(0.0, 2.0), 1.0)
+
+
+class TestExpectationOfSum:
+    def test_linearity(self):
+        a = PMF(0.0, 1.0, [0.5, 0.5])
+        b = PMF(3.0, 1.0, [0.25, 0.75])
+        assert expectation_of_sum([a, b]) == pytest.approx(a.mean() + b.mean())
+
+    def test_empty_sum_is_zero(self):
+        assert expectation_of_sum([]) == 0.0

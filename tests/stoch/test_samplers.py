@@ -1,0 +1,57 @@
+"""Tests for pmf sampling (repro.stoch.samplers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stoch.distributions import discretized_gamma
+from repro.stoch.pmf import PMF
+from repro.stoch.samplers import sample_pmf, sample_pmf_many
+
+
+class TestSamplePMF:
+    def test_delta_always_returns_its_time(self, rng):
+        d = PMF.delta(17.0, 1.0)
+        assert all(sample_pmf(d, rng) == 17.0 for _ in range(20))
+
+    def test_samples_lie_on_grid(self, rng):
+        pmf = PMF(3.0, 0.5, [0.2, 0.3, 0.5])
+        for _ in range(50):
+            x = sample_pmf(pmf, rng)
+            k = (x - pmf.start) / pmf.dt
+            assert k == pytest.approx(round(k))
+            assert pmf.start <= x <= pmf.stop
+
+    def test_deterministic_under_seed(self):
+        pmf = PMF(0.0, 1.0, [0.3, 0.3, 0.4])
+        a = [sample_pmf(pmf, np.random.default_rng(5)) for _ in range(1)]
+        b = [sample_pmf(pmf, np.random.default_rng(5)) for _ in range(1)]
+        assert a == b
+
+    def test_empirical_mean_converges(self, rng):
+        pmf = discretized_gamma(mean=200.0, cv=0.25, dt=2.0)
+        xs = sample_pmf_many(pmf, rng, 20_000)
+        assert xs.mean() == pytest.approx(pmf.mean(), rel=0.02)
+
+    def test_empirical_frequencies(self, rng):
+        pmf = PMF(0.0, 1.0, [0.7, 0.3])
+        xs = sample_pmf_many(pmf, rng, 20_000)
+        share0 = float(np.mean(xs == 0.0))
+        assert share0 == pytest.approx(0.7, abs=0.02)
+
+
+class TestSampleMany:
+    def test_shape(self, rng):
+        pmf = PMF(0.0, 1.0, [0.5, 0.5])
+        assert sample_pmf_many(pmf, rng, 13).shape == (13,)
+
+    def test_zero_size(self, rng):
+        assert sample_pmf_many(PMF.delta(1.0, 1.0), rng, 0).size == 0
+
+    def test_matches_scalar_path_distribution(self):
+        pmf = PMF(0.0, 1.0, [0.25, 0.25, 0.5])
+        many = sample_pmf_many(pmf, np.random.default_rng(9), 5)
+        scalar_rng = np.random.default_rng(9)
+        singles = np.array([sample_pmf(pmf, scalar_rng) for _ in range(5)])
+        assert np.array_equal(many, singles)

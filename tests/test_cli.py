@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import VariantSpec, run_ensemble
+from repro.io.results_io import ensemble_to_dict, save_json
+from tests.conftest import tiny_config
+
+TINY = ["--tasks", "60", "--seed", "123"]
+
+
+@pytest.fixture(scope="module")
+def saved_ensemble(tmp_path_factory):
+    specs = (VariantSpec("LL", "none"), VariantSpec("LL", "en+rob"))
+    ensemble = run_ensemble(specs, tiny_config(), num_trials=3, base_seed=1)
+    path = tmp_path_factory.mktemp("cli") / "ensemble.json"
+    save_json(ensemble_to_dict(ensemble), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trial_defaults(self):
+        args = build_parser().parse_args(["trial"])
+        assert args.heuristic == "LL"
+        assert args.filters == "en+rob"
+
+    def test_rejects_unknown_heuristic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trial", "-H", "XYZ"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+
+class TestCommands:
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "cores=" in out
+
+    def test_trial(self, capsys):
+        # The tiny workload keeps the burst proportions valid at 60 tasks.
+        assert main(["trial", "-H", "SQ", "-F", "en", "--tasks", "60", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "SQ/en" in out
+        assert "missed" in out
+
+    def test_figure_with_output(self, capsys, tmp_path):
+        out_json = tmp_path / "fig.json"
+        svg_dir = tmp_path / "figs"
+        code = main(
+            [
+                "figure",
+                "fig2",
+                *TINY,
+                "--trials",
+                "2",
+                "--out",
+                str(out_json),
+                "--svg-dir",
+                str(svg_dir),
+            ]
+        )
+        assert code == 0
+        assert out_json.exists()
+        assert (svg_dir / "sq_misses.svg").exists()
+        data = json.loads(out_json.read_text())
+        assert data["format"] == "repro.ensemble/1"
+        out = capsys.readouterr().out
+        assert "SQ" in out
+
+    def test_report_from_saved(self, capsys, saved_ensemble):
+        assert main(["report", str(saved_ensemble)]) == 0
+        out = capsys.readouterr().out
+        assert "LL" in out and "en+rob" in out
+
+    def test_compare_from_saved(self, capsys, saved_ensemble):
+        code = main(["compare", str(saved_ensemble), "LL/none", "LL/en+rob"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p=" in out
+        assert "significant" in out
+
+    def test_compare_rejects_bad_spec(self, saved_ensemble):
+        with pytest.raises(SystemExit):
+            main(["compare", str(saved_ensemble), "LLnone", "LL/en+rob"])
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                *TINY,
+                "--multipliers",
+                "0.5",
+                "2.0",
+                "--specs",
+                "MECT/none",
+                "--trials",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget_mult" in out
+        assert "MECT/none" in out

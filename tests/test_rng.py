@@ -1,0 +1,80 @@
+"""Tests for hierarchical random streams (repro.rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+
+
+class TestKeyToInts:
+    def test_string_key_is_stable(self):
+        assert rng_mod.key_to_ints("arrivals") == rng_mod.key_to_ints("arrivals")
+
+    def test_different_strings_differ(self):
+        assert rng_mod.key_to_ints("a") != rng_mod.key_to_ints("b")
+
+    def test_small_int_key(self):
+        assert rng_mod.key_to_ints(7) == (7,)
+
+    def test_zero_key(self):
+        assert rng_mod.key_to_ints(0) == (0,)
+
+    def test_large_int_key_splits_words(self):
+        words = rng_mod.key_to_ints(2**40 + 5)
+        assert len(words) == 2
+        assert words[0] == (2**40 + 5) % 2**32
+
+    def test_numpy_integer_accepted(self):
+        assert rng_mod.key_to_ints(np.int64(3)) == (3,)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            rng_mod.key_to_ints(-1)
+
+    def test_float_key_rejected(self):
+        with pytest.raises(TypeError):
+            rng_mod.key_to_ints(1.5)  # type: ignore[arg-type]
+
+
+class TestStream:
+    def test_same_keys_same_draws(self):
+        a = rng_mod.stream(42, "x", 1).random(5)
+        b = rng_mod.stream(42, "x", 1).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_master_seed_differs(self):
+        a = rng_mod.stream(1, "x").random(5)
+        b = rng_mod.stream(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_keys_independent(self):
+        a = rng_mod.stream(42, "x").random(5)
+        b = rng_mod.stream(42, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        a = rng_mod.stream(42, "a", "b").random(3)
+        b = rng_mod.stream(42, "b", "a").random(3)
+        assert not np.array_equal(a, b)
+
+    def test_no_keys_is_valid(self):
+        assert rng_mod.stream(42).random() == rng_mod.stream(42).random()
+
+
+class TestSpawnTrialSeed:
+    def test_deterministic(self):
+        assert rng_mod.spawn_trial_seed(9, 3) == rng_mod.spawn_trial_seed(9, 3)
+
+    def test_distinct_across_trials(self):
+        seeds = {rng_mod.spawn_trial_seed(9, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_across_masters(self):
+        assert rng_mod.spawn_trial_seed(1, 0) != rng_mod.spawn_trial_seed(2, 0)
+
+    def test_usable_as_master_seed(self):
+        child = rng_mod.spawn_trial_seed(5, 0)
+        g = rng_mod.stream(child, "arrivals")
+        assert 0.0 <= g.random() < 1.0

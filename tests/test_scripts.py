@@ -1,0 +1,41 @@
+"""The repo's scripts must run end-to-end at tiny scale."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestRunFullGrid:
+    def test_tiny_grid_run(self, tmp_path):
+        out = tmp_path / "grid.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "scripts" / "run_full_grid.py"),
+                "--trials",
+                "1",
+                "--tasks",
+                "60",
+                "--seed",
+                "5",
+                "--out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out.exists()
+        data = json.loads(out.read_text())
+        assert data["trials"] == 1
+        assert len(data["misses"]) == 16
+        assert "LL/en+rob" in data["misses"]
+        # The printed report must include every figure's heuristic.
+        for token in ("SQ", "MECT", "LL", "Random", "Filtering summary"):
+            assert token in proc.stdout

@@ -1,0 +1,103 @@
+"""Tests for the bursty arrival process (repro.workload.arrivals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LambdaMode, WorkloadConfig
+from repro.workload.arrivals import (
+    ArrivalRates,
+    bursty_poisson_arrivals,
+    derive_rates,
+    phase_of_task,
+)
+
+
+class TestArrivalRates:
+    def test_valid(self):
+        r = ArrivalRates(eq=1 / 28, fast=1 / 8, slow=1 / 48)
+        assert r.fast > r.eq > r.slow
+
+    def test_rejects_misordered(self):
+        with pytest.raises(ValueError):
+            ArrivalRates(eq=1.0, fast=0.5, slow=0.1)
+
+
+class TestDeriveRates:
+    def test_paper_mode_uses_absolute_values(self):
+        cfg = WorkloadConfig(lambda_mode=LambdaMode.PAPER)
+        r = derive_rates(cfg, num_cores=48, t_avg=1353.0)
+        assert r.eq == pytest.approx(1 / 28)
+        assert r.fast == pytest.approx(3.5 / 28)
+
+    def test_derived_mode_scales_with_cluster(self):
+        cfg = WorkloadConfig()
+        r = derive_rates(cfg, num_cores=50, t_avg=1000.0)
+        assert r.eq == pytest.approx(0.05)
+        assert r.fast == pytest.approx(0.175)
+        assert r.slow == pytest.approx(0.05 * cfg.slow_ratio)
+
+    def test_derived_mode_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            derive_rates(WorkloadConfig(), num_cores=0, t_avg=1000.0)
+
+    def test_paper_rate_triple_matches_paper(self):
+        # lambda_eq = 1/28, fast = 1/8, slow = 1/48 (Section VI).
+        cfg = WorkloadConfig(lambda_mode=LambdaMode.PAPER)
+        r = derive_rates(cfg, num_cores=1, t_avg=1.0)
+        assert r.fast == pytest.approx(1 / 8, rel=1e-9)
+        assert r.slow == pytest.approx(1 / 48, rel=1e-9)
+
+
+class TestPhases:
+    def test_phase_boundaries(self):
+        cfg = WorkloadConfig()
+        assert phase_of_task(cfg, 0) == "head"
+        assert phase_of_task(cfg, 199) == "head"
+        assert phase_of_task(cfg, 200) == "lull"
+        assert phase_of_task(cfg, 799) == "lull"
+        assert phase_of_task(cfg, 800) == "tail"
+        assert phase_of_task(cfg, 999) == "tail"
+
+
+class TestBurstyArrivals:
+    def rates(self) -> ArrivalRates:
+        return ArrivalRates(eq=1 / 28, fast=1 / 8, slow=1 / 48)
+
+    def test_count_and_monotonic(self, rng):
+        cfg = WorkloadConfig()
+        times = bursty_poisson_arrivals(cfg, self.rates(), rng)
+        assert times.shape == (1000,)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] > 0
+
+    def test_burst_gaps_are_faster(self):
+        cfg = WorkloadConfig()
+        rng = np.random.default_rng(0)
+        times = bursty_poisson_arrivals(cfg, self.rates(), rng)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        head = gaps[:200].mean()
+        lull = gaps[200:800].mean()
+        tail = gaps[800:].mean()
+        assert head < lull and tail < lull
+
+    def test_gap_means_match_rates(self):
+        cfg = WorkloadConfig()
+        rng = np.random.default_rng(1)
+        reps = [bursty_poisson_arrivals(cfg, self.rates(), rng) for _ in range(30)]
+        gaps = np.concatenate(
+            [np.diff(np.concatenate([[0.0], t]))[:200] for t in reps]
+        )
+        assert gaps.mean() == pytest.approx(8.0, rel=0.05)
+
+    def test_deterministic_under_seed(self):
+        cfg = WorkloadConfig()
+        a = bursty_poisson_arrivals(cfg, self.rates(), np.random.default_rng(2))
+        b = bursty_poisson_arrivals(cfg, self.rates(), np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+    def test_no_lull_configuration(self):
+        cfg = WorkloadConfig(num_tasks=100, burst_head=50, burst_tail=50)
+        times = bursty_poisson_arrivals(cfg, self.rates(), np.random.default_rng(3))
+        assert times.shape == (100,)

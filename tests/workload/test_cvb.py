@@ -1,0 +1,72 @@
+"""Tests for the CVB heterogeneity method (repro.workload.cvb)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.cvb import cvb_etc_matrix
+
+
+class TestShapeAndValidity:
+    def test_shape(self, rng):
+        etc = cvb_etc_matrix(20, 8, 750.0, 0.25, 0.25, rng)
+        assert etc.shape == (20, 8)
+
+    def test_strictly_positive(self, rng):
+        etc = cvb_etc_matrix(50, 8, 750.0, 0.5, 0.5, rng)
+        assert np.all(etc > 0)
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            cvb_etc_matrix(0, 8, 750.0, 0.25, 0.25, rng)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            cvb_etc_matrix(10, 8, -750.0, 0.25, 0.25, rng)
+        with pytest.raises(ValueError):
+            cvb_etc_matrix(10, 8, 750.0, 0.0, 0.25, rng)
+
+
+class TestStatistics:
+    def test_overall_mean_near_mu_task(self):
+        rng = np.random.default_rng(0)
+        etc = cvb_etc_matrix(400, 16, 750.0, 0.25, 0.25, rng)
+        assert etc.mean() == pytest.approx(750.0, rel=0.05)
+
+    def test_row_cov_near_v_mach(self):
+        # Within a row (one task type across machines) the coefficient of
+        # variation should be close to V_mach on average.
+        rng = np.random.default_rng(1)
+        etc = cvb_etc_matrix(300, 30, 750.0, 0.25, 0.25, rng)
+        covs = etc.std(axis=1, ddof=1) / etc.mean(axis=1)
+        assert float(np.mean(covs)) == pytest.approx(0.25, abs=0.03)
+
+    def test_row_means_cov_near_v_task(self):
+        # Across rows the row means vary with coefficient V_task.
+        rng = np.random.default_rng(2)
+        etc = cvb_etc_matrix(2000, 40, 750.0, 0.25, 0.10, rng)
+        means = etc.mean(axis=1)
+        cov = means.std(ddof=1) / means.mean()
+        assert cov == pytest.approx(0.25, abs=0.04)
+
+    def test_higher_v_task_spreads_rows(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        lo = cvb_etc_matrix(500, 8, 750.0, 0.1, 0.25, rng1).mean(axis=1)
+        hi = cvb_etc_matrix(500, 8, 750.0, 0.6, 0.25, rng2).mean(axis=1)
+        assert hi.std() > lo.std()
+
+
+class TestInconsistency:
+    def test_matrix_is_inconsistent(self):
+        # [AlS00] inconsistency: machine orderings flip between rows.
+        rng = np.random.default_rng(4)
+        etc = cvb_etc_matrix(100, 8, 750.0, 0.25, 0.25, rng)
+        best_machine = etc.argmin(axis=1)
+        assert len(set(best_machine.tolist())) > 1
+
+    def test_deterministic_under_seed(self):
+        a = cvb_etc_matrix(10, 4, 750.0, 0.25, 0.25, np.random.default_rng(5))
+        b = cvb_etc_matrix(10, 4, 750.0, 0.25, 0.25, np.random.default_rng(5))
+        assert np.array_equal(a, b)

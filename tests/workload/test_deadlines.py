@@ -1,0 +1,47 @@
+"""Tests for deadline assignment (repro.workload.deadlines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.workload.deadlines import assign_deadlines
+
+
+class TestAssignDeadlines:
+    def test_formula(self):
+        cfg = WorkloadConfig()
+        arrivals = np.array([0.0, 10.0])
+        types = np.array([1, 0])
+        per_type = np.array([100.0, 200.0])
+        out = assign_deadlines(cfg, arrivals, types, per_type, t_avg=150.0)
+        # deadline = arrival + mean exec of type + t_avg
+        assert out[0] == pytest.approx(0.0 + 200.0 + 150.0)
+        assert out[1] == pytest.approx(10.0 + 100.0 + 150.0)
+
+    def test_load_factor_multiplier(self):
+        cfg = WorkloadConfig(load_factor_mult=2.0)
+        out = assign_deadlines(
+            cfg, np.array([5.0]), np.array([0]), np.array([100.0]), t_avg=50.0
+        )
+        assert out[0] == pytest.approx(5.0 + 100.0 + 100.0)
+
+    def test_deadlines_after_arrivals(self):
+        cfg = WorkloadConfig()
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 1000, size=50))
+        types = rng.integers(0, 3, size=50)
+        per_type = rng.uniform(50, 150, size=3)
+        out = assign_deadlines(cfg, arrivals, types, per_type, t_avg=100.0)
+        assert np.all(out > arrivals)
+
+    def test_rejects_shape_mismatch(self):
+        cfg = WorkloadConfig()
+        with pytest.raises(ValueError):
+            assign_deadlines(cfg, np.zeros(3), np.zeros(2, dtype=int), np.ones(1), 1.0)
+
+    def test_rejects_bad_t_avg(self):
+        cfg = WorkloadConfig()
+        with pytest.raises(ValueError):
+            assign_deadlines(cfg, np.zeros(1), np.zeros(1, dtype=int), np.ones(1), 0.0)

@@ -1,0 +1,49 @@
+"""Tests for the ETC matrix wrapper (repro.workload.etc_matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.etc_matrix import ETCMatrix
+
+
+class TestValidation:
+    def test_valid(self):
+        etc = ETCMatrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert etc.num_task_types == 2
+        assert etc.num_nodes == 2
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ETCMatrix(np.array([1.0, 2.0]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ETCMatrix(np.array([[1.0, 0.0]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ETCMatrix(np.array([[1.0, float("nan")]]))
+
+    def test_readonly(self):
+        etc = ETCMatrix(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            etc.means[0, 0] = 5.0
+
+    def test_copy_decouples_from_input(self):
+        arr = np.array([[1.0, 2.0]])
+        etc = ETCMatrix(arr)
+        arr[0, 0] = 99.0
+        assert etc.means[0, 0] == 1.0
+
+
+class TestAggregates:
+    def test_mean_of_type(self):
+        etc = ETCMatrix(np.array([[1.0, 3.0], [10.0, 30.0]]))
+        assert etc.mean_of_type(0) == pytest.approx(2.0)
+        assert etc.mean_of_type(1) == pytest.approx(20.0)
+
+    def test_overall_mean(self):
+        etc = ETCMatrix(np.array([[1.0, 3.0], [10.0, 30.0]]))
+        assert etc.overall_mean() == pytest.approx(11.0)

@@ -1,0 +1,30 @@
+"""Tests for the Task value type (repro.workload.task)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.task import Task
+
+
+class TestTask:
+    def test_valid(self):
+        t = Task(task_id=0, type_id=3, arrival=1.0, deadline=10.0)
+        assert t.priority == 1.0
+
+    def test_rejects_deadline_before_arrival(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, type_id=0, arrival=10.0, deadline=5.0)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            Task(task_id=-1, type_id=0, arrival=0.0, deadline=1.0)
+
+    def test_rejects_nonpositive_priority(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, type_id=0, arrival=0.0, deadline=1.0, priority=0.0)
+
+    def test_frozen(self):
+        t = Task(task_id=0, type_id=0, arrival=0.0, deadline=1.0)
+        with pytest.raises(AttributeError):
+            t.arrival = 5.0  # type: ignore[misc]

@@ -1,0 +1,97 @@
+"""Tests for workload assembly (repro.workload.workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.generator import generate_cluster
+from repro.config import ClusterConfig, GridConfig, WorkloadConfig
+from repro.workload.cvb import cvb_etc_matrix
+from repro.workload.etc_matrix import ETCMatrix
+from repro.workload.pmf_table import ExecutionTimeTable
+from repro.workload.task import Task
+from repro.workload.workload import Workload, build_workload
+from repro.workload.arrivals import ArrivalRates
+
+
+@pytest.fixture(scope="module")
+def table():
+    cluster = generate_cluster(ClusterConfig(num_nodes=3), np.random.default_rng(0))
+    etc = ETCMatrix(
+        cvb_etc_matrix(10, cluster.num_nodes, 750.0, 0.25, 0.25, np.random.default_rng(1))
+    )
+    return ExecutionTimeTable(etc, cluster, GridConfig(dt=15.0), exec_cv=0.2)
+
+
+def wl_config() -> WorkloadConfig:
+    return WorkloadConfig(num_tasks=80, num_task_types=10, burst_head=20, burst_tail=20)
+
+
+class TestBuildWorkload:
+    def test_task_ids_dense_and_ordered(self, table):
+        wl = build_workload(wl_config(), table, seed=5)
+        assert wl.num_tasks == 80
+        assert [t.task_id for t in wl.tasks] == list(range(80))
+
+    def test_arrivals_nondecreasing(self, table):
+        wl = build_workload(wl_config(), table, seed=5)
+        arr = [t.arrival for t in wl.tasks]
+        assert all(b >= a for a, b in zip(arr, arr[1:]))
+
+    def test_types_in_range(self, table):
+        wl = build_workload(wl_config(), table, seed=5)
+        assert all(0 <= t.type_id < 10 for t in wl.tasks)
+
+    def test_type_uniformity(self, table):
+        cfg = WorkloadConfig(num_tasks=1000, num_task_types=10, burst_head=200, burst_tail=200)
+        wl = build_workload(cfg, table, seed=6)
+        counts = np.bincount([t.type_id for t in wl.tasks], minlength=10)
+        assert counts.min() > 50  # roughly uniform over 10 types
+
+    def test_deadline_formula_consistency(self, table):
+        wl = build_workload(wl_config(), table, seed=5)
+        t_avg = table.t_avg()
+        for task in wl.tasks[:10]:
+            expected = task.arrival + table.mean_exec_of_type(task.type_id) + t_avg
+            assert task.deadline == pytest.approx(expected)
+
+    def test_rates_derived_from_cluster(self, table):
+        wl = build_workload(wl_config(), table, seed=5)
+        assert wl.rates.eq == pytest.approx(table.cluster.num_cores / table.t_avg())
+
+    def test_deterministic_under_seed(self, table):
+        a = build_workload(wl_config(), table, seed=9)
+        b = build_workload(wl_config(), table, seed=9)
+        assert a.tasks == b.tasks
+
+    def test_seed_changes_workload(self, table):
+        a = build_workload(wl_config(), table, seed=1)
+        b = build_workload(wl_config(), table, seed=2)
+        assert a.tasks != b.tasks
+
+    def test_arrival_span_positive(self, table):
+        wl = build_workload(wl_config(), table, seed=5)
+        assert wl.arrival_span() > 0
+
+
+class TestWorkloadValidation:
+    def rates(self):
+        return ArrivalRates(eq=0.03, fast=0.12, slow=0.02)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workload(tasks=(), rates=self.rates(), t_avg=100.0)
+
+    def test_rejects_non_dense_ids(self):
+        tasks = (Task(1, 0, 0.0, 10.0),)
+        with pytest.raises(ValueError):
+            Workload(tasks=tasks, rates=self.rates(), t_avg=100.0)
+
+    def test_rejects_unsorted_arrivals(self):
+        tasks = (
+            Task(0, 0, 10.0, 20.0),
+            Task(1, 0, 5.0, 20.0),
+        )
+        with pytest.raises(ValueError):
+            Workload(tasks=tasks, rates=self.rates(), t_avg=100.0)
