@@ -27,6 +27,7 @@ Subpackages
 ``repro.heuristics``   SQ, MECT, LL, Random
 ``repro.filters``      energy and robustness filters
 ``repro.sim``          discrete-event engine
+``repro.obs``          observability: events, sinks, metrics, manifests
 ``repro.experiments``  ensembles, figures, statistics, reports
 ``repro.extensions``   Section VIII future-work features
 """

@@ -1,5 +1,6 @@
 """Analysis and presentation: box plots (ASCII + SVG), tables, phase
-breakdowns and time-series views of finished trials."""
+breakdowns, event-trace summaries and time-series views of finished
+trials."""
 
 from repro.analysis.boxplot import ascii_boxplot, ascii_boxplot_group
 from repro.analysis.phases import PhaseBreakdown, phase_breakdown
@@ -10,8 +11,16 @@ from repro.analysis.timeseries import (
     completion_rate_series,
     cumulative_energy_series,
 )
+from repro.analysis.trace_summary import (
+    TraceSummary,
+    summarize_trace,
+    trace_summary_table,
+)
 
 __all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "trace_summary_table",
     "ascii_boxplot",
     "ascii_boxplot_group",
     "PhaseBreakdown",

@@ -1,0 +1,102 @@
+"""Summarizing a structured event trace into a table.
+
+Complements the per-trial scalar results: given the events of one or
+more observed trials (from :func:`repro.io.trace_io.load_trace` or a
+:class:`~repro.obs.sinks.RingBufferSink`), compute per-kind counts,
+discard causes, and mapping-time aggregates (mean queue depth, final
+energy estimate, P-state usage), rendered with the shared markdown
+table builder.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.tables import markdown_table
+from repro.obs.events import (
+    EnergyExhausted,
+    Event,
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+)
+
+__all__ = ["TraceSummary", "summarize_trace", "trace_summary_table"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one event stream.
+
+    ``pstate_counts`` maps chosen P-state to how many mappings chose it;
+    ``discard_causes`` maps cause string to its count.
+    """
+
+    trials: int = 0
+    mapped: int = 0
+    discarded: int = 0
+    completed: int = 0
+    exhaustions: int = 0
+    finished: int = 0
+    mean_queue_depth: float = math.nan
+    last_energy_estimate: float = math.nan
+    pstate_counts: Counter = field(default_factory=Counter)
+    discard_causes: Counter = field(default_factory=Counter)
+
+    @property
+    def discard_fraction(self) -> float:
+        """Discards as a fraction of all mapping decisions."""
+        total = self.mapped + self.discarded
+        return self.discarded / total if total else math.nan
+
+
+def summarize_trace(events: Iterable[Event]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    depth_sum = 0.0
+    for event in events:
+        if isinstance(event, TaskMapped):
+            summary.mapped += 1
+            depth_sum += event.queue_depth
+            summary.pstate_counts[event.pstate] += 1
+            summary.last_energy_estimate = event.energy_estimate
+        elif isinstance(event, TaskDiscarded):
+            summary.discarded += 1
+            summary.discard_causes[event.cause] += 1
+        elif isinstance(event, TaskCompleted):
+            summary.completed += 1
+        elif isinstance(event, TrialStarted):
+            summary.trials += 1
+        elif isinstance(event, EnergyExhausted):
+            summary.exhaustions += 1
+        elif isinstance(event, TrialFinished):
+            summary.finished += 1
+    if summary.mapped:
+        summary.mean_queue_depth = depth_sum / summary.mapped
+    return summary
+
+
+def trace_summary_table(events: Iterable[Event]) -> str:
+    """Render a markdown summary table of an event trace."""
+    s = summarize_trace(events)
+    rows: list[tuple[str, str]] = [
+        ("trials", str(s.trials)),
+        ("tasks mapped", str(s.mapped)),
+        ("tasks discarded", str(s.discarded)),
+        ("tasks completed", str(s.completed)),
+        ("energy exhaustions", str(s.exhaustions)),
+    ]
+    for cause, count in sorted(s.discard_causes.items()):
+        rows.append((f"discards[{cause}]", str(count)))
+    for pstate, count in sorted(s.pstate_counts.items()):
+        rows.append((f"mappings[P{pstate}]", str(count)))
+    if not math.isnan(s.mean_queue_depth):
+        rows.append(("mean queue depth at mapping", f"{s.mean_queue_depth:.3f}"))
+    if not math.isnan(s.last_energy_estimate):
+        rows.append(("final energy estimate", f"{s.last_energy_estimate:.4g}"))
+    return markdown_table(["quantity", "value"], rows)

@@ -9,9 +9,11 @@ Installed as the ``repro`` console script::
     repro sweep --multipliers 0.7 1.0 1.3  # budget-tightness sweep
     repro report grid.json --svg-dir figs/   # re-render saved results
     repro compare grid.json LL/none LL/en+rob # paired significance test
+    repro trial --trace-out t.jsonl --metrics-out m.json  # observed run
+    repro inspect-manifest grid.manifest.json --results grid.json
 
-All subcommands accept ``--tasks`` and ``--seed``; results are
-deterministic for a given seed.
+All simulation subcommands accept ``--tasks`` and ``--seed``; results
+are deterministic for a given seed, with tracing on or off.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from typing import Sequence
 from repro import SimulationConfig, build_trial_system
 from repro.analysis.boxplot import ascii_boxplot_group
 from repro.analysis.svg import save_boxplot_svg
+from repro.analysis.trace_summary import trace_summary_table
 from repro.experiments.calibrate import calibration_summary
 from repro.experiments.compare import compare_variants
 from repro.experiments.figures import FIGURES, figure_specs, full_grid_specs
@@ -31,6 +34,9 @@ from repro.experiments.report import best_variant_table, figure_table, summary_t
 from repro.experiments.runner import EnsembleResult, VariantSpec, run_ensemble, run_trial_variant
 from repro.heuristics.registry import HEURISTICS
 from repro.io.results_io import ensemble_from_dict, ensemble_to_dict, load_json, save_json
+from repro.io.trace_io import load_trace
+from repro.obs.manifest import build_manifest, load_manifest, save_manifest, verify_ensemble
+from repro.obs.sinks import JsonlSink, MetricsRegistry
 
 __all__ = ["main", "build_parser"]
 
@@ -70,7 +76,16 @@ def cmd_trial(args: argparse.Namespace) -> int:
     """Run a single trial of one (heuristic, filters) policy."""
     system = build_trial_system(_config(args))
     spec = VariantSpec(args.heuristic, args.filters)
-    result = run_trial_variant(system, spec, keep_outcomes=False)
+    metrics = MetricsRegistry() if args.metrics_out else None
+    trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
+    sinks = (trace_sink,) if trace_sink is not None else ()
+    try:
+        result = run_trial_variant(
+            system, spec, keep_outcomes=False, metrics=metrics, sinks=sinks
+        )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     print(
         f"{result.label}: missed {result.missed}/{result.num_tasks} "
         f"({result.late} late, {result.discarded} discarded, "
@@ -81,6 +96,11 @@ def cmd_trial(args: argparse.Namespace) -> int:
         f"{result.budget / 1e6:.2f} MJ budget "
         f"({100 * result.energy_utilization():.1f}%), makespan {result.makespan:.0f}"
     )
+    if trace_sink is not None:
+        print(f"wrote {args.trace_out} ({trace_sink.count} events)")
+    if metrics is not None:
+        save_json(metrics.to_dict(), args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -105,30 +125,57 @@ def _print_ensemble(ensemble: EnsembleResult, tasks: int, svg_dir: str | None) -
         print(summary_table(ensemble, tasks))
 
 
-def cmd_figure(args: argparse.Namespace) -> int:
-    """Rerun one of the paper's figures at the requested scale."""
+def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) -> int:
+    """Shared figure/grid body: run, render, save results + manifest + metrics."""
+    import pathlib
+
+    metrics = MetricsRegistry() if args.metrics_out else None
     ensemble = run_ensemble(
-        figure_specs(args.figure), _config(args), args.trials, base_seed=args.seed,
-        n_jobs=args.jobs,
+        specs, _config(args), args.trials, base_seed=args.seed,
+        n_jobs=args.jobs, metrics=metrics,
     )
     _print_ensemble(ensemble, args.tasks, args.svg_dir)
     if args.out:
         save_json(ensemble_to_dict(ensemble), args.out)
         print(f"wrote {args.out}")
+        manifest_path = pathlib.Path(args.out).with_suffix(".manifest.json")
+        save_manifest(build_manifest(ensemble, _config(args)), manifest_path)
+        print(f"wrote {manifest_path}")
+    if metrics is not None:
+        save_json(metrics.to_dict(), args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Rerun one of the paper's figures at the requested scale."""
+    return _run_ensemble_command(figure_specs(args.figure), args)
 
 
 def cmd_grid(args: argparse.Namespace) -> int:
     """Run the full 16-variant evaluation grid."""
-    ensemble = run_ensemble(
-        full_grid_specs(), _config(args), args.trials, base_seed=args.seed,
-        n_jobs=args.jobs,
-    )
-    _print_ensemble(ensemble, args.tasks, args.svg_dir)
-    if args.out:
-        save_json(ensemble_to_dict(ensemble), args.out)
-        print(f"wrote {args.out}")
-    return 0
+    return _run_ensemble_command(full_grid_specs(), args)
+
+
+def cmd_inspect_manifest(args: argparse.Namespace) -> int:
+    """Render a run manifest; optionally verify saved results/trace."""
+    manifest = load_manifest(args.manifest)
+    print(manifest.summary())
+    code = 0
+    if args.results:
+        ensemble = ensemble_from_dict(load_json(args.results))
+        problems = verify_ensemble(manifest, ensemble)
+        if problems:
+            for problem in problems:
+                print(f"MISMATCH: {problem}")
+            code = 1
+        else:
+            print(f"results match: {args.results} is the run this manifest describes")
+    if args.trace:
+        events = load_trace(args.trace)
+        print()
+        print(trace_summary_table(events))
+    return code
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -185,6 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
     )
+    p.add_argument("--trace-out", help="write a JSONL event trace here")
+    p.add_argument("--metrics-out", help="write the metrics registry JSON here")
     p.set_defaults(func=cmd_trial)
 
     p = sub.add_parser("figure", help="rerun one of the paper's figures")
@@ -192,17 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure", choices=sorted(FIGURES))
     p.add_argument("--trials", type=int, default=10)
     p.add_argument("--jobs", type=int, default=1)
-    p.add_argument("--out", help="save the ensemble JSON here")
+    p.add_argument("--out", help="save the ensemble JSON here (plus its manifest)")
     p.add_argument("--svg-dir", help="also write SVG box plots here")
+    p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("grid", help="run the full 16-variant evaluation")
     _add_common(p)
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--jobs", type=int, default=1)
-    p.add_argument("--out", help="save the ensemble JSON here")
+    p.add_argument("--out", help="save the ensemble JSON here (plus its manifest)")
     p.add_argument("--svg-dir", help="also write SVG box plots here")
+    p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
     p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser(
+        "inspect-manifest", help="render a run manifest; verify results against it"
+    )
+    p.add_argument("manifest", help="JSON written next to grid/figure --out")
+    p.add_argument("--results", help="saved ensemble JSON to verify digests against")
+    p.add_argument("--trace", help="JSONL event trace to summarize alongside")
+    p.set_defaults(func=cmd_inspect_manifest)
 
     p = sub.add_parser("report", help="re-render tables from a saved ensemble")
     p.add_argument("results", help="JSON written by grid/figure --out")

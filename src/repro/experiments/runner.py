@@ -12,12 +12,19 @@ vary across simulation trials; all other parameters are held constant").
 
 Trials are independent, so the runner can fan them out over processes
 (``n_jobs``); results are deterministic regardless of ``n_jobs``.
+
+Observability rides along without perturbing that determinism: pass a
+:class:`~repro.obs.sinks.MetricsRegistry` and each worker process fills
+its own registry (counters, discard causes, decision-latency and
+queue-depth histograms), which the parent merges after the fan-in.
+Metrics describe the run; they never steer it.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -25,6 +32,8 @@ from repro import rng as rng_mod
 from repro.config import SimulationConfig
 from repro.filters.chain import make_filter_chain
 from repro.heuristics.registry import make_heuristic
+from repro.obs.hooks import run_observed_trial
+from repro.obs.sinks import EventSink, MetricsRegistry
 from repro.sim.engine import run_trial
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
@@ -46,30 +55,51 @@ class VariantSpec:
 
 
 def run_trial_variant(
-    system: TrialSystem, spec: VariantSpec, *, keep_outcomes: bool = False
+    system: TrialSystem,
+    spec: VariantSpec,
+    *,
+    keep_outcomes: bool = False,
+    metrics: MetricsRegistry | None = None,
+    sinks: Sequence[EventSink] = (),
 ) -> TrialResult:
     """Run one spec against a prebuilt trial system.
 
     The Random heuristic's generator derives from the trial seed and the
     spec label, so it is reproducible and independent across variants.
+    When ``metrics`` or ``sinks`` are given the trial runs observed
+    (structured events, counters, decision timing); the simulated
+    decisions — and therefore the result — are bitwise identical either
+    way.
     """
     rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
     heuristic = make_heuristic(spec.heuristic, rng)
     chain = make_filter_chain(spec.variant, system.config.filters)
-    result = run_trial(system, heuristic, chain)
+    if metrics is not None or sinks:
+        result = run_observed_trial(system, heuristic, chain, sinks=sinks, metrics=metrics)
+    else:
+        result = run_trial(system, heuristic, chain)
     if not keep_outcomes:
         result = replace(result, outcomes=())
     return result
 
 
 def _run_one_trial(
-    args: tuple[SimulationConfig, int, int, tuple[VariantSpec, ...], bool],
-) -> list[TrialResult]:
-    """Worker: build trial ``i``'s system and run every spec against it."""
-    config, base_seed, trial_index, specs, keep_outcomes = args
+    args: tuple[SimulationConfig, int, int, tuple[VariantSpec, ...], bool, bool],
+) -> tuple[list[TrialResult], dict[str, Any] | None]:
+    """Worker: build trial ``i``'s system and run every spec against it.
+
+    Returns the per-spec results plus, when requested, the worker's
+    metrics serialized for the trip back to the parent process.
+    """
+    config, base_seed, trial_index, specs, keep_outcomes, collect_metrics = args
     seed = rng_mod.spawn_trial_seed(base_seed, trial_index)
     system = build_trial_system(config.with_seed(seed))
-    return [run_trial_variant(system, spec, keep_outcomes=keep_outcomes) for spec in specs]
+    registry = MetricsRegistry() if collect_metrics else None
+    results = [
+        run_trial_variant(system, spec, keep_outcomes=keep_outcomes, metrics=registry)
+        for spec in specs
+    ]
+    return results, (registry.to_dict() if registry is not None else None)
 
 
 @dataclass(frozen=True)
@@ -117,6 +147,7 @@ def run_ensemble(
     *,
     n_jobs: int = 1,
     keep_outcomes: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> EnsembleResult:
     """Run ``num_trials`` paired trials of every spec.
 
@@ -127,21 +158,33 @@ def run_ensemble(
         identical for any value.
     keep_outcomes:
         Retain per-task outcome tuples (larger results; off by default).
+    metrics:
+        Optional registry to aggregate observability metrics into.  Each
+        worker fills its own registry; after the fan-in they are merged
+        into this one (order-independent, so ``n_jobs`` does not change
+        the totals).
     """
     specs = tuple(specs)
     if not specs:
         raise ValueError("need at least one variant spec")
     if num_trials < 1:
         raise ValueError("need at least one trial")
-    jobs = [(config, base_seed, i, specs, keep_outcomes) for i in range(num_trials)]
+    collect = metrics is not None
+    jobs = [
+        (config, base_seed, i, specs, keep_outcomes, collect) for i in range(num_trials)
+    ]
     if n_jobs <= 1:
         per_trial = [_run_one_trial(job) for job in jobs]
     else:
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             per_trial = list(pool.map(_run_one_trial, jobs))
+    if metrics is not None:
+        for _, metrics_dict in per_trial:
+            if metrics_dict is not None:
+                metrics.merge(MetricsRegistry.from_dict(metrics_dict))
     results: dict[VariantSpec, tuple[TrialResult, ...]] = {}
     for s_idx, spec in enumerate(specs):
-        results[spec] = tuple(trial[s_idx] for trial in per_trial)
+        results[spec] = tuple(trial[s_idx] for trial, _ in per_trial)
     return EnsembleResult(
         specs=specs, num_trials=num_trials, base_seed=base_seed, results=results
     )

@@ -9,7 +9,9 @@ re-reported without re-simulation:
 * :mod:`repro.io.workload_io` — task streams (arrivals, types, deadlines,
   priorities) for replaying identical workloads across studies;
 * :mod:`repro.io.cluster_io` — sampled cluster specs, pinning the exact
-  hardware draw of a trial.
+  hardware draw of a trial;
+* :mod:`repro.io.trace_io` — JSONL event traces written by
+  :class:`repro.obs.sinks.JsonlSink`, read back as typed events.
 """
 
 from repro.io.cluster_io import cluster_from_dict, cluster_to_dict
@@ -21,9 +23,13 @@ from repro.io.results_io import (
     trial_result_from_dict,
     trial_result_to_dict,
 )
+from repro.io.trace_io import iter_trace, load_trace, save_trace
 from repro.io.workload_io import workload_from_dict, workload_to_dict
 
 __all__ = [
+    "iter_trace",
+    "load_trace",
+    "save_trace",
     "cluster_from_dict",
     "cluster_to_dict",
     "ensemble_from_dict",

@@ -1,0 +1,51 @@
+"""Reading and writing JSONL event traces.
+
+The write side usually happens live through
+:class:`repro.obs.sinks.JsonlSink`; :func:`save_trace` exists for
+re-serializing filtered/transformed event lists.  The read side turns a
+trace file back into typed event objects so analysis code never touches
+raw dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Iterator
+
+from repro.obs.events import Event, event_from_dict, event_to_dict
+
+__all__ = ["iter_trace", "load_trace", "save_trace"]
+
+
+def iter_trace(path: str | pathlib.Path) -> Iterator[Event]:
+    """Yield events from a JSONL trace one at a time (blank lines skipped).
+
+    A malformed line raises ``ValueError`` carrying its line number, so
+    truncated traces fail loudly instead of silently dropping the tail.
+    """
+    with pathlib.Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield event_from_dict(json.loads(line))
+            except (json.JSONDecodeError, ValueError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad trace line: {exc}") from exc
+
+
+def load_trace(path: str | pathlib.Path) -> list[Event]:
+    """Read a whole JSONL trace into a list of typed events."""
+    return list(iter_trace(path))
+
+
+def save_trace(events: Iterable[Event], path: str | pathlib.Path) -> pathlib.Path:
+    """Write events as a JSONL trace (the format :func:`load_trace` reads)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+    return path

@@ -1,0 +1,77 @@
+"""Observability: structured events, sinks, metrics and run manifests.
+
+The simulator's headline numbers compress thousands of per-event
+decisions — the running energy estimate ``zeta(t_l)``, the chosen
+assignment's on-time probability ``rho``, discard causes — into a
+handful of scalars per trial.  This package makes those decisions
+inspectable without touching the engine's hot path:
+
+* :mod:`repro.obs.events` — typed, frozen event records
+  (``TaskMapped``, ``TaskDiscarded``, ``TaskCompleted``,
+  ``EnergyExhausted``, ``TrialStarted``, ``TrialFinished``) with a
+  stable JSON round-trip;
+* :mod:`repro.obs.sinks` — destinations for those events: a JSONL
+  trace writer, an in-memory ring buffer, and a
+  :class:`~repro.obs.sinks.MetricsRegistry` of counters and histograms
+  that merges across worker processes;
+* :mod:`repro.obs.hooks` — the :class:`~repro.obs.hooks.ObservingHooks`
+  adapter that plugs into the engine's ``EngineHooks`` protocol, plus
+  :func:`~repro.obs.hooks.run_observed_trial`;
+* :mod:`repro.obs.manifest` — run manifests (config digest, seeds,
+  version, git SHA, per-trial result digests) so any saved figure is
+  reproducible from the manifest sitting next to it.
+
+Observability is strictly opt-in: ``run_trial`` with no hooks allocates
+no event objects, and :mod:`repro.sim.engine` never imports this
+package.
+"""
+
+from repro.obs.events import (
+    EnergyExhausted,
+    Event,
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.hooks import ObservingHooks, TimedHeuristic, run_observed_trial
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    config_digest,
+    load_manifest,
+    manifest_for_results,
+    save_manifest,
+    trial_digest,
+    verify_ensemble,
+)
+from repro.obs.sinks import JsonlSink, MetricsRegistry, RingBufferSink
+
+__all__ = [
+    "EnergyExhausted",
+    "Event",
+    "TaskCompleted",
+    "TaskDiscarded",
+    "TaskMapped",
+    "TrialFinished",
+    "TrialStarted",
+    "event_from_dict",
+    "event_to_dict",
+    "ObservingHooks",
+    "TimedHeuristic",
+    "run_observed_trial",
+    "RunManifest",
+    "build_manifest",
+    "config_digest",
+    "load_manifest",
+    "manifest_for_results",
+    "save_manifest",
+    "trial_digest",
+    "verify_ensemble",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+]

@@ -1,0 +1,170 @@
+"""Typed structured events emitted by an observed trial.
+
+Every event is a small frozen dataclass with a class-level ``kind``
+string.  ``event_to_dict`` / ``event_from_dict`` give a stable JSON
+round-trip (the JSONL trace format written by
+:class:`~repro.obs.sinks.JsonlSink` and read back by
+:func:`repro.io.trace_io.load_trace`).
+
+Events are only ever constructed inside
+:class:`~repro.obs.hooks.ObservingHooks`; with no hooks attached the
+engine allocates none of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Union
+
+__all__ = [
+    "Event",
+    "TrialStarted",
+    "TaskMapped",
+    "TaskDiscarded",
+    "TaskCompleted",
+    "EnergyExhausted",
+    "TrialFinished",
+    "EVENT_KINDS",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+#: Discard cause recorded when filtering leaves no feasible assignment.
+CAUSE_EMPTY_FEASIBLE = "empty_feasible_set"
+#: Discard cause recorded when a hook cancels a queued task.
+CAUSE_CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True, slots=True)
+class TrialStarted:
+    """Emitted once before the first simulation event of a trial."""
+
+    kind: ClassVar[str] = "trial_started"
+
+    seed: int
+    num_tasks: int
+    heuristic: str
+    variant: str
+    budget: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskMapped:
+    """A task was committed to a (core, P-state) assignment.
+
+    ``energy_estimate`` is the heuristic's remaining-energy estimate
+    ``zeta(t_l)`` *after* subtracting this assignment's EEC;
+    ``prob_on_time`` is the chosen assignment's ``rho`` when the caller
+    supplied it (``nan`` when unavailable through the hook interface).
+    """
+
+    kind: ClassVar[str] = "task_mapped"
+
+    t: float
+    task_id: int
+    type_id: int
+    core_id: int
+    pstate: int
+    energy_estimate: float
+    queue_depth: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDiscarded:
+    """Filtering left no feasible assignment (or a hook cancelled)."""
+
+    kind: ClassVar[str] = "task_discarded"
+
+    t: float
+    task_id: int
+    type_id: int
+    cause: str = CAUSE_EMPTY_FEASIBLE
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCompleted:
+    """A running task's sampled execution time elapsed."""
+
+    kind: ClassVar[str] = "task_completed"
+
+    t: float
+    task_id: int
+    type_id: int
+    core_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyExhausted:
+    """Cumulative consumed energy crossed the budget at time ``t``.
+
+    Exhaustion is a ledger quantity computed after the run (DESIGN.md
+    §4.4), so this event is emitted at trial end, not mid-stream.
+    """
+
+    kind: ClassVar[str] = "energy_exhausted"
+
+    t: float
+    budget: float
+
+
+@dataclass(frozen=True, slots=True)
+class TrialFinished:
+    """Emitted once after scoring, mirroring the TrialResult scalars."""
+
+    kind: ClassVar[str] = "trial_finished"
+
+    makespan: float
+    missed: int
+    completed_within: int
+    discarded: int
+    late: int
+    energy_cutoff: int
+    total_energy: float
+
+
+Event = Union[
+    TrialStarted,
+    TaskMapped,
+    TaskDiscarded,
+    TaskCompleted,
+    EnergyExhausted,
+    TrialFinished,
+]
+
+#: kind string -> event class, for deserialization.
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        TrialStarted,
+        TaskMapped,
+        TaskDiscarded,
+        TaskCompleted,
+        EnergyExhausted,
+        TrialFinished,
+    )
+}
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    """Serialize an event to a plain dict with its ``kind`` tag first."""
+    data: dict[str, Any] = {"kind": event.kind}
+    data.update(asdict(event))
+    return data
+
+
+def event_from_dict(data: dict[str, Any]) -> Event:
+    """Rebuild an event from :func:`event_to_dict` output.
+
+    Unknown keys are rejected (they indicate a schema drift the reader
+    should not silently swallow); unknown kinds raise ``ValueError``.
+    """
+    kind = data.get("kind")
+    cls = EVENT_KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    payload = {k: v for k, v in data.items() if k != "kind"}
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(f"unknown fields for {kind!r}: {sorted(unknown)}")
+    return cls(**payload)

@@ -1,0 +1,185 @@
+"""Adapting the engine's ``EngineHooks`` protocol to event sinks.
+
+:class:`ObservingHooks` is the only place event objects are constructed:
+``run_trial`` with ``hooks=None`` (the default) touches none of this
+module, so the engine hot path stays allocation-free when observability
+is off.
+
+:func:`run_observed_trial` wraps :func:`repro.sim.engine.run_trial` with
+the trial-lifecycle events (``TrialStarted``, ``EnergyExhausted``,
+``TrialFinished``) that the per-event hook protocol cannot see, and
+optionally times every heuristic decision via :class:`TimedHeuristic`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from repro.filters.chain import FilterChain
+from repro.heuristics.base import CandidateSet, Heuristic, MappingContext
+from repro.obs.events import (
+    EnergyExhausted,
+    Event,
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+)
+from repro.obs.sinks import DEPTH_EDGES, LATENCY_EDGES, EventSink, MetricsRegistry
+from repro.sim.engine import run_trial
+from repro.sim.results import TrialResult
+from repro.sim.system import TrialSystem
+from repro.workload.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = ["ObservingHooks", "TimedHeuristic", "run_observed_trial"]
+
+
+class ObservingHooks:
+    """``EngineHooks`` implementation that fans events out to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Zero or more event sinks (``JsonlSink``, ``RingBufferSink``, any
+        object with ``emit``).
+    metrics:
+        Optional registry; when given, mapping/discard/completion
+        counters and the queue-depth histogram are updated per event.
+    """
+
+    def __init__(
+        self,
+        sinks: Sequence[EventSink] = (),
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.sinks = tuple(sinks)
+        self.metrics = metrics
+
+    def _emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    # -- EngineHooks protocol -------------------------------------------
+
+    def on_mapped(self, engine: "Engine", task: Task, core_id: int, pstate: int) -> None:
+        depth = engine.avg_queue_depth
+        self._emit(
+            TaskMapped(
+                t=engine.now,
+                task_id=task.task_id,
+                type_id=task.type_id,
+                core_id=core_id,
+                pstate=pstate,
+                energy_estimate=engine.energy_estimate,
+                queue_depth=depth,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.inc("tasks_mapped")
+            self.metrics.observe("queue_depth", depth, DEPTH_EDGES)
+
+    def on_discarded(self, engine: "Engine", task: Task) -> None:
+        event = TaskDiscarded(t=engine.now, task_id=task.task_id, type_id=task.type_id)
+        self._emit(event)
+        if self.metrics is not None:
+            self.metrics.inc(f"tasks_discarded.{event.cause}")
+
+    def on_completion(self, engine: "Engine", core_id: int, task: Task, t_now: float) -> None:
+        self._emit(
+            TaskCompleted(
+                t=t_now, task_id=task.task_id, type_id=task.type_id, core_id=core_id
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.inc("tasks_completed")
+
+    # -- trial lifecycle (called by run_observed_trial) -----------------
+
+    def trial_started(self, system: TrialSystem, heuristic: Heuristic, chain: FilterChain) -> None:
+        """Emit the ``TrialStarted`` envelope event."""
+        self._emit(
+            TrialStarted(
+                seed=system.config.seed,
+                num_tasks=system.num_tasks,
+                heuristic=heuristic.name,
+                variant=chain.label,
+                budget=system.budget,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.inc("trials_run")
+
+    def trial_finished(self, result: TrialResult) -> None:
+        """Emit ``EnergyExhausted`` (when it happened) and ``TrialFinished``."""
+        if math.isfinite(result.exhaustion_time):
+            self._emit(EnergyExhausted(t=result.exhaustion_time, budget=result.budget))
+            if self.metrics is not None:
+                self.metrics.inc("energy_exhaustions")
+        self._emit(
+            TrialFinished(
+                makespan=result.makespan,
+                missed=result.missed,
+                completed_within=result.completed_within,
+                discarded=result.discarded,
+                late=result.late,
+                energy_cutoff=result.energy_cutoff,
+                total_energy=result.total_energy,
+            )
+        )
+
+
+class TimedHeuristic(Heuristic):
+    """Decorator: time every ``select`` call into a latency histogram.
+
+    Timing wraps the heuristic *outside* the engine, so the engine stays
+    oblivious to observability and the measured span is exactly the
+    decision (mask argmin etc.), not candidate construction.
+    """
+
+    def __init__(self, inner: Heuristic, metrics: MetricsRegistry) -> None:
+        self.inner = inner
+        self.metrics = metrics
+        self.name = inner.name
+
+    def select(self, cands: CandidateSet, ctx: MappingContext) -> int | None:
+        t0 = time.perf_counter()
+        index = self.inner.select(cands, ctx)
+        self.metrics.observe(
+            f"decision_latency_s.{self.name}", time.perf_counter() - t0, LATENCY_EDGES
+        )
+        return index
+
+    def __repr__(self) -> str:
+        return f"TimedHeuristic({self.inner!r})"
+
+
+def run_observed_trial(
+    system: TrialSystem,
+    heuristic: Heuristic,
+    filter_chain: FilterChain,
+    *,
+    sinks: Sequence[EventSink] = (),
+    metrics: MetricsRegistry | None = None,
+) -> TrialResult:
+    """Run one trial with observability attached.
+
+    Identical simulation semantics to :func:`repro.sim.engine.run_trial`
+    — hooks observe, they never steer, and decision timing wraps the
+    heuristic without touching its choices — so results are bitwise
+    equal with tracing on or off.
+    """
+    hooks = ObservingHooks(sinks, metrics=metrics)
+    engine_heuristic: Heuristic = heuristic
+    if metrics is not None:
+        engine_heuristic = TimedHeuristic(heuristic, metrics)
+    hooks.trial_started(system, heuristic, filter_chain)
+    result = run_trial(system, engine_heuristic, filter_chain, hooks=hooks)
+    hooks.trial_finished(result)
+    return result

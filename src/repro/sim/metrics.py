@@ -4,6 +4,11 @@ The engine emits samples into a :class:`TraceCollector` when one is
 supplied; the default (no collector) keeps the hot path allocation-free.
 Traces feed the examples and the diagnostic analysis in
 :mod:`repro.analysis`, not the headline results.
+
+The collector stores *columnar* per-mapping samples for NumPy analysis.
+For typed per-event records (JSONL traces, counters/histograms, run
+manifests) use :mod:`repro.obs`, which attaches through the engine's
+``EngineHooks`` protocol instead.
 """
 
 from __future__ import annotations

@@ -1,0 +1,79 @@
+"""Tests for trace summarization (repro.analysis.trace_summary)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.trace_summary import (
+    TraceSummary,
+    summarize_trace,
+    trace_summary_table,
+)
+from repro.obs.events import (
+    CAUSE_CANCELLED,
+    EnergyExhausted,
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+)
+
+EVENTS = [
+    TrialStarted(seed=1, num_tasks=3, heuristic="LL", variant="en", budget=100.0),
+    TaskMapped(
+        t=0.5, task_id=0, type_id=1, core_id=0, pstate=2,
+        energy_estimate=90.0, queue_depth=1.0,
+    ),
+    TaskMapped(
+        t=1.0, task_id=1, type_id=0, core_id=3, pstate=2,
+        energy_estimate=80.0, queue_depth=3.0,
+    ),
+    TaskDiscarded(t=1.5, task_id=2, type_id=2),
+    TaskDiscarded(t=1.6, task_id=3, type_id=2, cause=CAUSE_CANCELLED),
+    TaskCompleted(t=2.0, task_id=0, type_id=1, core_id=0),
+    EnergyExhausted(t=9.0, budget=100.0),
+    TrialFinished(
+        makespan=9.5, missed=2, completed_within=1, discarded=2, late=0,
+        energy_cutoff=1, total_energy=101.0,
+    ),
+]
+
+
+class TestSummarizeTrace:
+    def test_counts(self):
+        s = summarize_trace(EVENTS)
+        assert (s.trials, s.mapped, s.discarded, s.completed) == (1, 2, 2, 1)
+        assert (s.exhaustions, s.finished) == (1, 1)
+
+    def test_aggregates(self):
+        s = summarize_trace(EVENTS)
+        assert s.mean_queue_depth == 2.0
+        assert s.last_energy_estimate == 80.0
+        assert s.pstate_counts == {2: 2}
+        assert s.discard_causes == {"empty_feasible_set": 1, CAUSE_CANCELLED: 1}
+        assert s.discard_fraction == 0.5
+
+    def test_empty_trace(self):
+        s = summarize_trace([])
+        assert s == TraceSummary()
+        assert math.isnan(s.mean_queue_depth)
+        assert math.isnan(s.discard_fraction)
+
+    def test_accepts_any_iterable(self):
+        assert summarize_trace(iter(EVENTS)).mapped == 2
+
+
+class TestTraceSummaryTable:
+    def test_table_rows(self):
+        table = trace_summary_table(EVENTS)
+        assert "tasks mapped" in table
+        assert "discards[empty_feasible_set]" in table
+        assert "discards[cancelled]" in table
+        assert "mappings[P2]" in table
+        assert "mean queue depth at mapping" in table
+
+    def test_empty_trace_table_omits_nan_rows(self):
+        table = trace_summary_table([])
+        assert "nan" not in table
+        assert "tasks mapped" in table

@@ -1,18 +1,49 @@
-"""Shared fixtures.
+"""Shared fixtures and test-wide configuration.
 
 ``tiny_system`` / ``small_system`` are session-scoped because building an
 execution-time table discretizes thousands of gamma laws; tests must not
 mutate them (engines copy what they need — each Engine builds its own
 core states and ledger).
+
+Hypothesis runs under a registered profile: the default ``ci`` profile is
+*derandomized*, so the tier-1 suite is bit-for-bit repeatable run to run
+(the determinism the engine itself promises).  Set
+``HYPOTHESIS_PROFILE=dev`` locally to explore fresh random examples.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import SimulationConfig, build_trial_system
 from repro.sim.system import TrialSystem
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def micro_config(seed: int = 1, **updates) -> SimulationConfig:
+    """The smallest config that still exercises queueing (30 tasks, 2 nodes).
+
+    Shared by the engine edge-case, determinism and observability tests,
+    which previously each rebuilt it by hand.  Extra keyword sections are
+    forwarded to :meth:`SimulationConfig.with_updates`.
+    """
+    cfg = SimulationConfig(seed=seed).with_updates(
+        workload={
+            "num_tasks": 30,
+            "num_task_types": 5,
+            "burst_head": 10,
+            "burst_tail": 10,
+        },
+        cluster={"num_nodes": 2},
+    )
+    return cfg.with_updates(**updates) if updates else cfg
 
 
 def tiny_config(seed: int = 123) -> SimulationConfig:
@@ -34,6 +65,12 @@ def small_config(seed: int = 11) -> SimulationConfig:
     return cfg.with_updates(
         workload={"num_tasks": 250, "burst_head": 50, "burst_tail": 50}
     )
+
+
+@pytest.fixture(scope="session")
+def micro_system() -> TrialSystem:
+    """Session-wide micro trial system (do not mutate)."""
+    return build_trial_system(micro_config())
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import ast
+import importlib.util
 import pathlib
 
 import pytest
@@ -32,3 +33,53 @@ class TestExamples:
         # Examples must not reach into protected members.
         text = path.read_text()
         assert "._" not in text
+
+
+class TestQuickstartObserved:
+    """Run quickstart in observed mode and round-trip every artifact."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        path = next(p for p in EXAMPLES if p.name == "quickstart.py")
+        spec = importlib.util.spec_from_file_location("quickstart_example", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        outdir = tmp_path_factory.mktemp("quickstart")
+        module.main(seed=11, outdir=str(outdir), num_tasks=80)
+        return outdir
+
+    def test_writes_all_artifacts(self, artifacts):
+        for name in (
+            "quickstart_trace.jsonl",
+            "quickstart_metrics.json",
+            "quickstart.manifest.json",
+        ):
+            assert (artifacts / name).exists()
+
+    def test_trace_and_metrics_agree(self, artifacts):
+        from repro.io.trace_io import load_trace
+        from repro.obs.sinks import MetricsRegistry
+        import json
+
+        events = load_trace(artifacts / "quickstart_trace.jsonl")
+        metrics = MetricsRegistry.from_dict(
+            json.loads((artifacts / "quickstart_metrics.json").read_text())
+        )
+        mapped_events = sum(1 for e in events if e.kind == "task_mapped")
+        assert metrics.counter("tasks_mapped") == mapped_events
+
+    def test_manifest_inspectable_via_cli(self, artifacts, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "inspect-manifest",
+                str(artifacts / "quickstart.manifest.json"),
+                "--trace",
+                str(artifacts / "quickstart_trace.jsonl"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base seed" in out
+        assert "tasks mapped" in out

@@ -1,0 +1,77 @@
+"""Tests for JSONL trace reading/writing (repro.io.trace_io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io.trace_io import iter_trace, load_trace, save_trace
+from repro.obs.events import (
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+    event_to_dict,
+)
+
+EVENTS = [
+    TrialStarted(seed=1, num_tasks=2, heuristic="LL", variant="none", budget=100.0),
+    TaskMapped(
+        t=0.5, task_id=0, type_id=1, core_id=0, pstate=2,
+        energy_estimate=90.0, queue_depth=0.0,
+    ),
+    TaskDiscarded(t=1.0, task_id=1, type_id=0),
+    TaskCompleted(t=3.0, task_id=0, type_id=1, core_id=0),
+    TrialFinished(
+        makespan=3.0, missed=1, completed_within=1, discarded=1, late=0,
+        energy_cutoff=0, total_energy=5.0,
+    ),
+]
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = save_trace(EVENTS, tmp_path / "trace.jsonl")
+        assert load_trace(path) == EVENTS
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        path = save_trace(EVENTS, tmp_path / "a" / "b" / "trace.jsonl")
+        assert path.exists()
+
+    def test_reads_jsonl_sink_output(self, tmp_path):
+        from repro.obs.sinks import JsonlSink
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for event in EVENTS:
+                sink.emit(event)
+        assert load_trace(path) == EVENTS
+
+
+class TestRobustness:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(event_to_dict(e)) for e in EVENTS[:2]]
+        path.write_text(lines[0] + "\n\n   \n" + lines[1] + "\n")
+        assert load_trace(path) == EVENTS[:2]
+
+    def test_malformed_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(event_to_dict(EVENTS[0])) + "\n" + '{"kind": "task_map\n'
+        )
+        with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+            load_trace(path)
+
+    def test_unknown_kind_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "task_teleported", "t": 1.0}\n')
+        with pytest.raises(ValueError, match=r"trace\.jsonl:1"):
+            load_trace(path)
+
+    def test_iter_trace_is_lazy(self, tmp_path):
+        path = save_trace(EVENTS, tmp_path / "trace.jsonl")
+        iterator = iter_trace(path)
+        assert next(iterator) == EVENTS[0]

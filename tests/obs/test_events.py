@@ -1,0 +1,82 @@
+"""Tests for the typed event layer (repro.obs.events)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EnergyExhausted,
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+    event_from_dict,
+    event_to_dict,
+)
+
+SAMPLES = [
+    TrialStarted(seed=7, num_tasks=30, heuristic="LL", variant="en+rob", budget=1e6),
+    TaskMapped(
+        t=1.5, task_id=0, type_id=3, core_id=2, pstate=1,
+        energy_estimate=9e5, queue_depth=0.25,
+    ),
+    TaskDiscarded(t=2.5, task_id=1, type_id=4),
+    TaskCompleted(t=9.0, task_id=0, type_id=3, core_id=2),
+    EnergyExhausted(t=100.0, budget=1e6),
+    TrialFinished(
+        makespan=120.0, missed=3, completed_within=27, discarded=1, late=1,
+        energy_cutoff=1, total_energy=1.1e6,
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_dict_round_trip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_kind_tag_present(self, event):
+        data = event_to_dict(event)
+        assert data["kind"] == event.kind
+        assert data["kind"] in EVENT_KINDS
+
+    def test_kinds_are_unique_and_registered(self):
+        assert len(EVENT_KINDS) == 6
+        assert set(EVENT_KINDS) == {
+            "trial_started",
+            "task_mapped",
+            "task_discarded",
+            "task_completed",
+            "energy_exhausted",
+            "trial_finished",
+        }
+
+
+class TestSchemaStrictness:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "task_teleported", "t": 1.0})
+
+    def test_unknown_field_rejected(self):
+        data = event_to_dict(SAMPLES[3])
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            event_from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = event_to_dict(SAMPLES[3])
+        del data["core_id"]
+        with pytest.raises(TypeError):
+            event_from_dict(data)
+
+    def test_events_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SAMPLES[1].t = 99.0  # type: ignore[misc]
+
+    def test_default_discard_cause(self):
+        assert TaskDiscarded(t=0.0, task_id=1, type_id=2).cause == "empty_feasible_set"

@@ -1,0 +1,146 @@
+"""Tests for ObservingHooks / run_observed_trial (repro.obs.hooks).
+
+The two load-bearing guarantees:
+
+* observability is strictly opt-in — the engine never imports the obs
+  package, and an unobserved run allocates no event objects;
+* observing a run does not change it — paired-seed A/B results are
+  bitwise identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.filters.chain import make_filter_chain
+from repro.heuristics.lightest_load import LightestLoad
+from repro.obs.events import (
+    EnergyExhausted,
+    TaskCompleted,
+    TaskDiscarded,
+    TaskMapped,
+    TrialFinished,
+    TrialStarted,
+)
+from repro.obs.hooks import ObservingHooks, TimedHeuristic, run_observed_trial
+from repro.obs.sinks import MetricsRegistry, RingBufferSink
+from repro.sim.engine import run_trial
+from tests.conftest import micro_config
+from repro import build_trial_system
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """One observed trial with a full ring trace and metrics."""
+    system = build_trial_system(micro_config(seed=3))
+    ring = RingBufferSink(capacity=10_000)
+    metrics = MetricsRegistry()
+    result = run_observed_trial(
+        system, LightestLoad(), make_filter_chain("en+rob"),
+        sinks=(ring,), metrics=metrics,
+    )
+    return system, ring, metrics, result
+
+
+class TestOptIn:
+    def test_engine_never_imports_obs(self):
+        # The decoupling that keeps the hot path allocation-free: the
+        # engine knows only the hooks protocol, never the event types.
+        source = inspect.getsource(engine_mod)
+        assert "repro.obs" not in source
+
+    def test_run_trial_defaults_to_no_hooks(self):
+        signature = inspect.signature(run_trial)
+        assert signature.parameters["hooks"].default is None
+        assert signature.parameters["collector"].default is None
+
+
+class TestEventStream:
+    def test_envelope_events(self, observed):
+        _system, ring, _metrics, result = observed
+        events = ring.events
+        assert isinstance(events[0], TrialStarted)
+        assert isinstance(events[-1], TrialFinished)
+        assert events[0].heuristic == "LL"
+        assert events[0].variant == "en+rob"
+        assert events[-1].missed == result.missed
+
+    def test_every_task_mapped_or_discarded_once(self, observed):
+        system, ring, _metrics, _result = observed
+        decided = [
+            e.task_id for e in ring if isinstance(e, (TaskMapped, TaskDiscarded))
+        ]
+        assert sorted(decided) == list(range(system.num_tasks))
+
+    def test_completions_match_mappings(self, observed):
+        _system, ring, _metrics, _result = observed
+        mapped = {e.task_id for e in ring if isinstance(e, TaskMapped)}
+        completed = {e.task_id for e in ring if isinstance(e, TaskCompleted)}
+        assert completed == mapped
+
+    def test_engine_event_times_nondecreasing(self, observed):
+        # EnergyExhausted is excluded: exhaustion is a post-hoc ledger
+        # quantity, emitted at trial end with its (earlier) timestamp.
+        _system, ring, _metrics, _result = observed
+        times = [
+            e.t
+            for e in ring
+            if isinstance(e, (TaskMapped, TaskDiscarded, TaskCompleted))
+        ]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_exhaustion_event_matches_result(self, observed):
+        _system, ring, _metrics, result = observed
+        exhaustions = [e for e in ring if isinstance(e, EnergyExhausted)]
+        if result.exhaustion_time == float("inf"):
+            assert not exhaustions
+        else:
+            assert len(exhaustions) == 1
+            assert exhaustions[0].t == result.exhaustion_time
+
+    def test_metrics_counters_match_result(self, observed):
+        _system, _ring, metrics, result = observed
+        assert metrics.counter("tasks_mapped") == result.num_tasks - result.discarded
+        assert (
+            sum(metrics.counters_with_prefix("tasks_discarded.").values())
+            == result.discarded
+        )
+        assert metrics.counter("trials_run") == 1
+
+    def test_decision_latency_recorded_per_heuristic(self, observed):
+        _system, _ring, metrics, result = observed
+        hist = metrics.histograms["decision_latency_s.LL"]
+        # One timed decision per arrival (mapped or discarded alike).
+        assert hist.count == result.num_tasks
+        assert hist.min >= 0.0
+
+
+class TestObservationIsInert:
+    def test_results_bitwise_identical_with_and_without_tracing(self):
+        system = build_trial_system(micro_config(seed=6))
+        plain = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        ring = RingBufferSink(capacity=10_000)
+        observed = run_observed_trial(
+            system, LightestLoad(), make_filter_chain("en+rob"),
+            sinks=(ring,), metrics=MetricsRegistry(),
+        )
+        assert plain == observed  # full dataclass equality incl. outcomes
+
+    def test_timed_heuristic_delegates_choices(self):
+        system = build_trial_system(micro_config(seed=2))
+        metrics = MetricsRegistry()
+        timed = TimedHeuristic(LightestLoad(), metrics)
+        assert timed.name == "LL"
+        a = run_trial(system, LightestLoad(), make_filter_chain("none"))
+        b = run_trial(system, timed, make_filter_chain("none"))
+        assert a == b
+
+    def test_hooks_without_sinks_or_metrics_are_harmless(self):
+        system = build_trial_system(micro_config(seed=2))
+        result = run_trial(
+            system, LightestLoad(), make_filter_chain("none"), hooks=ObservingHooks()
+        )
+        assert result.num_tasks == system.num_tasks

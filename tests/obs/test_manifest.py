@@ -1,0 +1,139 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.experiments.runner import VariantSpec, run_ensemble
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    config_digest,
+    git_sha,
+    load_manifest,
+    manifest_for_results,
+    save_manifest,
+    trial_digest,
+    verify_ensemble,
+)
+from tests.conftest import micro_config
+
+SPECS = (VariantSpec("LL", "en+rob"), VariantSpec("MECT", "none"))
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return run_ensemble(SPECS, micro_config(seed=4), num_trials=2, base_seed=17)
+
+
+@pytest.fixture(scope="module")
+def manifest(ensemble):
+    return build_manifest(ensemble, micro_config(seed=4))
+
+
+class TestDigests:
+    def test_config_digest_is_stable(self):
+        assert config_digest(micro_config(seed=4)) == config_digest(
+            micro_config(seed=4)
+        )
+
+    def test_config_digest_sensitive_to_any_field(self):
+        base = config_digest(micro_config(seed=4))
+        assert config_digest(micro_config(seed=5)) != base
+        assert config_digest(micro_config(seed=4, energy={"budget_mult": 0.5})) != base
+
+    def test_trial_digest_distinguishes_trials(self, ensemble):
+        digests = {
+            trial_digest(r)
+            for spec in SPECS
+            for r in ensemble.results[spec]
+        }
+        assert len(digests) == 2 * len(SPECS)
+
+    def test_trial_digest_is_stable(self, ensemble):
+        r = ensemble.results[SPECS[0]][0]
+        assert trial_digest(r) == trial_digest(r)
+
+
+class TestRunManifest:
+    def test_contents(self, manifest, ensemble):
+        assert manifest.config_digest == config_digest(micro_config(seed=4))
+        assert manifest.base_seed == 17
+        assert manifest.num_trials == 2
+        assert manifest.repro_version == __version__
+        assert manifest.specs == ("LL/en+rob", "MECT/none")
+        assert all(len(v) == 2 for v in manifest.trial_digests.values())
+
+    def test_dict_round_trip(self, manifest):
+        assert RunManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_from_dict_rejects_wrong_format(self, manifest):
+        data = manifest.to_dict() | {"format": "repro.manifest/999"}
+        with pytest.raises(ValueError):
+            RunManifest.from_dict(data)
+
+    def test_save_load_round_trip(self, manifest, tmp_path):
+        path = save_manifest(manifest, tmp_path / "run.manifest.json")
+        assert load_manifest(path) == manifest
+        # The file is plain JSON with the format marker up front.
+        assert json.loads(path.read_text())["format"] == "repro.manifest/1"
+
+    def test_summary_mentions_key_fields(self, manifest):
+        text = manifest.summary()
+        assert "base seed" in text
+        assert "17" in text
+        assert "LL/en+rob" in text
+
+    def test_manifest_for_results_matches_build_manifest(self, manifest, ensemble):
+        alt = manifest_for_results(
+            {spec.label: ensemble.results[spec] for spec in ensemble.specs},
+            micro_config(seed=4),
+            base_seed=17,
+            num_trials=2,
+        )
+        assert alt == manifest
+
+
+class TestVerifyEnsemble:
+    def test_matching_ensemble_verifies_clean(self, manifest, ensemble):
+        assert verify_ensemble(manifest, ensemble) == []
+
+    def test_rerun_verifies_clean(self, manifest):
+        rerun = run_ensemble(
+            SPECS, micro_config(seed=4), num_trials=2, base_seed=17, n_jobs=2
+        )
+        assert verify_ensemble(manifest, rerun) == []
+
+    def test_different_base_seed_reported(self, manifest):
+        other = run_ensemble(SPECS, micro_config(seed=4), num_trials=2, base_seed=18)
+        problems = verify_ensemble(manifest, other)
+        assert any("base seed" in p for p in problems)
+        assert any("digest mismatch" in p for p in problems)
+
+    def test_missing_spec_reported(self, manifest):
+        other = run_ensemble(
+            SPECS[:1], micro_config(seed=4), num_trials=2, base_seed=17
+        )
+        problems = verify_ensemble(manifest, other)
+        assert any("specs differ" in p for p in problems)
+
+    def test_tampered_digest_reported(self, manifest, ensemble):
+        digests = dict(manifest.trial_digests)
+        label = manifest.specs[0]
+        digests[label] = ("0" * 64,) + digests[label][1:]
+        tampered = dataclasses.replace(manifest, trial_digests=digests)
+        problems = verify_ensemble(tampered, ensemble)
+        assert problems == [f"{label} trial 0: digest mismatch"]
+
+
+class TestGitSha:
+    def test_git_sha_in_this_repo(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_git_sha_outside_a_repo(self, tmp_path):
+        assert git_sha(tmp_path) is None

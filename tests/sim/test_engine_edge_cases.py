@@ -1,7 +1,9 @@
-"""Engine edge cases: degenerate topologies, budgets and workloads."""
+"""Engine edge cases: degenerate topologies, budgets, workloads and
+the documented event-ordering tie-breaks."""
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
 import pytest
@@ -13,19 +15,23 @@ from repro.heuristics.lightest_load import LightestLoad
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
 from repro.workload.task import Task
+from tests.conftest import micro_config as tiny
 
 
-def tiny(seed: int = 1, **updates) -> SimulationConfig:
-    cfg = SimulationConfig(seed=seed).with_updates(
-        workload={
-            "num_tasks": 30,
-            "num_task_types": 5,
-            "burst_head": 10,
-            "burst_tail": 10,
-        },
-        cluster={"num_nodes": 2},
-    )
-    return cfg.with_updates(**updates) if updates else cfg
+class RecordingHooks:
+    """EngineHooks implementation that logs every hook call in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_mapped(self, engine, task, core_id, pstate):
+        self.events.append(("mapped", engine.now, task.task_id, core_id))
+
+    def on_discarded(self, engine, task):
+        self.events.append(("discarded", engine.now, task.task_id, -1))
+
+    def on_completion(self, engine, core_id, task, t_now):
+        self.events.append(("completed", t_now, task.task_id, core_id))
 
 
 class TestDegenerateTopology:
@@ -151,3 +157,109 @@ class TestBudgetExtremes:
         system = build_trial_system(cfg)
         result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
         assert result.total_energy > 0.0
+
+
+def _with_arrival_at(system, task_index: int, arrival: float):
+    """Copy ``system`` with one task's arrival (and deadline slack) moved."""
+    tasks = list(system.workload.tasks)
+    old = tasks[task_index]
+    tasks[task_index] = Task(
+        task_id=old.task_id,
+        type_id=old.type_id,
+        arrival=arrival,
+        deadline=arrival + (old.deadline - old.arrival),
+    )
+    workload = replace(system.workload, tasks=tuple(tasks))
+    return replace(system, workload=workload)
+
+
+class TestEventOrderingTieBreaks:
+    """engine.py's documented ordering: completions before arrivals at
+    identical timestamps, so a just-freed core is visible to the mapper."""
+
+    def _tie_system(self, seed: int = 7):
+        """A system where some task arrives exactly at a completion time.
+
+        Run once to learn a completion time ``t_c``, then move the first
+        task whose arrival lies beyond ``t_c`` to exactly ``t_c``.  All
+        events before ``t_c`` involve only unmoved earlier tasks, so the
+        completion still happens at ``t_c`` in the modified system.
+        """
+        system = build_trial_system(tiny(seed=seed))
+        base = run_trial(
+            system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+        )
+        tasks = system.workload.tasks
+        for outcome in sorted(
+            (o for o in base.outcomes if not o.discarded), key=lambda o: o.completion
+        ):
+            for j, task in enumerate(tasks):
+                if task.arrival > outcome.completion:
+                    return _with_arrival_at(system, j, outcome.completion), outcome, j
+        pytest.fail("no completion with a later arrival found")
+
+    def test_completion_processed_before_simultaneous_arrival(self):
+        system, done, j = self._tie_system()
+        t_c = done.completion
+        hooks = RecordingHooks()
+        run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"), hooks=hooks)
+        idx_completed = hooks.events.index(("completed", t_c, done.task_id, done.core_id))
+        (idx_mapped,) = [
+            i
+            for i, (kind, _t, task_id, _c) in enumerate(hooks.events)
+            if kind == "mapped" and task_id == j
+        ]
+        assert hooks.events[idx_mapped][1] == t_c  # the tie really happened
+        assert idx_completed < idx_mapped
+
+    def test_freed_core_visible_to_mapper_at_tie(self):
+        system, done, j = self._tie_system()
+
+        class FreedCoreProbe(RecordingHooks):
+            """Snapshot the freed core's occupant when task j maps."""
+
+            def on_mapped(self, engine, task, core_id, pstate):
+                super().on_mapped(engine, task, core_id, pstate)
+                if task.task_id == j:
+                    running = engine.cores[done.core_id].running
+                    self.freed_core_running = (
+                        None if running is None else running.task.task_id
+                    )
+
+        hooks = FreedCoreProbe()
+        run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"), hooks=hooks)
+        # By the time the simultaneous arrival maps, the completed task
+        # no longer occupies its core: the mapper saw the freed core.
+        assert hooks.freed_core_running != done.task_id
+
+    def test_tie_break_ordering_is_reproducible(self):
+        system, _done, _j = self._tie_system()
+        runs = []
+        for _ in range(2):
+            hooks = RecordingHooks()
+            run_trial(
+                system, MinimumExpectedCompletionTime(), make_filter_chain("none"), hooks=hooks
+            )
+            runs.append(hooks.events)
+        assert runs[0] == runs[1]
+
+
+class TestEmptyFeasibleSetDiscard:
+    def test_discard_path_fires_hook_and_records_outcome(self):
+        # A vanishing budget starves the energy filter's fair share, so
+        # every arrival's feasible set filters empty.
+        cfg = tiny(energy={"budget_mult": 1e-6})
+        system = build_trial_system(cfg)
+        hooks = RecordingHooks()
+        result = run_trial(system, LightestLoad(), make_filter_chain("en"), hooks=hooks)
+        assert result.discarded == result.num_tasks
+        assert {kind for kind, *_ in hooks.events} == {"discarded"}
+        # One hook call per task, in arrival order.
+        assert [task_id for _k, _t, task_id, _c in hooks.events] == list(
+            range(result.num_tasks)
+        )
+        for outcome in result.outcomes:
+            assert outcome.discarded
+            assert outcome.core_id == -1 and outcome.pstate == -1
+            assert math.isnan(outcome.start) and math.isnan(outcome.completion)
+            assert not outcome.on_time()

@@ -1,0 +1,133 @@
+"""Property-based tests for the pmf *algebra* (hypothesis).
+
+Complements ``test_properties.py`` (moment identities, conditioning):
+here the algebraic laws — commutativity/associativity of convolution on
+the shared grid, normalization as an invariant of every operation, CDF
+shape, and ``convolve_many`` agreeing with a left fold — which the
+robustness model silently assumes every time it chains queue
+predictions.  Runs derandomized under the ``ci`` hypothesis profile
+(see ``tests/conftest.py``), keeping tier-1 deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stoch.ops import convolve, convolve_many, shift, truncate_below
+from repro.stoch.pmf import PMF
+
+
+@st.composite
+def grid_pmfs(draw, max_len: int = 16, dt: float = 1.0):
+    """Arbitrary pmfs on a shared unit grid with positive mass."""
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if sum(weights) <= 0.0:
+        weights = [w + 0.125 for w in weights]
+    start = draw(st.floats(min_value=-40.0, max_value=40.0, allow_nan=False))
+    return PMF(start, dt, np.array(weights))
+
+
+def assert_pmfs_close(a: PMF, b: PMF, atol: float = 1e-9) -> None:
+    """Equality up to floating-point noise and zero-tail compaction."""
+    a, b = a.compact(), b.compact()
+    assert abs(a.start - b.start) <= 1e-6, (a.start, b.start)
+    assert a.probs.size == b.probs.size, (a, b)
+    assert np.allclose(a.probs, b.probs, atol=atol)
+
+
+class TestConvolutionAlgebra:
+    @given(grid_pmfs(), grid_pmfs())
+    @settings(max_examples=60)
+    def test_commutative(self, a: PMF, b: PMF):
+        assert_pmfs_close(convolve(a, b), convolve(b, a))
+
+    @given(grid_pmfs(max_len=10), grid_pmfs(max_len=10), grid_pmfs(max_len=10))
+    @settings(max_examples=40)
+    def test_associative(self, a: PMF, b: PMF, c: PMF):
+        left = convolve(convolve(a, b), c)
+        right = convolve(a, convolve(b, c))
+        assert_pmfs_close(left, right, atol=1e-8)
+
+    @given(grid_pmfs())
+    @settings(max_examples=40)
+    def test_delta_is_identity_up_to_shift(self, a: PMF):
+        out = convolve(a, PMF.delta(0.0, a.dt))
+        assert_pmfs_close(out, a)
+
+    @given(grid_pmfs(max_len=10), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30)
+    def test_convolve_many_equals_left_fold(self, a: PMF, k: int):
+        # k copies plus the base: fold order must not matter.
+        pmfs = [a] + [PMF(a.start, a.dt, a.probs[: i + 1]) for i in range(k)]
+        folded = pmfs[0]
+        for nxt in pmfs[1:]:
+            folded = convolve(folded, nxt)
+        assert_pmfs_close(convolve_many(pmfs), folded, atol=1e-8)
+
+    @given(grid_pmfs())
+    @settings(max_examples=30)
+    def test_convolve_many_single_is_identity(self, a: PMF):
+        assert convolve_many([a]) is a
+
+
+class TestNormalizationInvariants:
+    @given(grid_pmfs(), grid_pmfs())
+    @settings(max_examples=60)
+    def test_convolve_preserves_mass(self, a: PMF, b: PMF):
+        assert np.isclose(convolve(a, b).total_mass(), 1.0, atol=1e-9)
+
+    @given(grid_pmfs(), st.floats(min_value=-75.0, max_value=75.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_shift_preserves_mass(self, a: PMF, offset: float):
+        assert np.isclose(shift(a, offset).total_mass(), 1.0, atol=1e-12)
+
+    @given(grid_pmfs(), st.floats(min_value=-80.0, max_value=80.0, allow_nan=False))
+    @settings(max_examples=80)
+    def test_truncate_renormalizes(self, a: PMF, t: float):
+        out = truncate_below(a, t)
+        assert np.isclose(out.total_mass(), 1.0, atol=1e-9)
+        assert np.all(out.probs >= 0.0)
+
+    @given(grid_pmfs())
+    @settings(max_examples=40)
+    def test_compact_preserves_mass_and_mean(self, a: PMF):
+        out = a.compact()
+        assert np.isclose(out.total_mass(), 1.0, atol=1e-9)
+        assert np.isclose(out.mean(), a.mean(), rtol=1e-9, atol=1e-6)
+
+
+class TestCdfShape:
+    @given(grid_pmfs())
+    @settings(max_examples=60)
+    def test_cdf_monotone_nondecreasing(self, a: PMF):
+        cdf = a.cdf
+        assert np.all(np.diff(cdf) >= -1e-15)
+
+    @given(grid_pmfs())
+    @settings(max_examples=60)
+    def test_cdf_ends_at_one(self, a: PMF):
+        assert np.isclose(a.cdf[-1], 1.0, atol=1e-9)
+
+    @given(grid_pmfs())
+    @settings(max_examples=40)
+    def test_cdf_bounded_by_unit_interval(self, a: PMF):
+        cdf = a.cdf
+        assert np.all(cdf >= -1e-15)
+        assert np.all(cdf <= 1.0 + 1e-9)
+
+    @given(grid_pmfs(), grid_pmfs())
+    @settings(max_examples=40)
+    def test_convolution_cdf_monotone_and_normalized(self, a: PMF, b: PMF):
+        out = convolve(a, b)
+        cdf = out.cdf
+        assert np.all(np.diff(cdf) >= -1e-15)
+        assert np.isclose(cdf[-1], 1.0, atol=1e-9)

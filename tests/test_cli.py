@@ -95,6 +95,29 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["compare", str(saved_ensemble), "LLnone", "LL/en+rob"])
 
+    def test_trial_with_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "trial",
+                "--tasks", "60", "--seed", "5",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        from repro.io.trace_io import load_trace
+
+        events = load_trace(trace)
+        assert events[0].kind == "trial_started"
+        assert events[-1].kind == "trial_finished"
+        data = json.loads(metrics.read_text())
+        assert data["format"] == "repro.metrics/1"
+        assert data["counters"]["trials_run"] == 1
+
     def test_sweep(self, capsys):
         code = main(
             [
@@ -113,3 +136,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "budget_mult" in out
         assert "MECT/none" in out
+
+
+class TestManifests:
+    @pytest.fixture(scope="class")
+    def figure_run(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("manifest")
+        out_json = outdir / "fig.json"
+        metrics = outdir / "metrics.json"
+        code = main(
+            [
+                "figure", "fig2", *TINY,
+                "--trials", "2",
+                "--out", str(out_json),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        return out_json, out_json.with_suffix(".manifest.json"), metrics
+
+    def test_figure_writes_manifest_and_metrics(self, figure_run):
+        out_json, manifest_path, metrics = figure_run
+        assert manifest_path.exists()
+        assert json.loads(manifest_path.read_text())["format"] == "repro.manifest/1"
+        assert json.loads(metrics.read_text())["counters"]["trials_run"] > 0
+
+    def test_inspect_manifest(self, capsys, figure_run):
+        _out_json, manifest_path, _metrics = figure_run
+        assert main(["inspect-manifest", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "base seed" in out
+
+    def test_inspect_manifest_verifies_matching_results(self, capsys, figure_run):
+        out_json, manifest_path, _metrics = figure_run
+        code = main(
+            ["inspect-manifest", str(manifest_path), "--results", str(out_json)]
+        )
+        assert code == 0
+        assert "results match" in capsys.readouterr().out
+
+    def test_inspect_manifest_flags_mismatch(self, capsys, figure_run, tmp_path):
+        out_json, manifest_path, _metrics = figure_run
+        doc = json.loads(manifest_path.read_text())
+        doc["trial_digests"] = {
+            k: ["0" * 64] * len(v) for k, v in doc["trial_digests"].items()
+        }
+        tampered = tmp_path / "tampered.manifest.json"
+        tampered.write_text(json.dumps(doc))
+        code = main(["inspect-manifest", str(tampered), "--results", str(out_json)])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_inspect_manifest_with_trace(self, capsys, figure_run, tmp_path):
+        _out_json, manifest_path, _metrics = figure_run
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trial", "--tasks", "60", "--seed", "5",
+                    "--trace-out", str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["inspect-manifest", str(manifest_path), "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tasks mapped" in out
