@@ -17,12 +17,15 @@ from typing import Iterable
 
 from repro.analysis.tables import markdown_table
 from repro.obs.events import (
+    CheckpointWritten,
     EnergyExhausted,
     Event,
     TaskCompleted,
     TaskDiscarded,
     TaskMapped,
     TrialFinished,
+    TrialQuarantined,
+    TrialRetried,
     TrialStarted,
 )
 
@@ -43,10 +46,14 @@ class TraceSummary:
     completed: int = 0
     exhaustions: int = 0
     finished: int = 0
+    retries: int = 0
+    quarantines: int = 0
+    checkpoints: int = 0
     mean_queue_depth: float = math.nan
     last_energy_estimate: float = math.nan
     pstate_counts: Counter = field(default_factory=Counter)
     discard_causes: Counter = field(default_factory=Counter)
+    fault_kinds: Counter = field(default_factory=Counter)
 
     @property
     def discard_fraction(self) -> float:
@@ -76,6 +83,14 @@ def summarize_trace(events: Iterable[Event]) -> TraceSummary:
             summary.exhaustions += 1
         elif isinstance(event, TrialFinished):
             summary.finished += 1
+        elif isinstance(event, TrialRetried):
+            summary.retries += 1
+            summary.fault_kinds[event.fault] += 1
+        elif isinstance(event, TrialQuarantined):
+            summary.quarantines += 1
+            summary.fault_kinds[event.fault] += 1
+        elif isinstance(event, CheckpointWritten):
+            summary.checkpoints += 1
     if summary.mapped:
         summary.mean_queue_depth = depth_sum / summary.mapped
     return summary
@@ -91,6 +106,14 @@ def trace_summary_table(events: Iterable[Event]) -> str:
         ("tasks completed", str(s.completed)),
         ("energy exhaustions", str(s.exhaustions)),
     ]
+    if s.retries:
+        rows.append(("trial retries", str(s.retries)))
+    if s.quarantines:
+        rows.append(("trials quarantined", str(s.quarantines)))
+    if s.checkpoints:
+        rows.append(("checkpoint records", str(s.checkpoints)))
+    for fault, count in sorted(s.fault_kinds.items()):
+        rows.append((f"faults[{fault}]", str(count)))
     for cause, count in sorted(s.discard_causes.items()):
         rows.append((f"discards[{cause}]", str(count)))
     for pstate, count in sorted(s.pstate_counts.items()):

@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro compare grid.json LL/none LL/en+rob # paired significance test
     repro trial --trace-out t.jsonl --metrics-out m.json  # observed run
     repro inspect-manifest grid.manifest.json --results grid.json
+    repro grid --jobs 8 --checkpoint g.ckpt.jsonl --resume  # survivable run
 
 All simulation subcommands accept ``--tasks`` and ``--seed``; results
 are deterministic for a given seed, with tracing on or off.
@@ -31,7 +32,13 @@ from repro.experiments.calibrate import calibration_summary
 from repro.experiments.compare import compare_variants
 from repro.experiments.figures import FIGURES, figure_specs, full_grid_specs
 from repro.experiments.report import best_variant_table, figure_table, summary_table
-from repro.experiments.runner import EnsembleResult, VariantSpec, run_ensemble, run_trial_variant
+from repro.experiments.runner import (
+    EnsembleResult,
+    PartialEnsembleResult,
+    VariantSpec,
+    run_ensemble,
+    run_trial_variant,
+)
 from repro.heuristics.registry import HEURISTICS
 from repro.io.results_io import ensemble_from_dict, ensemble_to_dict, load_json, save_json
 from repro.io.trace_io import load_trace
@@ -51,6 +58,31 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tasks", type=int, default=1000, help="tasks per trial")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by the ensemble subcommands."""
+    parser.add_argument(
+        "--checkpoint",
+        help="stream each completed trial to this JSONL shard",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already in --checkpoint (digests re-verified)",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        help="kill and retry any trial exceeding this wall clock (seconds)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per trial before it is quarantined as poison",
+    )
 
 
 def _parse_spec(label: str) -> VariantSpec:
@@ -125,6 +157,22 @@ def _print_ensemble(ensemble: EnsembleResult, tasks: int, svg_dir: str | None) -
         print(summary_table(ensemble, tasks))
 
 
+def _report_partial(ensemble: EnsembleResult) -> None:
+    """Print what a supervised run could not recover (quarantined trials)."""
+    if not isinstance(ensemble, PartialEnsembleResult) or ensemble.is_complete():
+        return
+    missing = ", ".join(str(i) for i in ensemble.missing_trials)
+    print(
+        f"WARNING: only {len(ensemble.completed_trials)} of "
+        f"{ensemble.num_trials} trials completed (missing: {missing})"
+    )
+    for failure in ensemble.failures:
+        print(
+            f"  quarantined trial {failure.trial} after {failure.attempts} "
+            f"attempts ({failure.fault}): {failure.detail}"
+        )
+
+
 def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) -> int:
     """Shared figure/grid body: run, render, save results + manifest + metrics."""
     import pathlib
@@ -133,7 +181,10 @@ def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) ->
     ensemble = run_ensemble(
         specs, _config(args), args.trials, base_seed=args.seed,
         n_jobs=args.jobs, metrics=metrics,
+        checkpoint=args.checkpoint, resume=args.resume,
+        trial_timeout=args.trial_timeout, max_retries=args.max_retries,
     )
+    _report_partial(ensemble)
     _print_ensemble(ensemble, args.tasks, args.svg_dir)
     if args.out:
         save_json(ensemble_to_dict(ensemble), args.out)
@@ -194,7 +245,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep = budget_sweep(
         args.multipliers, specs, _config(args), args.trials, base_seed=args.seed,
         n_jobs=args.jobs,
+        checkpoint=args.checkpoint, resume=args.resume,
+        trial_timeout=args.trial_timeout, max_retries=args.max_retries,
     )
+    for point in sweep.points:
+        _report_partial(point.ensemble)
     print(sweep.table(num_tasks=args.tasks))
     return 0
 
@@ -244,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="save the ensemble JSON here (plus its manifest)")
     p.add_argument("--svg-dir", help="also write SVG box plots here")
     p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
+    _add_resilience(p)
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("grid", help="run the full 16-variant evaluation")
@@ -253,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="save the ensemble JSON here (plus its manifest)")
     p.add_argument("--svg-dir", help="also write SVG box plots here")
     p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
+    _add_resilience(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser(
@@ -285,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--jobs", type=int, default=1)
+    _add_resilience(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="paired significance test of two specs")

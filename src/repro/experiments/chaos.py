@@ -1,0 +1,121 @@
+"""Deterministic fault injection for the supervised ensemble executor.
+
+A :class:`FaultPlan` names exactly which ``(trial, attempt)`` pairs
+misbehave and how, so chaos runs are as reproducible as clean runs: the
+same plan against the same seed always exercises the same recovery
+paths.  The integration tests (and the CI chaos job) use this to assert
+the executor's core promise — a run that survives injected crashes,
+hangs, and corrupt results is **bitwise identical** to a fault-free run.
+
+Fault kinds
+-----------
+
+``crash``
+    The worker process calls ``os._exit`` before touching the trial; the
+    supervisor sees the pipe close, forfeits only the in-flight trial,
+    and respawns the worker.
+``hang``
+    The worker sleeps past any plausible trial duration; the supervisor
+    kills it when the per-trial wall-clock timeout expires (a plan with
+    hangs therefore requires ``trial_timeout``).
+``corrupt``
+    The worker computes the trial honestly, checksums the pickled
+    payload, then flips a byte *after* checksumming — simulating
+    transport corruption.  The supervisor detects the checksum mismatch
+    and retries.
+``error``
+    The worker raises inside the job and reports the exception; the
+    cheapest fault to inject (no process is killed), used by tests that
+    only care about retry/quarantine bookkeeping.
+
+Faults fire once: a plan entry applies to one attempt of one trial, so
+retries of that attempt run clean unless the plan names them too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_CRASH",
+    "FAULT_HANG",
+    "FAULT_CORRUPT",
+    "FAULT_ERROR",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "parse_fault_plan",
+]
+
+FAULT_CRASH = "crash"
+FAULT_HANG = "hang"
+FAULT_CORRUPT = "corrupt"
+FAULT_ERROR = "error"
+
+#: Every fault kind a plan may inject.
+FAULT_KINDS = (FAULT_CRASH, FAULT_HANG, FAULT_CORRUPT, FAULT_ERROR)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of injected faults.
+
+    ``faults`` is a tuple of ``(trial, attempt, kind)`` triples;
+    ``attempt`` is 1-based (attempt 1 is the first try).  Plans are
+    plain data so they pickle cleanly into worker processes.
+    """
+
+    faults: tuple[tuple[int, int, str], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for entry in self.faults:
+            trial, attempt, kind = entry
+            if trial < 0:
+                raise ValueError(f"trial must be >= 0, got {trial}")
+            if attempt < 1:
+                raise ValueError(f"attempt is 1-based, got {attempt}")
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+            if (trial, attempt) in seen:
+                raise ValueError(
+                    f"duplicate fault for trial {trial} attempt {attempt}"
+                )
+            seen.add((trial, attempt))
+
+    @staticmethod
+    def of(*faults: tuple[int, int, str]) -> "FaultPlan":
+        """Build a plan from ``(trial, attempt, kind)`` triples."""
+        return FaultPlan(faults=tuple(faults))
+
+    def fault_for(self, trial: int, attempt: int) -> str | None:
+        """The fault scheduled for this attempt, or ``None`` (run clean)."""
+        for t, a, kind in self.faults:
+            if t == trial and a == attempt:
+                return kind
+        return None
+
+    def needs_timeout(self) -> bool:
+        """Whether the plan contains a hang (recovery needs a timeout)."""
+        return any(kind == FAULT_HANG for _, _, kind in self.faults)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse ``"trial:attempt:kind,..."`` (e.g. ``"0:1:crash,2:1:hang"``).
+
+    The textual form is what ``scripts/chaos_check.py`` and ad-hoc shell
+    runs use; validation is :class:`FaultPlan`'s.
+    """
+    faults: list[tuple[int, int, str]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        if len(pieces) != 3:
+            raise ValueError(
+                f"fault must look like 'trial:attempt:kind', got {part!r}"
+            )
+        faults.append((int(pieces[0]), int(pieces[1]), pieces[2]))
+    return FaultPlan.of(*faults)

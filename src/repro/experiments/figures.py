@@ -77,8 +77,15 @@ def run_figure(
     base_seed: int = 0,
     *,
     n_jobs: int = 1,
+    **resilience,
 ) -> EnsembleResult:
-    """Run the trials behind one of the paper's figures."""
+    """Run the trials behind one of the paper's figures.
+
+    Extra keyword arguments (``checkpoint``, ``resume``,
+    ``trial_timeout``, ``max_retries``, ...) forward to
+    :func:`~repro.experiments.runner.run_ensemble`.
+    """
     return run_ensemble(
-        figure_specs(figure), config, num_trials, base_seed, n_jobs=n_jobs
+        figure_specs(figure), config, num_trials, base_seed, n_jobs=n_jobs,
+        **resilience,
     )

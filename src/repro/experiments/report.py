@@ -9,12 +9,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.figures import PAPER_MEDIANS
-from repro.experiments.runner import EnsembleResult, VariantSpec
-from repro.experiments.stats import box_stats, median_improvement
+from repro.experiments.runner import EnsembleResult, PartialEnsembleResult, VariantSpec
+from repro.experiments.stats import box_stats, completeness_note, median_improvement
 from repro.filters.chain import VARIANTS
 from repro.heuristics.registry import HEURISTICS
 
 __all__ = ["figure_table", "summary_table", "best_variant_table"]
+
+
+def _partial_note(ensemble: EnsembleResult) -> str | None:
+    """Incomplete-trial-set annotation, or ``None`` for full ensembles."""
+    if not isinstance(ensemble, PartialEnsembleResult):
+        return None
+    return completeness_note(
+        len(ensemble.completed_trials), ensemble.num_trials, ensemble.missing_trials
+    )
 
 
 def figure_table(ensemble: EnsembleResult, heuristic: str, num_tasks: int) -> str:
@@ -29,7 +38,11 @@ def figure_table(ensemble: EnsembleResult, heuristic: str, num_tasks: int) -> st
         spec = VariantSpec(heuristic, variant)
         if spec not in ensemble.results:
             continue
-        stats = box_stats(ensemble.misses(spec))
+        misses = ensemble.misses(spec)
+        if misses.size == 0:
+            lines.append(f"{variant:>8} (no completed trials)")
+            continue
+        stats = box_stats(misses)
         paper = PAPER_MEDIANS.get((heuristic, variant))
         paper_s = f"{paper:9.1f}" if paper is not None else f"{'-':>9}"
         lines.append(
@@ -37,6 +50,9 @@ def figure_table(ensemble: EnsembleResult, heuristic: str, num_tasks: int) -> st
             f"{stats.q3:7.1f} {stats.maximum:7.1f} "
             f"{100.0 * stats.median / num_tasks:6.2f}% {paper_s}"
         )
+    note = _partial_note(ensemble)
+    if note is not None:
+        lines.append(note)
     return "\n".join(lines)
 
 
@@ -64,6 +80,9 @@ def best_variant_table(ensemble: EnsembleResult, num_tasks: int) -> str:
             f"{heuristic:>9} {best.variant:>7} {med:7.1f} "
             f"{100.0 * med / num_tasks:6.2f}% {gain_s} {paper_s}"
         )
+    note = _partial_note(ensemble)
+    if note is not None:
+        lines.append(note)
     return "\n".join(lines)
 
 
@@ -121,4 +140,7 @@ def summary_table(ensemble: EnsembleResult, num_tasks: int) -> str:
                 f"filtered Random vs best filtered heuristic ({best_h}): "
                 f"{gap_pp:+.2f} pp of the workload (paper: within 4 pp)"
             )
+    note = _partial_note(ensemble)
+    if note is not None:
+        lines.append(note)
     return "\n".join(lines)

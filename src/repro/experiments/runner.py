@@ -11,34 +11,60 @@ paper's methodology ("task arrival times, task deadlines, and task types
 vary across simulation trials; all other parameters are held constant").
 
 Trials are independent, so the runner can fan them out over processes
-(``n_jobs``); results are deterministic regardless of ``n_jobs``.
+(``n_jobs``); results are deterministic regardless of ``n_jobs``.  The
+fan-out is *supervised* (:mod:`repro.experiments.executor`): a crashing
+worker forfeits only its in-flight trial, hung trials are killed at
+``trial_timeout``, failed trials retry with deterministic backoff, and
+poison trials are quarantined after ``max_retries`` — the ensemble then
+comes back as a :class:`PartialEnsembleResult` naming what is missing
+instead of aborting.  With ``checkpoint=`` every completed trial streams
+to a JSONL shard and ``resume=True`` skips verified checkpointed trials,
+so long sweeps survive interruption.
 
 Observability rides along without perturbing that determinism: pass a
 :class:`~repro.obs.sinks.MetricsRegistry` and each worker process fills
 its own registry (counters, discard causes, decision-latency and
-queue-depth histograms), which the parent merges after the fan-in.
+queue-depth histograms), which the parent merges after the fan-in;
+recovery actions emit ``TrialRetried`` / ``TrialQuarantined`` /
+``CheckpointWritten`` events to ``sinks`` and ``executor.*`` counters.
 Metrics describe the run; they never steer it.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro import rng as rng_mod
 from repro.config import SimulationConfig
+from repro.experiments.chaos import FaultPlan
+from repro.experiments.executor import (
+    CheckpointWriter,
+    RetryPolicy,
+    TrialFailure,
+    load_checkpoint,
+    run_supervised,
+)
 from repro.filters.chain import make_filter_chain
 from repro.heuristics.registry import make_heuristic
+from repro.obs.events import CheckpointWritten, Event
 from repro.obs.hooks import run_observed_trial
+from repro.obs.manifest import config_digest
 from repro.obs.sinks import EventSink, MetricsRegistry
 from repro.sim.engine import run_trial
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
 
-__all__ = ["VariantSpec", "EnsembleResult", "run_trial_variant", "run_ensemble"]
+__all__ = [
+    "VariantSpec",
+    "EnsembleResult",
+    "PartialEnsembleResult",
+    "run_trial_variant",
+    "run_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -139,6 +165,35 @@ class EnsembleResult:
         return min(candidates, key=lambda s: (self.median_misses(s), s.variant))
 
 
+@dataclass(frozen=True)
+class PartialEnsembleResult(EnsembleResult):
+    """An ensemble that lost trials to quarantine (graceful, not silent).
+
+    ``num_trials`` stays the *requested* count; ``results[spec]`` holds
+    only the completed trials (in trial order), so medians are computed
+    over ``len(completed_trials)`` values.  ``failures`` carries the
+    post-mortem of every quarantined trial.
+    """
+
+    completed_trials: tuple[int, ...]
+    failures: tuple[TrialFailure, ...]
+
+    @property
+    def missing_trials(self) -> tuple[int, ...]:
+        """Requested trial indices with no result."""
+        have = set(self.completed_trials)
+        return tuple(i for i in range(self.num_trials) if i not in have)
+
+    @property
+    def quarantined_trials(self) -> tuple[int, ...]:
+        """Trial indices that exhausted their retry budget."""
+        return tuple(sorted({f.trial for f in self.failures}))
+
+    def is_complete(self) -> bool:
+        """Whether every requested trial actually completed."""
+        return len(self.completed_trials) == self.num_trials
+
+
 def run_ensemble(
     specs: list[VariantSpec] | tuple[VariantSpec, ...],
     config: SimulationConfig,
@@ -148,6 +203,14 @@ def run_ensemble(
     n_jobs: int = 1,
     keep_outcomes: bool = False,
     metrics: MetricsRegistry | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    trial_timeout: float | None = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 30.0,
+    fault_plan: FaultPlan | None = None,
+    sinks: Sequence[EventSink] = (),
 ) -> EnsembleResult:
     """Run ``num_trials`` paired trials of every spec.
 
@@ -155,36 +218,148 @@ def run_ensemble(
     ----------
     n_jobs:
         Worker processes; 1 (default) runs in-process.  Results are
-        identical for any value.
+        identical for any value.  Non-positive values are rejected.
     keep_outcomes:
         Retain per-task outcome tuples (larger results; off by default).
     metrics:
         Optional registry to aggregate observability metrics into.  Each
         worker fills its own registry; after the fan-in they are merged
         into this one (order-independent, so ``n_jobs`` does not change
-        the totals).
+        the totals).  Recovery actions land in ``executor.*`` counters.
+    checkpoint:
+        Stream each completed trial to this JSONL shard (keyed by the
+        config digest and ``base_seed``).  Without ``resume`` the shard
+        is started fresh.
+    resume:
+        Skip trials already present in ``checkpoint`` whose stored
+        digests re-verify; new completions append to the same shard.
+    trial_timeout:
+        Per-trial wall-clock limit (seconds).  A trial that overruns is
+        killed and retried.  Setting it (or ``fault_plan``) forces the
+        supervised worker pool even at ``n_jobs=1``.
+    max_retries / backoff_base / backoff_cap:
+        Retry budget per trial and its exponential-backoff shape; jitter
+        is deterministic (see
+        :class:`~repro.experiments.executor.RetryPolicy`).  A trial
+        failing ``max_retries + 1`` attempts is quarantined and the
+        ensemble returns a :class:`PartialEnsembleResult`.
+    fault_plan:
+        Deterministic chaos injection (tests/CI only); see
+        :mod:`repro.experiments.chaos`.
+    sinks:
+        Event sinks receiving executor-level events (``TrialRetried``,
+        ``TrialQuarantined``, ``CheckpointWritten``).
     """
     specs = tuple(specs)
     if not specs:
         raise ValueError("need at least one variant spec")
     if num_trials < 1:
         raise ValueError("need at least one trial")
-    collect = metrics is not None
-    jobs = [
-        (config, base_seed, i, specs, keep_outcomes, collect) for i in range(num_trials)
-    ]
-    if n_jobs <= 1:
-        per_trial = [_run_one_trial(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            per_trial = list(pool.map(_run_one_trial, jobs))
+    if n_jobs < 1:
+        raise ValueError(
+            f"n_jobs must be a positive worker count, got {n_jobs} "
+            "(use n_jobs=1 for the in-process serial path)"
+        )
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    if fault_plan is not None and fault_plan.needs_timeout() and trial_timeout is None:
+        raise ValueError("a fault plan with 'hang' faults requires trial_timeout")
+
+    # Checkpoint shards always carry worker metrics so a resumed run can
+    # restore them; collection stays off on the plain fast path.
+    collect = metrics is not None or checkpoint is not None
+    labels = [spec.label for spec in specs]
+
+    def emit(event: Event) -> None:
+        for sink in sinks:
+            sink.emit(event)
+
+    done: dict[int, tuple[list[TrialResult], dict[str, Any] | None]] = {}
+    failures: tuple[TrialFailure, ...] = ()
+    writer: CheckpointWriter | None = None
+    if checkpoint is not None:
+        digest = config_digest(config)
+        if resume:
+            restored, _ = load_checkpoint(
+                checkpoint,
+                config_digest=digest,
+                base_seed=base_seed,
+                spec_labels=labels,
+                num_trials=num_trials,
+            )
+            done.update(restored)
+            if metrics is not None and restored:
+                metrics.inc("executor.trials_resumed", len(restored))
+        writer = CheckpointWriter(
+            checkpoint,
+            config_digest=digest,
+            base_seed=base_seed,
+            spec_labels=labels,
+            keep_outcomes=keep_outcomes,
+            append=resume,
+        )
+
+    def record(trial: int, value: tuple[list[TrialResult], dict[str, Any] | None]) -> None:
+        done[trial] = value
+        if writer is not None:
+            writer.write(trial, value[0], value[1])
+            if metrics is not None:
+                metrics.inc("executor.checkpoints_written")
+            emit(CheckpointWritten(trial=trial, path=str(writer.path), records=writer.records))
+
+    pending = [i for i in range(num_trials) if i not in done]
+    try:
+        if pending:
+            payloads = {
+                i: (config, base_seed, i, specs, keep_outcomes, collect)
+                for i in pending
+            }
+            supervised = n_jobs > 1 or trial_timeout is not None or fault_plan is not None
+            if supervised:
+                _, failed = run_supervised(
+                    _run_one_trial,
+                    payloads,
+                    base_seed=base_seed,
+                    n_jobs=n_jobs,
+                    trial_timeout=trial_timeout,
+                    retry=RetryPolicy(
+                        max_retries=max_retries,
+                        backoff_base=backoff_base,
+                        backoff_cap=backoff_cap,
+                    ),
+                    fault_plan=fault_plan,
+                    on_result=record,
+                    on_event=emit,
+                    metrics=metrics,
+                )
+                failures = tuple(failed)
+            else:
+                for i in pending:
+                    record(i, _run_one_trial(payloads[i]))
+    finally:
+        if writer is not None:
+            writer.close()
+
     if metrics is not None:
-        for _, metrics_dict in per_trial:
+        for trial in sorted(done):
+            metrics_dict = done[trial][1]
             if metrics_dict is not None:
                 metrics.merge(MetricsRegistry.from_dict(metrics_dict))
-    results: dict[VariantSpec, tuple[TrialResult, ...]] = {}
-    for s_idx, spec in enumerate(specs):
-        results[spec] = tuple(trial[s_idx] for trial, _ in per_trial)
-    return EnsembleResult(
-        specs=specs, num_trials=num_trials, base_seed=base_seed, results=results
+
+    completed = tuple(sorted(done))
+    results: dict[VariantSpec, tuple[TrialResult, ...]] = {
+        spec: tuple(done[i][0][s_idx] for i in completed)
+        for s_idx, spec in enumerate(specs)
+    }
+    if len(completed) == num_trials:
+        return EnsembleResult(
+            specs=specs, num_trials=num_trials, base_seed=base_seed, results=results
+        )
+    return PartialEnsembleResult(
+        specs=specs,
+        num_trials=num_trials,
+        base_seed=base_seed,
+        results=results,
+        completed_trials=completed,
+        failures=failures,
     )

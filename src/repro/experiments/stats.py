@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BoxStats", "box_stats", "median_improvement"]
+__all__ = ["BoxStats", "box_stats", "median_improvement", "completeness_note"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,25 @@ def box_stats(values: np.ndarray | list[float]) -> BoxStats:
         whisker_high=float(inside.max()),
         outliers=tuple(float(x) for x in np.sort(outliers)),
     )
+
+
+def completeness_note(
+    n_observed: int,
+    n_requested: int,
+    missing: tuple[int, ...] | list[int] = (),
+) -> str | None:
+    """Annotation for statistics computed over an incomplete trial set.
+
+    Supervised ensembles can quarantine poison trials instead of
+    aborting; any median quoted from such a run must say so.  Returns
+    ``None`` when the sample is complete.
+    """
+    if n_observed >= n_requested:
+        return None
+    note = f"NOTE: medians computed over {n_observed}/{n_requested} trials"
+    if missing:
+        note += f" (missing trials: {', '.join(str(i) for i in missing)})"
+    return note
 
 
 def median_improvement(baseline: np.ndarray, improved: np.ndarray) -> float:

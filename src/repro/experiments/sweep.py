@@ -8,6 +8,7 @@ Used by the ablation benches and the budget/heterogeneity examples.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -63,6 +64,18 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _point_checkpoint(
+    checkpoint: str | pathlib.Path | None, index: int
+) -> pathlib.Path | None:
+    """Per-point shard path: sweep points have different config digests,
+    so each point gets its own JSONL shard next to the requested one."""
+    if checkpoint is None:
+        return None
+    path = pathlib.Path(checkpoint)
+    suffix = path.suffix or ".jsonl"
+    return path.with_name(f"{path.stem}.point{index}{suffix}")
+
+
 def run_sweep(
     parameter: str,
     values: Sequence[Any],
@@ -73,6 +86,10 @@ def run_sweep(
     base_seed: int = 0,
     *,
     n_jobs: int = 1,
+    checkpoint: str | pathlib.Path | None = None,
+    resume: bool = False,
+    trial_timeout: float | None = None,
+    max_retries: int = 2,
 ) -> SweepResult:
     """Run ``specs`` at every parameter value.
 
@@ -82,16 +99,32 @@ def run_sweep(
         ``(config, value) -> config`` applying the sweep value; it must
         not change the seed (the sweep re-derives trial seeds from
         ``base_seed`` so points stay paired).
+    checkpoint / resume / trial_timeout / max_retries:
+        Resilience options forwarded to
+        :func:`~repro.experiments.runner.run_ensemble`; ``checkpoint``
+        fans out to one shard per sweep point
+        (``name.pointN.jsonl``), so an interrupted sweep resumes
+        point by point.
     """
     if not values:
         raise ValueError("need at least one sweep value")
     specs = tuple(specs)
     points: list[SweepPoint] = []
-    for value in values:
+    for index, value in enumerate(values):
         config = patch(base_config, value)
         if config.seed != base_config.seed:
             raise ValueError("patch must not change the seed")
-        ensemble = run_ensemble(specs, config, num_trials, base_seed, n_jobs=n_jobs)
+        ensemble = run_ensemble(
+            specs,
+            config,
+            num_trials,
+            base_seed,
+            n_jobs=n_jobs,
+            checkpoint=_point_checkpoint(checkpoint, index),
+            resume=resume,
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
+        )
         points.append(SweepPoint(value=value, ensemble=ensemble))
     return SweepResult(parameter=parameter, specs=specs, points=tuple(points))
 
@@ -104,6 +137,10 @@ def budget_sweep(
     base_seed: int = 0,
     *,
     n_jobs: int = 1,
+    checkpoint: str | pathlib.Path | None = None,
+    resume: bool = False,
+    trial_timeout: float | None = None,
+    max_retries: int = 2,
 ) -> SweepResult:
     """Sweep the energy-budget multiplier (the constraint's tightness)."""
 
@@ -119,4 +156,8 @@ def budget_sweep(
         num_trials,
         base_seed,
         n_jobs=n_jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        trial_timeout=trial_timeout,
+        max_retries=max_retries,
     )

@@ -13,7 +13,8 @@ import math
 import pathlib
 from typing import Any
 
-from repro.experiments.runner import EnsembleResult, VariantSpec
+from repro.experiments.executor import TrialFailure
+from repro.experiments.runner import EnsembleResult, PartialEnsembleResult, VariantSpec
 from repro.sim.results import TaskOutcome, TrialResult
 
 __all__ = [
@@ -113,8 +114,13 @@ def trial_result_from_dict(data: dict[str, Any]) -> TrialResult:
 
 
 def ensemble_to_dict(ensemble: EnsembleResult) -> dict[str, Any]:
-    """Serialize a whole ensemble (without per-task outcomes)."""
-    return {
+    """Serialize a whole ensemble (without per-task outcomes).
+
+    Partial ensembles (quarantined trials) keep their completeness
+    metadata in a ``"partial"`` section, so a reloaded result still
+    knows which trials are missing and why.
+    """
+    data: dict[str, Any] = {
         "format": _ENSEMBLE_FORMAT,
         "num_trials": ensemble.num_trials,
         "base_seed": ensemble.base_seed,
@@ -126,6 +132,20 @@ def ensemble_to_dict(ensemble: EnsembleResult) -> dict[str, Any]:
             for spec in ensemble.specs
         },
     }
+    if isinstance(ensemble, PartialEnsembleResult):
+        data["partial"] = {
+            "completed_trials": list(ensemble.completed_trials),
+            "failures": [
+                {
+                    "trial": f.trial,
+                    "attempts": f.attempts,
+                    "fault": f.fault,
+                    "detail": f.detail,
+                }
+                for f in ensemble.failures
+            ],
+        }
+    return data
 
 
 def ensemble_from_dict(data: dict[str, Any]) -> EnsembleResult:
@@ -141,6 +161,24 @@ def ensemble_from_dict(data: dict[str, Any]) -> EnsembleResult:
         )
         for spec in specs
     }
+    if "partial" in data:
+        partial = data["partial"]
+        return PartialEnsembleResult(
+            specs=specs,
+            num_trials=int(data["num_trials"]),
+            base_seed=int(data["base_seed"]),
+            results=results,
+            completed_trials=tuple(int(i) for i in partial["completed_trials"]),
+            failures=tuple(
+                TrialFailure(
+                    trial=int(f["trial"]),
+                    attempts=int(f["attempts"]),
+                    fault=str(f["fault"]),
+                    detail=str(f["detail"]),
+                )
+                for f in partial["failures"]
+            ),
+        )
     return EnsembleResult(
         specs=specs,
         num_trials=int(data["num_trials"]),

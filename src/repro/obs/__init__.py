@@ -8,8 +8,9 @@ inspectable without touching the engine's hot path:
 
 * :mod:`repro.obs.events` — typed, frozen event records
   (``TaskMapped``, ``TaskDiscarded``, ``TaskCompleted``,
-  ``EnergyExhausted``, ``TrialStarted``, ``TrialFinished``) with a
-  stable JSON round-trip;
+  ``EnergyExhausted``, ``TrialStarted``, ``TrialFinished``, plus the
+  executor's recovery events ``TrialRetried``, ``TrialQuarantined``,
+  ``CheckpointWritten``) with a stable JSON round-trip;
 * :mod:`repro.obs.sinks` — destinations for those events: a JSONL
   trace writer, an in-memory ring buffer, and a
   :class:`~repro.obs.sinks.MetricsRegistry` of counters and histograms
@@ -27,12 +28,15 @@ package.
 """
 
 from repro.obs.events import (
+    CheckpointWritten,
     EnergyExhausted,
     Event,
     TaskCompleted,
     TaskDiscarded,
     TaskMapped,
     TrialFinished,
+    TrialQuarantined,
+    TrialRetried,
     TrialStarted,
     event_from_dict,
     event_to_dict,
@@ -51,12 +55,15 @@ from repro.obs.manifest import (
 from repro.obs.sinks import JsonlSink, MetricsRegistry, RingBufferSink
 
 __all__ = [
+    "CheckpointWritten",
     "EnergyExhausted",
     "Event",
     "TaskCompleted",
     "TaskDiscarded",
     "TaskMapped",
     "TrialFinished",
+    "TrialQuarantined",
+    "TrialRetried",
     "TrialStarted",
     "event_from_dict",
     "event_to_dict",

@@ -6,9 +6,11 @@ round-trip (the JSONL trace format written by
 :class:`~repro.obs.sinks.JsonlSink` and read back by
 :func:`repro.io.trace_io.load_trace`).
 
-Events are only ever constructed inside
+Trial-level events are only ever constructed inside
 :class:`~repro.obs.hooks.ObservingHooks`; with no hooks attached the
-engine allocates none of them.
+engine allocates none of them.  The ensemble-level recovery events
+(``TrialRetried``, ``TrialQuarantined``, ``CheckpointWritten``) are
+emitted by :mod:`repro.experiments.executor` in the parent process.
 """
 
 from __future__ import annotations
@@ -24,6 +26,9 @@ __all__ = [
     "TaskCompleted",
     "EnergyExhausted",
     "TrialFinished",
+    "TrialRetried",
+    "TrialQuarantined",
+    "CheckpointWritten",
     "EVENT_KINDS",
     "event_to_dict",
     "event_from_dict",
@@ -122,6 +127,53 @@ class TrialFinished:
     total_energy: float
 
 
+@dataclass(frozen=True, slots=True)
+class TrialRetried:
+    """The supervised executor is re-running a trial after a fault.
+
+    ``attempt`` is the 1-based attempt that failed; ``fault`` is one of
+    the executor's fault kinds (``crash``, ``timeout``, ``corrupt``,
+    ``error``); ``delay`` is the backoff (seconds) before the retry.
+    """
+
+    kind: ClassVar[str] = "trial_retried"
+
+    trial: int
+    attempt: int
+    fault: str
+    delay: float
+
+
+@dataclass(frozen=True, slots=True)
+class TrialQuarantined:
+    """A trial exhausted its retry budget and was set aside as poison.
+
+    The ensemble continues without it; the resulting
+    ``PartialEnsembleResult`` names the trial as missing.
+    """
+
+    kind: ClassVar[str] = "trial_quarantined"
+
+    trial: int
+    attempts: int
+    fault: str
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointWritten:
+    """One completed trial's results were appended to a checkpoint shard.
+
+    ``records`` counts the records this process has written to ``path``
+    so far (resume appends, so the shard may hold more overall).
+    """
+
+    kind: ClassVar[str] = "checkpoint_written"
+
+    trial: int
+    path: str
+    records: int
+
+
 Event = Union[
     TrialStarted,
     TaskMapped,
@@ -129,6 +181,9 @@ Event = Union[
     TaskCompleted,
     EnergyExhausted,
     TrialFinished,
+    TrialRetried,
+    TrialQuarantined,
+    CheckpointWritten,
 ]
 
 #: kind string -> event class, for deserialization.
@@ -141,6 +196,9 @@ EVENT_KINDS: dict[str, type] = {
         TaskCompleted,
         EnergyExhausted,
         TrialFinished,
+        TrialRetried,
+        TrialQuarantined,
+        CheckpointWritten,
     )
 }
 

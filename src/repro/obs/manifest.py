@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import hashlib
 import json
 import pathlib
@@ -92,9 +93,9 @@ def trial_digest(result: TrialResult) -> str:
     return _digest(trial_result_to_dict(result))
 
 
-def git_sha(start: pathlib.Path | None = None) -> str | None:
-    """Best-effort git HEAD of the source tree (``None`` outside a repo)."""
-    cwd = start if start is not None else pathlib.Path(__file__).resolve().parent
+@functools.lru_cache(maxsize=None)
+def _git_sha_at(cwd: str) -> str | None:
+    """Shell out to git once per (process, directory); see :func:`git_sha`."""
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -107,6 +108,17 @@ def git_sha(start: pathlib.Path | None = None) -> str | None:
         return None
     sha = proc.stdout.strip()
     return sha if proc.returncode == 0 and sha else None
+
+
+def git_sha(start: pathlib.Path | None = None) -> str | None:
+    """Best-effort git HEAD of the source tree (``None`` outside a repo).
+
+    The subprocess result is cached per process and directory — manifest
+    builds happen once per completed trial under checkpointing, and the
+    HEAD of an installed tree cannot change mid-run.
+    """
+    cwd = start if start is not None else pathlib.Path(__file__).resolve().parent
+    return _git_sha_at(str(cwd))
 
 
 @dataclass(frozen=True)

@@ -219,6 +219,15 @@ class MetricsRegistry:
       ``Heuristic.select`` wall time (:data:`LATENCY_EDGES`);
     * ``queue_depth`` — histogram of cluster-average queue depth at
       each mapping event (:data:`DEPTH_EDGES`).
+
+    The supervised ensemble executor
+    (:mod:`repro.experiments.executor`) adds
+
+    * ``executor.trials_retried``, ``executor.trials_quarantined``,
+      ``executor.trials_resumed``, ``executor.checkpoints_written`` —
+      recovery-action counters;
+    * ``executor.faults.<kind>`` — one counter per observed fault kind
+      (``crash``, ``timeout``, ``corrupt``, ``error``).
     """
 
     def __init__(self) -> None:

@@ -11,11 +11,14 @@ from repro.analysis.trace_summary import (
 )
 from repro.obs.events import (
     CAUSE_CANCELLED,
+    CheckpointWritten,
     EnergyExhausted,
     TaskCompleted,
     TaskDiscarded,
     TaskMapped,
     TrialFinished,
+    TrialQuarantined,
+    TrialRetried,
     TrialStarted,
 )
 
@@ -77,3 +80,34 @@ class TestTraceSummaryTable:
         table = trace_summary_table([])
         assert "nan" not in table
         assert "tasks mapped" in table
+
+
+RECOVERY_EVENTS = EVENTS + [
+    TrialRetried(trial=0, attempt=1, fault="crash", delay=0.25),
+    TrialRetried(trial=2, attempt=1, fault="corrupt", delay=0.5),
+    TrialQuarantined(trial=2, attempts=3, fault="corrupt"),
+    CheckpointWritten(trial=0, path="run.jsonl", records=1),
+]
+
+
+class TestRecoveryRows:
+    def test_recovery_counts(self):
+        s = summarize_trace(RECOVERY_EVENTS)
+        assert s.retries == 2
+        assert s.quarantines == 1
+        assert s.checkpoints == 1
+        assert s.fault_kinds == {"crash": 1, "corrupt": 2}
+
+    def test_recovery_rows_render(self):
+        table = trace_summary_table(RECOVERY_EVENTS)
+        assert "trial retries" in table
+        assert "trials quarantined" in table
+        assert "checkpoint records" in table
+        assert "faults[crash]" in table
+        assert "faults[corrupt]" in table
+
+    def test_clean_trace_omits_recovery_rows(self):
+        table = trace_summary_table(EVENTS)
+        assert "retries" not in table
+        assert "quarantined" not in table
+        assert "faults[" not in table

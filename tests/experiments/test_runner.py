@@ -104,5 +104,38 @@ class TestRunEnsemble:
         with pytest.raises(ValueError):
             run_ensemble(SPECS, tiny_config(), 0)
 
+    @pytest.mark.parametrize("n_jobs", [0, -1, -8])
+    def test_rejects_non_positive_n_jobs(self, n_jobs):
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_ensemble(SPECS, tiny_config(), num_trials=1, n_jobs=n_jobs)
+
     def test_spec_label(self):
         assert VariantSpec("LL", "en+rob").label == "LL/en+rob"
+
+
+class TestParallelFanIn:
+    def test_keep_outcomes_with_parallel_workers(self, ensemble):
+        # Outcomes must survive pickling through the worker pipes, land on
+        # the right (spec, trial) cell, and fan in independent of n_jobs.
+        parallel = run_ensemble(
+            SPECS,
+            tiny_config(),
+            num_trials=3,
+            base_seed=42,
+            n_jobs=2,
+            keep_outcomes=True,
+        )
+        for spec in SPECS:
+            assert np.array_equal(ensemble.misses(spec), parallel.misses(spec))
+            for trial, result in enumerate(parallel.results[spec]):
+                assert len(result.outcomes) == result.num_tasks
+                assert result.seed == ensemble.results[spec][trial].seed
+        serial = run_ensemble(
+            SPECS,
+            tiny_config(),
+            num_trials=3,
+            base_seed=42,
+            keep_outcomes=True,
+        )
+        for spec in SPECS:
+            assert parallel.results[spec] == serial.results[spec]

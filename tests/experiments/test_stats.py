@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.stats import box_stats, median_improvement
+from repro.experiments.stats import box_stats, completeness_note, median_improvement
 
 
 class TestBoxStats:
@@ -80,3 +80,19 @@ class TestMedianImprovement:
         # unfiltered->filtered drops).
         assert median_improvement([561.5], [266.0]) == pytest.approx(0.526, abs=0.01)
         assert median_improvement([375.5], [234.5]) == pytest.approx(0.3755, abs=0.01)
+
+
+class TestCompletenessNote:
+    def test_complete_sample_has_no_note(self):
+        assert completeness_note(3, 3) is None
+        assert completeness_note(5, 3) is None
+
+    def test_incomplete_sample_counts(self):
+        note = completeness_note(2, 3)
+        assert note == "NOTE: medians computed over 2/3 trials"
+
+    def test_missing_trials_listed(self):
+        note = completeness_note(2, 4, missing=(1, 3))
+        assert note is not None
+        assert "2/4" in note
+        assert "missing trials: 1, 3" in note

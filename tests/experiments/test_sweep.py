@@ -7,7 +7,7 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.experiments.runner import VariantSpec
-from repro.experiments.sweep import budget_sweep, run_sweep
+from repro.experiments.sweep import _point_checkpoint, budget_sweep, run_sweep
 from tests.conftest import tiny_config
 
 SPECS = (VariantSpec("MECT", "none"),)
@@ -65,3 +65,35 @@ class TestBudgetSweep:
         sweep = budget_sweep([0.5, 1.0, 2.0], SPECS, tiny_config(), num_trials=2)
         assert sweep.medians(SPECS[0]).shape == (3,)
         assert np.all(sweep.medians(SPECS[0]) >= 0)
+
+
+class TestSweepCheckpoints:
+    def test_point_shard_naming(self):
+        assert _point_checkpoint(None, 0) is None
+        shard = _point_checkpoint("out/sweep.jsonl", 2)
+        assert shard.name == "sweep.point2.jsonl"
+        assert _point_checkpoint("out/sweep", 0).name == "sweep.point0.jsonl"
+
+    def test_each_point_gets_its_own_shard(self, tmp_path):
+        shard = tmp_path / "budget.jsonl"
+        budget_sweep(
+            [0.5, 2.0], SPECS, tiny_config(), num_trials=2, checkpoint=shard
+        )
+        assert (tmp_path / "budget.point0.jsonl").exists()
+        assert (tmp_path / "budget.point1.jsonl").exists()
+        assert not shard.exists()
+
+    def test_resume_reproduces_the_sweep(self, tmp_path):
+        shard = tmp_path / "budget.jsonl"
+        first = budget_sweep(
+            [0.5, 2.0], SPECS, tiny_config(), num_trials=2, checkpoint=shard
+        )
+        again = budget_sweep(
+            [0.5, 2.0],
+            SPECS,
+            tiny_config(),
+            num_trials=2,
+            checkpoint=shard,
+            resume=True,
+        )
+        assert np.array_equal(first.medians(SPECS[0]), again.medians(SPECS[0]))

@@ -8,7 +8,13 @@ import math
 import numpy as np
 import pytest
 
-from repro.experiments.runner import VariantSpec, run_ensemble, run_trial_variant
+from repro.experiments.executor import TrialFailure
+from repro.experiments.runner import (
+    PartialEnsembleResult,
+    VariantSpec,
+    run_ensemble,
+    run_trial_variant,
+)
 from repro.io.results_io import (
     ensemble_from_dict,
     ensemble_to_dict,
@@ -116,3 +122,38 @@ class TestFileHelpers:
         assert path.exists()
         rebuilt = ensemble_from_dict(load_json(path))
         assert rebuilt.num_trials == ensemble.num_trials
+
+
+class TestPartialEnsembleRoundTrip:
+    @pytest.fixture(scope="class")
+    def partial(self, ensemble):
+        return PartialEnsembleResult(
+            specs=ensemble.specs,
+            num_trials=3,
+            base_seed=ensemble.base_seed,
+            results=ensemble.results,
+            completed_trials=(0, 1),
+            failures=(
+                TrialFailure(trial=2, attempts=3, fault="timeout", detail="5.0s"),
+            ),
+        )
+
+    def test_round_trip_preserves_partial_metadata(self, partial):
+        rebuilt = ensemble_from_dict(ensemble_to_dict(partial))
+        assert isinstance(rebuilt, PartialEnsembleResult)
+        assert rebuilt.num_trials == 3
+        assert rebuilt.completed_trials == (0, 1)
+        assert rebuilt.missing_trials == (2,)
+        assert rebuilt.failures == partial.failures
+        for spec in partial.specs:
+            assert rebuilt.results[spec] == partial.results[spec]
+
+    def test_partial_section_is_json_serializable(self, partial):
+        data = json.loads(json.dumps(ensemble_to_dict(partial)))
+        assert data["partial"]["completed_trials"] == [0, 1]
+        assert data["partial"]["failures"][0]["fault"] == "timeout"
+
+    def test_complete_ensemble_has_no_partial_section(self, ensemble):
+        assert "partial" not in ensemble_to_dict(ensemble)
+        rebuilt = ensemble_from_dict(ensemble_to_dict(ensemble))
+        assert not isinstance(rebuilt, PartialEnsembleResult)

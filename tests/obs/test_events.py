@@ -8,11 +8,14 @@ import pytest
 
 from repro.obs.events import (
     EVENT_KINDS,
+    CheckpointWritten,
     EnergyExhausted,
     TaskCompleted,
     TaskDiscarded,
     TaskMapped,
     TrialFinished,
+    TrialQuarantined,
+    TrialRetried,
     TrialStarted,
     event_from_dict,
     event_to_dict,
@@ -31,6 +34,9 @@ SAMPLES = [
         makespan=120.0, missed=3, completed_within=27, discarded=1, late=1,
         energy_cutoff=1, total_energy=1.1e6,
     ),
+    TrialRetried(trial=2, attempt=1, fault="crash", delay=0.75),
+    TrialQuarantined(trial=2, attempts=3, fault="timeout"),
+    CheckpointWritten(trial=2, path="out/run.jsonl", records=3),
 ]
 
 
@@ -46,7 +52,7 @@ class TestRoundTrip:
         assert data["kind"] in EVENT_KINDS
 
     def test_kinds_are_unique_and_registered(self):
-        assert len(EVENT_KINDS) == 6
+        assert len(EVENT_KINDS) == 9
         assert set(EVENT_KINDS) == {
             "trial_started",
             "task_mapped",
@@ -54,6 +60,9 @@ class TestRoundTrip:
             "task_completed",
             "energy_exhausted",
             "trial_finished",
+            "trial_retried",
+            "trial_quarantined",
+            "checkpoint_written",
         }
 
 

@@ -137,3 +137,23 @@ class TestGitSha:
 
     def test_git_sha_outside_a_repo(self, tmp_path):
         assert git_sha(tmp_path) is None
+
+    def test_git_sha_is_cached_per_directory(self, monkeypatch):
+        from repro.obs import manifest as manifest_mod
+
+        calls = {"n": 0}
+        real_run = manifest_mod.subprocess.run
+
+        def counting_run(*args, **kwargs):
+            calls["n"] += 1
+            return real_run(*args, **kwargs)
+
+        manifest_mod._git_sha_at.cache_clear()
+        monkeypatch.setattr(manifest_mod.subprocess, "run", counting_run)
+        try:
+            first = git_sha()
+            second = git_sha()
+            assert first == second
+            assert calls["n"] == 1  # second lookup served from the cache
+        finally:
+            manifest_mod._git_sha_at.cache_clear()

@@ -204,3 +204,42 @@ class TestManifests:
         assert code == 0
         out = capsys.readouterr().out
         assert "tasks mapped" in out
+
+
+class TestResilienceFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["figure", "fig2"])
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.trial_timeout is None
+        assert args.max_retries == 2
+
+    def test_flags_on_every_ensemble_subcommand(self):
+        for cmd in (["figure", "fig2"], ["grid"], ["sweep"]):
+            args = build_parser().parse_args(
+                [*cmd, "--checkpoint", "c.jsonl", "--resume",
+                 "--trial-timeout", "30", "--max-retries", "1"]
+            )
+            assert args.checkpoint == "c.jsonl"
+            assert args.resume is True
+            assert args.trial_timeout == 30.0
+            assert args.max_retries == 1
+
+    def test_figure_checkpoint_and_resume(self, capsys, tmp_path):
+        shard = tmp_path / "fig.ckpt.jsonl"
+        base = ["figure", "fig2", *TINY, "--trials", "2",
+                "--checkpoint", str(shard)]
+        assert main(base) == 0
+        assert shard.exists()
+        first_out = capsys.readouterr().out
+        assert main([*base, "--resume", "--metrics-out",
+                     str(tmp_path / "m.json")]) == 0
+        resumed_out = capsys.readouterr().out
+        # Resume reprints the same tables from checkpointed trials.
+        assert first_out.splitlines()[0] in resumed_out
+        data = json.loads((tmp_path / "m.json").read_text())
+        assert data["counters"]["executor.trials_resumed"] == 2
+
+    def test_resume_requires_checkpoint(self, capsys):
+        with pytest.raises(ValueError, match="checkpoint"):
+            main(["figure", "fig2", *TINY, "--trials", "2", "--resume"])

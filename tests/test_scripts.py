@@ -39,3 +39,26 @@ class TestRunFullGrid:
         # The printed report must include every figure's heuristic.
         for token in ("SQ", "MECT", "LL", "Random", "Filtering summary"):
             assert token in proc.stdout
+
+
+class TestChaosCheck:
+    def test_recovery_is_bitwise_clean(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "scripts" / "chaos_check.py"),
+                "--tasks",
+                "60",
+                "--trials",
+                "3",
+                "--seed",
+                "5",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "bitwise identical" in proc.stdout
+        assert "retried=3 quarantined=0" in proc.stdout
+        assert "resumed=3" in proc.stdout
