@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file (CI observability job).
+
+Checks the structural invariants any conforming trace viewer relies on:
+
+* the document is an object with a ``traceEvents`` list (or a bare
+  event list);
+* every complete ("X") event carries ``name``, numeric non-negative
+  ``ts`` and ``dur``, and ``pid``/``tid`` identifiers;
+* duration ("B"/"E") events, if present, are balanced per
+  ``(pid, tid)`` track with matching names in LIFO order;
+* within each ``(pid, tid)`` track, events are listed in
+  non-decreasing ``ts`` order (viewers tolerate less, our exporter
+  guarantees it);
+* ``process_name`` metadata records name distinct pids.
+
+Exits 0 when the trace is valid, 1 with diagnostics otherwise.  No
+repro imports — the script validates the *format*, so it must not share
+code with the exporter it is checking.
+
+Usage:
+    python scripts/trace_check.py prof.json [more.json ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check_trace(path: Path) -> list[str]:
+    """Return a list of problems (empty when the trace is valid)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["no traceEvents list"]
+    elif isinstance(data, list):
+        events = data
+    else:
+        return ["document is neither an object nor an event list"]
+
+    problems: list[str] = []
+    last_ts: dict[tuple, float] = {}
+    open_stacks: dict[tuple, list[str]] = {}
+    named_pids: dict[int, str] = {}
+    x_events = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                pid = event.get("pid")
+                label = (event.get("args") or {}).get("name", "")
+                if pid in named_pids:
+                    problems.append(
+                        f"event {i}: pid {pid} named twice "
+                        f"({named_pids[pid]!r} and {label!r})"
+                    )
+                named_pids[pid] = label
+            continue
+        if ph not in ("X", "B", "E"):
+            continue  # counters, flows etc. are out of scope
+        name = event.get("name")
+        ts = event.get("ts")
+        if not isinstance(name, str) or not name:
+            problems.append(f"event {i}: missing name")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event {i}: missing pid/tid")
+            continue
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event {i}: ts {ts} goes backwards on track {track}"
+            )
+        last_ts[track] = float(ts)
+        if ph == "X":
+            x_events += 1
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+        elif ph == "B":
+            open_stacks.setdefault(track, []).append(str(name))
+        else:  # "E"
+            stack = open_stacks.setdefault(track, [])
+            if not stack:
+                problems.append(f"event {i}: E without matching B on {track}")
+            else:
+                opened = stack.pop()
+                if event.get("name") not in (None, opened):
+                    problems.append(
+                        f"event {i}: E name {event.get('name')!r} does not "
+                        f"close B name {opened!r}"
+                    )
+    for track, stack in open_stacks.items():
+        if stack:
+            problems.append(f"track {track}: {len(stack)} unclosed B event(s)")
+    if x_events == 0 and not any(open_stacks.values()):
+        if not any(isinstance(e, dict) and e.get("ph") in ("B", "E") for e in events):
+            problems.append("no span events (X or B/E) at all")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="Chrome trace-event JSON files")
+    args = parser.parse_args()
+    failed = False
+    for name in args.traces:
+        path = Path(name)
+        problems = check_trace(path)
+        if problems:
+            failed = True
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,22 @@
 """Analysis and presentation: box plots (ASCII + SVG), tables, phase
-breakdowns, event-trace summaries and time-series views of finished
-trials."""
+breakdowns, event-trace summaries, span-profile reports, timeline
+charts and time-series views of finished trials."""
 
 from repro.analysis.boxplot import ascii_boxplot, ascii_boxplot_group
 from repro.analysis.phases import PhaseBreakdown, phase_breakdown
-from repro.analysis.svg import boxplot_svg, save_boxplot_svg
+from repro.analysis.profile_report import (
+    SpanStat,
+    metrics_tables,
+    profile_table,
+    span_summary,
+    timeline_table,
+)
+from repro.analysis.svg import (
+    boxplot_svg,
+    save_boxplot_svg,
+    save_timeline_svg,
+    timeline_svg,
+)
 from repro.analysis.tables import markdown_table
 from repro.analysis.timeseries import (
     active_tasks_series,
@@ -27,6 +39,13 @@ __all__ = [
     "phase_breakdown",
     "boxplot_svg",
     "save_boxplot_svg",
+    "timeline_svg",
+    "save_timeline_svg",
+    "SpanStat",
+    "span_summary",
+    "profile_table",
+    "timeline_table",
+    "metrics_tables",
     "markdown_table",
     "active_tasks_series",
     "completion_rate_series",

@@ -1,21 +1,23 @@
-"""Standalone SVG box-and-whisker figures (no plotting dependency).
+"""Standalone SVG figures (no plotting dependency).
 
-Produces self-contained SVG documents visually equivalent to the paper's
-Figures 2-6: one box per variant, Tukey whiskers, outlier dots, a value
-axis.  Used by the CLI's ``report --svg`` and by anyone archiving results
-from a headless full-scale run.
+Produces self-contained SVG documents: box-and-whisker charts visually
+equivalent to the paper's Figures 2-6 (one box per variant, Tukey
+whiskers, outlier dots, a value axis) and timeline line charts of
+sampled system state.  Used by the CLI's ``report --svg`` and
+``profile --svg-dir``, and by anyone archiving results from a headless
+full-scale run.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.experiments.stats import box_stats
 
-__all__ = ["boxplot_svg", "save_boxplot_svg"]
+__all__ = ["boxplot_svg", "save_boxplot_svg", "timeline_svg", "save_timeline_svg"]
 
 _MARGIN_L = 90
 _MARGIN_R = 20
@@ -130,4 +132,115 @@ def save_boxplot_svg(
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(boxplot_svg(samples, **kwargs))
+    return path
+
+
+#: (label, color) of each timeline series, in draw order.
+_TIMELINE_SERIES: tuple[tuple[str, str], ...] = (
+    ("busy cores", "#d62728"),
+    ("tasks in system", "#1f77b4"),
+    ("completed", "#2ca02c"),
+)
+
+
+def timeline_svg(
+    stream: Mapping[str, Any],
+    *,
+    title: str = "",
+    width: int = 720,
+    height: int = 280,
+) -> str:
+    """Render one serialized timeline stream as an SVG line chart.
+
+    ``stream`` is one entry of a ``repro.timeline/1`` document (see
+    :meth:`repro.obs.timeline.TimelineRecorder.to_dict`): busy cores,
+    cluster-wide in-system tasks and cumulative completions over
+    simulated time, sharing one value axis.
+    """
+    ts = [float(t) for t in stream["t"]]
+    if not ts:
+        raise ValueError("timeline stream has no samples")
+    series = {
+        "busy cores": [float(v) for v in stream["busy_cores"]],
+        "tasks in system": [float(sum(d)) for d in stream["node_depth"]],
+        "completed": [float(v) for v in stream["completed"]],
+    }
+    t_lo, t_hi = ts[0], ts[-1] if ts[-1] > ts[0] else ts[0] + 1.0
+    v_hi = max(max(vals) for vals in series.values())
+    if v_hi <= 0.0:
+        v_hi = 1.0
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def x(t: float) -> float:
+        return _MARGIN_L + (t - t_lo) / (t_hi - t_lo) * plot_w
+
+    def y(v: float) -> float:
+        return _MARGIN_T + plot_h - v / v_hi * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    label = title or str(stream.get("label", "timeline"))
+    parts.append(
+        f'<text x="{width / 2:.1f}" y="22" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{_esc(label)}</text>'
+    )
+    axis_y = _MARGIN_T + plot_h
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{axis_y}" x2="{width - _MARGIN_R}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    for tick in np.linspace(t_lo, t_hi, 6):
+        tx = x(float(tick))
+        parts.append(
+            f'<line x1="{tx:.1f}" y1="{axis_y}" x2="{tx:.1f}" y2="{axis_y + 5}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{tx:.1f}" y="{axis_y + 18}" text-anchor="middle">{tick:.0f}</text>'
+        )
+    for tick in np.linspace(0.0, v_hi, 5):
+        ty = y(float(tick))
+        parts.append(
+            f'<line x1="{_MARGIN_L - 5}" y1="{ty:.1f}" x2="{_MARGIN_L}" y2="{ty:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{ty + 4:.1f}" text-anchor="end">{tick:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.1f}" y="{height - 6}" '
+        f'text-anchor="middle" font-style="italic">simulated time</text>'
+    )
+    for i, (name, color) in enumerate(_TIMELINE_SERIES):
+        points = " ".join(f"{x(t):.1f},{y(v):.1f}" for t, v in zip(ts, series[name]))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="1.5"/>'
+        )
+        lx = _MARGIN_L + 10 + i * 140
+        parts.append(
+            f'<line x1="{lx}" y1="{_MARGIN_T - 8}" x2="{lx + 18}" '
+            f'y2="{_MARGIN_T - 8}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 22}" y="{_MARGIN_T - 4}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_timeline_svg(
+    stream: Mapping[str, Any],
+    path: str | pathlib.Path,
+    **kwargs,
+) -> pathlib.Path:
+    """Write :func:`timeline_svg` output to disk and return the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(timeline_svg(stream, **kwargs))
     return path

@@ -10,23 +10,29 @@ Installed as the ``repro`` console script::
     repro report grid.json --svg-dir figs/   # re-render saved results
     repro compare grid.json LL/none LL/en+rob # paired significance test
     repro trial --trace-out t.jsonl --metrics-out m.json  # observed run
+    repro trial --profile-out p.json --timeline-out tl.json  # profiled run
+    repro profile p.json --timeline tl.json  # top-spans + timeline digest
     repro inspect-manifest grid.manifest.json --results grid.json
     repro grid --jobs 8 --checkpoint g.ckpt.jsonl --resume  # survivable run
 
 All simulation subcommands accept ``--tasks`` and ``--seed``; results
-are deterministic for a given seed, with tracing on or off.
+are deterministic for a given seed, with tracing and profiling on or
+off.  ``--profile-out`` files are Chrome trace-event JSON — drag one
+into https://ui.perfetto.dev to browse the spans interactively.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from dataclasses import replace
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro import SimulationConfig, build_trial_system
 from repro.analysis.boxplot import ascii_boxplot_group
-from repro.analysis.svg import save_boxplot_svg
+from repro.analysis.profile_report import metrics_tables, profile_table, timeline_table
+from repro.analysis.svg import save_boxplot_svg, save_timeline_svg
 from repro.analysis.trace_summary import trace_summary_table
 from repro.experiments.calibrate import calibration_summary
 from repro.experiments.compare import compare_variants
@@ -40,10 +46,18 @@ from repro.experiments.runner import (
     run_trial_variant,
 )
 from repro.heuristics.registry import HEURISTICS
+from repro.io.profile_io import (
+    load_profile_events,
+    load_timeline,
+    save_profile,
+    save_timeline,
+)
 from repro.io.results_io import ensemble_from_dict, ensemble_to_dict, load_json, save_json
 from repro.io.trace_io import load_trace
 from repro.obs.manifest import build_manifest, load_manifest, save_manifest, verify_ensemble
 from repro.obs.sinks import JsonlSink, MetricsRegistry
+from repro.obs.spans import SpanProfile, SpanRecorder
+from repro.obs.timeline import TIMELINE_FORMAT, TimelineRecorder, TimelineSet
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +99,24 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profiling(parser: argparse.ArgumentParser) -> None:
+    """Span/timeline flags shared by trial/figure/grid."""
+    parser.add_argument(
+        "--profile-out",
+        help="write a Chrome trace-event span profile here (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        help="write sampled system-state timelines (repro.timeline/1 JSON) here",
+    )
+    parser.add_argument(
+        "--timeline-dt",
+        type=float,
+        default=60.0,
+        help="simulated seconds between timeline samples (default: 60)",
+    )
+
+
 def _parse_spec(label: str) -> VariantSpec:
     try:
         heuristic, variant = label.split("/", 1)
@@ -111,9 +143,25 @@ def cmd_trial(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry() if args.metrics_out else None
     trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
     sinks = (trace_sink,) if trace_sink is not None else ()
+    recorder = (
+        SpanRecorder(stream=0, label=f"trial:{spec.label}")
+        if args.profile_out
+        else None
+    )
+    timeline = (
+        TimelineRecorder(args.timeline_dt, stream=0, label=spec.label)
+        if args.timeline_out
+        else None
+    )
     try:
         result = run_trial_variant(
-            system, spec, keep_outcomes=False, metrics=metrics, sinks=sinks
+            system,
+            spec,
+            keep_outcomes=False,
+            metrics=metrics,
+            sinks=sinks,
+            profile=recorder,
+            timeline=timeline,
         )
     finally:
         if trace_sink is not None:
@@ -133,6 +181,16 @@ def cmd_trial(args: argparse.Namespace) -> int:
     if metrics is not None:
         save_json(metrics.to_dict(), args.metrics_out)
         print(f"wrote {args.metrics_out}")
+    if recorder is not None:
+        profile = SpanProfile()
+        profile.add_stream(recorder)
+        save_profile(profile, args.profile_out)
+        print(f"wrote {args.profile_out} ({len(recorder)} spans)")
+    if timeline is not None:
+        timeline_set = TimelineSet(args.timeline_dt)
+        timeline_set.add(timeline)
+        save_timeline(timeline_set, args.timeline_out)
+        print(f"wrote {args.timeline_out} ({len(timeline)} samples)")
     return 0
 
 
@@ -175,14 +233,15 @@ def _report_partial(ensemble: EnsembleResult) -> None:
 
 def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) -> int:
     """Shared figure/grid body: run, render, save results + manifest + metrics."""
-    import pathlib
-
     metrics = MetricsRegistry() if args.metrics_out else None
+    profile = SpanProfile() if args.profile_out else None
+    timeline = TimelineSet(args.timeline_dt) if args.timeline_out else None
     ensemble = run_ensemble(
         specs, _config(args), args.trials, base_seed=args.seed,
         n_jobs=args.jobs, metrics=metrics,
         checkpoint=args.checkpoint, resume=args.resume,
         trial_timeout=args.trial_timeout, max_retries=args.max_retries,
+        profile=profile, timeline=timeline,
     )
     _report_partial(ensemble)
     _print_ensemble(ensemble, args.tasks, args.svg_dir)
@@ -195,6 +254,12 @@ def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) ->
     if metrics is not None:
         save_json(metrics.to_dict(), args.metrics_out)
         print(f"wrote {args.metrics_out}")
+    if profile is not None:
+        save_profile(profile, args.profile_out)
+        print(f"wrote {args.profile_out} ({len(profile)} spans)")
+    if timeline is not None:
+        save_timeline(timeline, args.timeline_out)
+        print(f"wrote {args.timeline_out} ({len(timeline)} timelines)")
     return 0
 
 
@@ -206,6 +271,30 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_grid(args: argparse.Namespace) -> int:
     """Run the full 16-variant evaluation grid."""
     return _run_ensemble_command(full_grid_specs(), args)
+
+
+def _companion_path(manifest_path: str) -> pathlib.Path:
+    """Default ``--metrics`` companion: ``x.manifest.json`` -> ``x.metrics.json``."""
+    path = pathlib.Path(manifest_path)
+    name = path.name
+    if name.endswith(".manifest.json"):
+        return path.with_name(name[: -len(".manifest.json")] + ".metrics.json")
+    return path.with_suffix(".metrics.json")
+
+
+def _render_companion(data: Any) -> str:
+    """Pretty-print a metrics / profile / timeline companion document."""
+    if isinstance(data, dict) and data.get("format") == "repro.metrics/1":
+        return metrics_tables(data)
+    if isinstance(data, dict) and data.get("format") == TIMELINE_FORMAT:
+        return timeline_table(TimelineSet.from_dict(data))
+    if isinstance(data, list) or (isinstance(data, dict) and "traceEvents" in data):
+        events = data if isinstance(data, list) else data["traceEvents"]
+        return profile_table([e for e in events if isinstance(e, dict)])
+    raise SystemExit(
+        "unrecognized companion document (expected repro.metrics/1, "
+        "repro.timeline/1, or Chrome traceEvents JSON)"
+    )
 
 
 def cmd_inspect_manifest(args: argparse.Namespace) -> int:
@@ -226,7 +315,36 @@ def cmd_inspect_manifest(args: argparse.Namespace) -> int:
         events = load_trace(args.trace)
         print()
         print(trace_summary_table(events))
+    if args.metrics is not None:
+        companion = (
+            _companion_path(args.manifest)
+            if args.metrics == ""
+            else pathlib.Path(args.metrics)
+        )
+        if not companion.exists():
+            print(f"no companion file at {companion}")
+            code = 1
+        else:
+            print()
+            print(f"# {companion.name}")
+            print(_render_companion(load_json(companion)))
     return code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Render a top-spans table from a saved Chrome trace profile."""
+    events = load_profile_events(args.profile)
+    print(profile_table(events, limit=args.limit))
+    if args.timeline:
+        timeline = load_timeline(args.timeline)
+        print()
+        print(timeline_table(timeline))
+        if args.svg_dir:
+            for stream in timeline.sorted_streams():
+                safe = str(stream["label"]).replace("/", "-").replace(":", "_")
+                path = save_timeline_svg(stream, f"{args.svg_dir}/timeline_{safe}.svg")
+                print(f"wrote {path}")
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -289,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace-out", help="write a JSONL event trace here")
     p.add_argument("--metrics-out", help="write the metrics registry JSON here")
+    _add_profiling(p)
     p.set_defaults(func=cmd_trial)
 
     p = sub.add_parser("figure", help="rerun one of the paper's figures")
@@ -300,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg-dir", help="also write SVG box plots here")
     p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
     _add_resilience(p)
+    _add_profiling(p)
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("grid", help="run the full 16-variant evaluation")
@@ -310,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg-dir", help="also write SVG box plots here")
     p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
     _add_resilience(p)
+    _add_profiling(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser(
@@ -318,7 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("manifest", help="JSON written next to grid/figure --out")
     p.add_argument("--results", help="saved ensemble JSON to verify digests against")
     p.add_argument("--trace", help="JSONL event trace to summarize alongside")
+    p.add_argument(
+        "--metrics",
+        nargs="?",
+        const="",
+        default=None,
+        help="pretty-print a metrics/profile/timeline companion JSON "
+        "(default: the sibling .metrics.json of the manifest)",
+    )
     p.set_defaults(func=cmd_inspect_manifest)
+
+    p = sub.add_parser(
+        "profile", help="render a top-spans table from a saved span profile"
+    )
+    p.add_argument("profile", help="Chrome trace-event JSON written by --profile-out")
+    p.add_argument("--limit", type=int, default=20, help="rows in the top-spans table")
+    p.add_argument("--timeline", help="also digest this --timeline-out JSON")
+    p.add_argument("--svg-dir", help="write one timeline SVG per stream here")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("report", help="re-render tables from a saved ensemble")
     p.add_argument("results", help="JSON written by grid/figure --out")

@@ -53,6 +53,7 @@ from repro import rng as rng_mod
 from repro.experiments.chaos import FAULT_CORRUPT, FAULT_CRASH, FAULT_ERROR, FAULT_HANG, FaultPlan
 from repro.obs.events import CheckpointWritten, Event, TrialQuarantined, TrialRetried
 from repro.obs.sinks import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 
 __all__ = [
     "RetryPolicy",
@@ -188,8 +189,8 @@ class _Worker:
         self.process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
         self.process.start()
         child_conn.close()
-        #: (trial, attempt, deadline | None) while busy, else None.
-        self.job: tuple[int, int, float | None] | None = None
+        #: (trial, attempt, deadline | None, sent_at, slot) while busy, else None.
+        self.job: tuple[int, int, float | None, float, int] | None = None
 
     def kill(self) -> None:
         """Terminate the process and close the pipe (idempotent)."""
@@ -219,6 +220,7 @@ def run_supervised(
     on_result: Callable[[int, Any], None] | None = None,
     on_event: Callable[[Event], None] | None = None,
     metrics: MetricsRegistry | None = None,
+    profile: SpanRecorder | None = None,
 ) -> tuple[dict[int, Any], list[TrialFailure]]:
     """Run ``fn(payloads[trial])`` for every trial under supervision.
 
@@ -227,6 +229,12 @@ def run_supervised(
     each trial completes (checkpointing hook); ``on_event`` receives
     :class:`~repro.obs.events.TrialRetried` /
     :class:`~repro.obs.events.TrialQuarantined`.
+
+    With ``profile``, every attempt's send-to-resolution wall time is
+    recorded as an ``executor.trial`` span (``tid`` = pool slot, so
+    trace viewers show one lane per worker; faulted and timed-out
+    attempts are included — their cost is real even when their result
+    is discarded).
 
     ``fn`` and the payloads must be picklable; ``fn`` must be a
     module-level callable so the worker can resolve it.
@@ -246,6 +254,10 @@ def run_supervised(
     def count(name: str, n: int = 1) -> None:
         if metrics is not None:
             metrics.inc(name, n)
+
+    def span_trial(sent_at: float, slot: int) -> None:
+        if profile is not None:
+            profile.add("executor.trial", sent_at, time.perf_counter() - sent_at, tid=slot)
 
     # (eligible_time, trial, attempt); attempts are 1-based.
     now = time.monotonic()
@@ -272,7 +284,7 @@ def run_supervised(
         while len(done) + len(failures) < len(payloads):
             now = time.monotonic()
             # Assign eligible pending jobs to idle workers.
-            for worker in workers:
+            for slot, worker in enumerate(workers):
                 if worker.job is not None or not pending or pending[0][0] > now:
                     continue
                 _, trial, attempt = heapq.heappop(pending)
@@ -285,9 +297,9 @@ def run_supervised(
                     # replace the worker before trying again.
                     heapq.heappush(pending, (now, trial, attempt))
                     worker.kill()
-                    workers[workers.index(worker)] = _Worker(ctx)
+                    workers[slot] = _Worker(ctx)
                     continue
-                worker.job = (trial, attempt, deadline)
+                worker.job = (trial, attempt, deadline, time.perf_counter(), slot)
 
             busy = [w for w in workers if w.job is not None]
             # How long may we block?  Until the soonest worker deadline
@@ -309,7 +321,7 @@ def run_supervised(
                 worker = next(w for w in busy if w.conn is conn)
                 if worker.job is None:  # pragma: no cover - defensive
                     continue
-                trial, attempt, _ = worker.job
+                trial, attempt, _, sent_at, slot = worker.job
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
@@ -317,10 +329,12 @@ def run_supervised(
                     # mid-trial.  Only this trial is forfeit.
                     worker.job = None
                     worker.kill()
-                    workers[workers.index(worker)] = _Worker(ctx)
+                    workers[slot] = _Worker(ctx)
+                    span_trial(sent_at, slot)
                     handle_fault(trial, attempt, FAULT_CRASH, "worker process died")
                     continue
                 worker.job = None
+                span_trial(sent_at, slot)
                 status = msg[0]
                 if status == "ok":
                     _, _, blob, digest = msg
@@ -342,11 +356,12 @@ def run_supervised(
             for i, worker in enumerate(workers):
                 if worker.job is None:
                     continue
-                trial, attempt, deadline = worker.job
+                trial, attempt, deadline, sent_at, slot = worker.job
                 if deadline is not None and now >= deadline:
                     worker.job = None
                     worker.kill()
                     workers[i] = _Worker(ctx)
+                    span_trial(sent_at, slot)
                     handle_fault(
                         trial, attempt, FAULT_TIMEOUT,
                         f"trial exceeded {trial_timeout}s wall clock",

@@ -54,6 +54,8 @@ from repro.obs.events import CheckpointWritten, Event
 from repro.obs.hooks import run_observed_trial
 from repro.obs.manifest import config_digest
 from repro.obs.sinks import EventSink, MetricsRegistry
+from repro.obs.spans import SpanProfile, SpanRecorder
+from repro.obs.timeline import TimelineRecorder, TimelineSet
 from repro.sim.engine import run_trial
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
@@ -87,21 +89,31 @@ def run_trial_variant(
     keep_outcomes: bool = False,
     metrics: MetricsRegistry | None = None,
     sinks: Sequence[EventSink] = (),
+    profile: SpanRecorder | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> TrialResult:
     """Run one spec against a prebuilt trial system.
 
     The Random heuristic's generator derives from the trial seed and the
     spec label, so it is reproducible and independent across variants.
-    When ``metrics`` or ``sinks`` are given the trial runs observed
-    (structured events, counters, decision timing); the simulated
-    decisions — and therefore the result — are bitwise identical either
-    way.
+    When ``metrics``, ``sinks``, ``profile`` or ``timeline`` are given
+    the trial runs observed (structured events, counters, decision
+    timing, spans, state snapshots); the simulated decisions — and
+    therefore the result — are bitwise identical either way.
     """
     rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
     heuristic = make_heuristic(spec.heuristic, rng)
     chain = make_filter_chain(spec.variant, system.config.filters)
-    if metrics is not None or sinks:
-        result = run_observed_trial(system, heuristic, chain, sinks=sinks, metrics=metrics)
+    if metrics is not None or sinks or profile is not None or timeline is not None:
+        result = run_observed_trial(
+            system,
+            heuristic,
+            chain,
+            sinks=sinks,
+            metrics=metrics,
+            profile=profile,
+            timeline=timeline,
+        )
     else:
         result = run_trial(system, heuristic, chain)
     if not keep_outcomes:
@@ -109,23 +121,78 @@ def run_trial_variant(
     return result
 
 
+#: What one trial sends back to the parent: per-spec results, then the
+#: serialized metrics registry, span stream and timeline streams (each
+#: ``None``/empty when its collection was off or the trial was restored
+#: from a checkpoint, which stores only the first two).
+_TrialValue = tuple[
+    list[TrialResult], dict[str, Any] | None, dict[str, Any] | None, list[dict[str, Any]] | None
+]
+
+
 def _run_one_trial(
-    args: tuple[SimulationConfig, int, int, tuple[VariantSpec, ...], bool, bool],
-) -> tuple[list[TrialResult], dict[str, Any] | None]:
+    args: tuple[
+        SimulationConfig, int, int, tuple[VariantSpec, ...], bool, bool, bool, float | None
+    ],
+) -> _TrialValue:
     """Worker: build trial ``i``'s system and run every spec against it.
 
     Returns the per-spec results plus, when requested, the worker's
-    metrics serialized for the trip back to the parent process.
+    metrics / span stream / timelines serialized for the trip back to
+    the parent process.  The span stream id is ``trial_index + 1``
+    (stream 0 is the parent supervisor), so streams merge
+    deterministically regardless of which pool slot ran the trial.
     """
-    config, base_seed, trial_index, specs, keep_outcomes, collect_metrics = args
+    (
+        config,
+        base_seed,
+        trial_index,
+        specs,
+        keep_outcomes,
+        collect_metrics,
+        collect_spans,
+        timeline_dt,
+    ) = args
     seed = rng_mod.spawn_trial_seed(base_seed, trial_index)
-    system = build_trial_system(config.with_seed(seed))
+    recorder = (
+        SpanRecorder(stream=trial_index + 1, label=f"trial-{trial_index}")
+        if collect_spans
+        else None
+    )
+    if recorder is not None:
+        with recorder.span("trial.build_system"):
+            system = build_trial_system(config.with_seed(seed))
+    else:
+        system = build_trial_system(config.with_seed(seed))
     registry = MetricsRegistry() if collect_metrics else None
-    results = [
-        run_trial_variant(system, spec, keep_outcomes=keep_outcomes, metrics=registry)
-        for spec in specs
-    ]
-    return results, (registry.to_dict() if registry is not None else None)
+    timelines: list[dict[str, Any]] | None = [] if timeline_dt is not None else None
+    results = []
+    for spec in specs:
+        tl = (
+            TimelineRecorder(
+                timeline_dt, stream=trial_index, label=f"trial{trial_index}:{spec.label}"
+            )
+            if timeline_dt is not None
+            else None
+        )
+        results.append(
+            run_trial_variant(
+                system,
+                spec,
+                keep_outcomes=keep_outcomes,
+                metrics=registry,
+                profile=recorder,
+                timeline=tl,
+            )
+        )
+        if tl is not None and timelines is not None:
+            timelines.append(tl.to_dict())
+    return (
+        results,
+        registry.to_dict() if registry is not None else None,
+        recorder.to_dict() if recorder is not None else None,
+        timelines,
+    )
 
 
 @dataclass(frozen=True)
@@ -211,6 +278,8 @@ def run_ensemble(
     backoff_cap: float = 30.0,
     fault_plan: FaultPlan | None = None,
     sinks: Sequence[EventSink] = (),
+    profile: SpanProfile | None = None,
+    timeline: TimelineSet | None = None,
 ) -> EnsembleResult:
     """Run ``num_trials`` paired trials of every spec.
 
@@ -249,6 +318,17 @@ def run_ensemble(
     sinks:
         Event sinks receiving executor-level events (``TrialRetried``,
         ``TrialQuarantined``, ``CheckpointWritten``).
+    profile:
+        Optional :class:`~repro.obs.spans.SpanProfile` to merge span
+        streams into: one stream per trial (id ``trial + 1``) plus the
+        parent supervisor's ``executor.trial`` spans on stream 0.
+        Stream ids are keyed by trial, not pool slot, so the merged
+        profile's span names/counts are identical for any ``n_jobs``.
+        Trials restored from a checkpoint carry no spans.
+    timeline:
+        Optional :class:`~repro.obs.timeline.TimelineSet`; each trial
+        contributes one sampled state timeline per spec at the set's
+        ``dt``.  Fully deterministic for a fixed seed.
     """
     specs = tuple(specs)
     if not specs:
@@ -268,13 +348,18 @@ def run_ensemble(
     # Checkpoint shards always carry worker metrics so a resumed run can
     # restore them; collection stays off on the plain fast path.
     collect = metrics is not None or checkpoint is not None
+    collect_spans = profile is not None
+    timeline_dt = timeline.dt if timeline is not None else None
+    parent_recorder = (
+        SpanRecorder(stream=0, label="supervisor") if profile is not None else None
+    )
     labels = [spec.label for spec in specs]
 
     def emit(event: Event) -> None:
         for sink in sinks:
             sink.emit(event)
 
-    done: dict[int, tuple[list[TrialResult], dict[str, Any] | None]] = {}
+    done: dict[int, _TrialValue] = {}
     failures: tuple[TrialFailure, ...] = ()
     writer: CheckpointWriter | None = None
     if checkpoint is not None:
@@ -287,7 +372,11 @@ def run_ensemble(
                 spec_labels=labels,
                 num_trials=num_trials,
             )
-            done.update(restored)
+            # Checkpoints store (results, metrics) only; restored trials
+            # contribute no spans or timelines.
+            done.update(
+                {t: (res, mets, None, None) for t, (res, mets) in restored.items()}
+            )
             if metrics is not None and restored:
                 metrics.inc("executor.trials_resumed", len(restored))
         writer = CheckpointWriter(
@@ -299,7 +388,7 @@ def run_ensemble(
             append=resume,
         )
 
-    def record(trial: int, value: tuple[list[TrialResult], dict[str, Any] | None]) -> None:
+    def record(trial: int, value: _TrialValue) -> None:
         done[trial] = value
         if writer is not None:
             writer.write(trial, value[0], value[1])
@@ -311,7 +400,7 @@ def run_ensemble(
     try:
         if pending:
             payloads = {
-                i: (config, base_seed, i, specs, keep_outcomes, collect)
+                i: (config, base_seed, i, specs, keep_outcomes, collect, collect_spans, timeline_dt)
                 for i in pending
             }
             supervised = n_jobs > 1 or trial_timeout is not None or fault_plan is not None
@@ -331,11 +420,16 @@ def run_ensemble(
                     on_result=record,
                     on_event=emit,
                     metrics=metrics,
+                    profile=parent_recorder,
                 )
                 failures = tuple(failed)
             else:
                 for i in pending:
-                    record(i, _run_one_trial(payloads[i]))
+                    if parent_recorder is not None:
+                        with parent_recorder.span("executor.trial"):
+                            record(i, _run_one_trial(payloads[i]))
+                    else:
+                        record(i, _run_one_trial(payloads[i]))
     finally:
         if writer is not None:
             writer.close()
@@ -345,6 +439,18 @@ def run_ensemble(
             metrics_dict = done[trial][1]
             if metrics_dict is not None:
                 metrics.merge(MetricsRegistry.from_dict(metrics_dict))
+    if profile is not None:
+        if parent_recorder is not None and parent_recorder.records:
+            profile.add_stream(parent_recorder)
+        for trial in sorted(done):
+            span_stream = done[trial][2]
+            if span_stream is not None:
+                profile.add_stream(span_stream)
+    if timeline is not None:
+        for trial in sorted(done):
+            timeline_streams = done[trial][3]
+            for stream in timeline_streams or ():
+                timeline.add(stream)
 
     completed = tuple(sorted(done))
     results: dict[VariantSpec, tuple[TrialResult, ...]] = {

@@ -11,10 +11,18 @@ re-reported without re-simulation:
 * :mod:`repro.io.cluster_io` — sampled cluster specs, pinning the exact
   hardware draw of a trial;
 * :mod:`repro.io.trace_io` — JSONL event traces written by
-  :class:`repro.obs.sinks.JsonlSink`, read back as typed events.
+  :class:`repro.obs.sinks.JsonlSink`, read back as typed events;
+* :mod:`repro.io.profile_io` — span profiles as Chrome trace-event
+  JSON (Perfetto-loadable) and sampled state timelines.
 """
 
 from repro.io.cluster_io import cluster_from_dict, cluster_to_dict
+from repro.io.profile_io import (
+    load_profile_events,
+    load_timeline,
+    save_profile,
+    save_timeline,
+)
 from repro.io.results_io import (
     ensemble_from_dict,
     ensemble_to_dict,
@@ -40,4 +48,8 @@ __all__ = [
     "trial_result_to_dict",
     "workload_from_dict",
     "workload_to_dict",
+    "load_profile_events",
+    "load_timeline",
+    "save_profile",
+    "save_timeline",
 ]

@@ -1,0 +1,66 @@
+"""Reading and writing span profiles and timelines.
+
+Profiles are written in Chrome trace-event JSON — the ``traceEvents``
+document Perfetto and ``chrome://tracing`` load directly — so the same
+file serves both tooling (``repro profile``) and interactive trace
+viewers.  Timelines use the ``repro.timeline/1`` parallel-array format
+from :mod:`repro.obs.timeline`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.spans import SpanProfile
+from repro.obs.timeline import TimelineSet
+
+__all__ = [
+    "save_profile",
+    "load_profile_events",
+    "save_timeline",
+    "load_timeline",
+]
+
+
+def save_profile(profile: SpanProfile, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a merged profile as Chrome trace-event JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(profile.to_chrome_trace(), sort_keys=True), encoding="utf-8"
+    )
+    return path
+
+
+def load_profile_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Read the event list back from a Chrome trace-event JSON file.
+
+    Accepts both spellings of the format: an object with a
+    ``traceEvents`` key (what :func:`save_profile` writes) or a bare
+    JSON array of events.
+    """
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, list):
+        events = data
+    elif isinstance(data, dict) and isinstance(data.get("traceEvents"), list):
+        events = data["traceEvents"]
+    else:
+        raise ValueError(f"{path}: not a Chrome trace-event document")
+    return [e for e in events if isinstance(e, dict)]
+
+
+def save_timeline(timeline: TimelineSet, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a timeline set as a ``repro.timeline/1`` JSON document."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(timeline.to_dict(), sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_timeline(path: str | pathlib.Path) -> TimelineSet:
+    """Read a timeline set back from :func:`save_timeline` output."""
+    return TimelineSet.from_dict(
+        json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    )

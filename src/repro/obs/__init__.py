@@ -20,7 +20,13 @@ inspectable without touching the engine's hot path:
   :func:`~repro.obs.hooks.run_observed_trial`;
 * :mod:`repro.obs.manifest` — run manifests (config digest, seeds,
   version, git SHA, per-trial result digests) so any saved figure is
-  reproducible from the manifest sitting next to it.
+  reproducible from the manifest sitting next to it;
+* :mod:`repro.obs.spans` — nested wall-clock span profiling with
+  per-worker streams, merged deterministically and exportable as
+  Chrome trace-event JSON (Perfetto-loadable);
+* :mod:`repro.obs.timeline` — system-state snapshots (queue depth,
+  busy cores, energy estimate, completions/discards) sampled on a
+  uniform simulated-time grid.
 
 Observability is strictly opt-in: ``run_trial`` with no hooks allocates
 no event objects, and :mod:`repro.sim.engine` never imports this
@@ -41,7 +47,12 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
-from repro.obs.hooks import ObservingHooks, TimedHeuristic, run_observed_trial
+from repro.obs.hooks import (
+    ObservingHooks,
+    TimedFilterChain,
+    TimedHeuristic,
+    run_observed_trial,
+)
 from repro.obs.manifest import (
     RunManifest,
     build_manifest,
@@ -53,6 +64,8 @@ from repro.obs.manifest import (
     verify_ensemble,
 )
 from repro.obs.sinks import JsonlSink, MetricsRegistry, RingBufferSink
+from repro.obs.spans import SpanProfile, SpanRecorder, recording, span, traced
+from repro.obs.timeline import TimelineRecorder, TimelineSet
 
 __all__ = [
     "CheckpointWritten",
@@ -68,6 +81,7 @@ __all__ = [
     "event_from_dict",
     "event_to_dict",
     "ObservingHooks",
+    "TimedFilterChain",
     "TimedHeuristic",
     "run_observed_trial",
     "RunManifest",
@@ -81,4 +95,11 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "RingBufferSink",
+    "SpanProfile",
+    "SpanRecorder",
+    "recording",
+    "span",
+    "traced",
+    "TimelineRecorder",
+    "TimelineSet",
 ]

@@ -8,7 +8,10 @@ is off.
 :func:`run_observed_trial` wraps :func:`repro.sim.engine.run_trial` with
 the trial-lifecycle events (``TrialStarted``, ``EnergyExhausted``,
 ``TrialFinished``) that the per-event hook protocol cannot see, and
-optionally times every heuristic decision via :class:`TimedHeuristic`.
+optionally times every heuristic decision via :class:`TimedHeuristic`,
+every filter evaluation via :class:`TimedFilterChain`, every pmf
+operation via the :mod:`repro.stoch.ops` observer, and the engine's own
+event handlers via the ``tracer`` hook — all strictly opt-in.
 """
 
 from __future__ import annotations
@@ -28,16 +31,25 @@ from repro.obs.events import (
     TrialFinished,
     TrialStarted,
 )
-from repro.obs.sinks import DEPTH_EDGES, LATENCY_EDGES, EventSink, MetricsRegistry
+from repro.obs.sinks import (
+    DEPTH_EDGES,
+    GRID_EDGES,
+    LATENCY_EDGES,
+    EventSink,
+    MetricsRegistry,
+)
+from repro.obs.spans import SpanRecorder
+from repro.obs.timeline import TimelineRecorder
 from repro.sim.engine import run_trial
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem
+from repro.stoch.ops import set_op_observer
 from repro.workload.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
 
-__all__ = ["ObservingHooks", "TimedHeuristic", "run_observed_trial"]
+__all__ = ["ObservingHooks", "TimedHeuristic", "TimedFilterChain", "run_observed_trial"]
 
 
 class ObservingHooks:
@@ -51,6 +63,9 @@ class ObservingHooks:
     metrics:
         Optional registry; when given, mapping/discard/completion
         counters and the queue-depth histogram are updated per event.
+    timeline:
+        Optional :class:`~repro.obs.timeline.TimelineRecorder`; when
+        given, system-state snapshots are sampled on its sim-time grid.
     """
 
     def __init__(
@@ -58,9 +73,11 @@ class ObservingHooks:
         sinks: Sequence[EventSink] = (),
         *,
         metrics: MetricsRegistry | None = None,
+        timeline: TimelineRecorder | None = None,
     ) -> None:
         self.sinks = tuple(sinks)
         self.metrics = metrics
+        self.timeline = timeline
 
     def _emit(self, event: Event) -> None:
         for sink in self.sinks:
@@ -84,12 +101,16 @@ class ObservingHooks:
         if self.metrics is not None:
             self.metrics.inc("tasks_mapped")
             self.metrics.observe("queue_depth", depth, DEPTH_EDGES)
+        if self.timeline is not None:
+            self.timeline.on_mapped(engine)
 
     def on_discarded(self, engine: "Engine", task: Task) -> None:
         event = TaskDiscarded(t=engine.now, task_id=task.task_id, type_id=task.type_id)
         self._emit(event)
         if self.metrics is not None:
             self.metrics.inc(f"tasks_discarded.{event.cause}")
+        if self.timeline is not None:
+            self.timeline.on_discarded(engine)
 
     def on_completion(self, engine: "Engine", core_id: int, task: Task, t_now: float) -> None:
         self._emit(
@@ -99,6 +120,8 @@ class ObservingHooks:
         )
         if self.metrics is not None:
             self.metrics.inc("tasks_completed")
+        if self.timeline is not None:
+            self.timeline.on_completion(engine)
 
     # -- trial lifecycle (called by run_observed_trial) -----------------
 
@@ -140,24 +163,76 @@ class TimedHeuristic(Heuristic):
 
     Timing wraps the heuristic *outside* the engine, so the engine stays
     oblivious to observability and the measured span is exactly the
-    decision (mask argmin etc.), not candidate construction.
+    decision (mask argmin etc.), not candidate construction.  With a
+    ``recorder``, the already-measured duration is also fed to the span
+    profile as a ``heuristic.<name>`` span — one measurement, two
+    consumers.
     """
 
-    def __init__(self, inner: Heuristic, metrics: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        inner: Heuristic,
+        metrics: MetricsRegistry | None = None,
+        *,
+        recorder: SpanRecorder | None = None,
+    ) -> None:
         self.inner = inner
         self.metrics = metrics
+        self.recorder = recorder
         self.name = inner.name
+        self._span_name = f"heuristic.{inner.name}"
 
     def select(self, cands: CandidateSet, ctx: MappingContext) -> int | None:
         t0 = time.perf_counter()
         index = self.inner.select(cands, ctx)
-        self.metrics.observe(
-            f"decision_latency_s.{self.name}", time.perf_counter() - t0, LATENCY_EDGES
-        )
+        dur = time.perf_counter() - t0
+        if self.metrics is not None:
+            self.metrics.observe(f"decision_latency_s.{self.name}", dur, LATENCY_EDGES)
+        if self.recorder is not None:
+            self.recorder.add(self._span_name, t0, dur)
         return index
 
     def __repr__(self) -> str:
         return f"TimedHeuristic({self.inner!r})"
+
+
+class TimedFilterChain(FilterChain):
+    """Decorator chain: span every evaluation (chain + per-filter).
+
+    Rebuilt from the inner chain's filters, so ``label`` — and therefore
+    the variant name stamped on :class:`~repro.sim.results.TrialResult`
+    — is unchanged; only ``apply`` gains spans.
+    """
+
+    def __init__(self, inner: FilterChain, recorder: SpanRecorder) -> None:
+        super().__init__(inner.filters)
+        self._recorder = recorder
+        self._span_names = tuple(f"filter.{f.label}" for f in inner.filters)
+
+    def apply(self, cands: CandidateSet, ctx: MappingContext) -> None:
+        recorder = self._recorder
+        with recorder.span("filters.chain"):
+            for f, name in zip(self._filters, self._span_names):
+                with recorder.span(name):
+                    f.apply(cands, ctx)
+
+
+class _StochObserver:
+    """Counts pmf operations and their grid sizes into a registry.
+
+    Installed via :func:`repro.stoch.ops.set_op_observer` for the
+    duration of one observed trial: ``stoch.ops.<op>`` counters plus a
+    ``stoch.grid.<op>`` histogram of support lengths per operation.
+    """
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+
+    def __call__(self, op: str, grid_size: int) -> None:
+        self.metrics.inc(f"stoch.ops.{op}")
+        self.metrics.observe(f"stoch.grid.{op}", float(grid_size), GRID_EDGES)
 
 
 def run_observed_trial(
@@ -167,19 +242,39 @@ def run_observed_trial(
     *,
     sinks: Sequence[EventSink] = (),
     metrics: MetricsRegistry | None = None,
+    profile: SpanRecorder | None = None,
+    timeline: TimelineRecorder | None = None,
 ) -> TrialResult:
     """Run one trial with observability attached.
 
     Identical simulation semantics to :func:`repro.sim.engine.run_trial`
-    — hooks observe, they never steer, and decision timing wraps the
-    heuristic without touching its choices — so results are bitwise
-    equal with tracing on or off.
+    — hooks observe, they never steer, decision timing wraps the
+    heuristic without touching its choices, and span/timeline recording
+    reads state it never mutates — so results are bitwise equal with
+    tracing, metrics, profiling and timelines on or off, in any
+    combination.
     """
-    hooks = ObservingHooks(sinks, metrics=metrics)
+    hooks = ObservingHooks(sinks, metrics=metrics, timeline=timeline)
     engine_heuristic: Heuristic = heuristic
+    if metrics is not None or profile is not None:
+        engine_heuristic = TimedHeuristic(heuristic, metrics, recorder=profile)
+    engine_chain = filter_chain
+    if profile is not None:
+        engine_chain = TimedFilterChain(filter_chain, profile)
+    previous_observer = None
     if metrics is not None:
-        engine_heuristic = TimedHeuristic(heuristic, metrics)
-    hooks.trial_started(system, heuristic, filter_chain)
-    result = run_trial(system, engine_heuristic, filter_chain, hooks=hooks)
-    hooks.trial_finished(result)
-    return result
+        previous_observer = set_op_observer(_StochObserver(metrics))
+    try:
+        hooks.trial_started(system, heuristic, filter_chain)
+        if profile is not None:
+            with profile.span(f"trial.run.{heuristic.name}/{filter_chain.label}"):
+                result = run_trial(
+                    system, engine_heuristic, engine_chain, hooks=hooks, tracer=profile
+                )
+        else:
+            result = run_trial(system, engine_heuristic, engine_chain, hooks=hooks)
+        hooks.trial_finished(result)
+        return result
+    finally:
+        if metrics is not None:
+            set_op_observer(previous_observer)

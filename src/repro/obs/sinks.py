@@ -27,6 +27,7 @@ __all__ = [
     "MetricsRegistry",
     "LATENCY_EDGES",
     "DEPTH_EDGES",
+    "GRID_EDGES",
 ]
 
 
@@ -43,13 +44,19 @@ class JsonlSink:
 
     Accepts a path (opened lazily, closed by :meth:`close` or the
     context manager) or an already-open text file object (left open).
+
+    Durability: path-backed sinks open their file *line-buffered* and
+    each event is written as a single ``write`` call, so a sink
+    abandoned mid-trial (worker crash, ``os._exit``) leaves only whole,
+    parseable lines behind — a truncated trace is still a valid trace
+    prefix for :func:`repro.io.trace_io.load_trace`.
     """
 
     def __init__(self, target: str | pathlib.Path | IO[str]) -> None:
         if isinstance(target, (str, pathlib.Path)):
             path = pathlib.Path(target)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._file: IO[str] = path.open("w", encoding="utf-8")
+            self._file: IO[str] = path.open("w", encoding="utf-8", buffering=1)
             self._owns_file = True
         else:
             self._file = target
@@ -57,10 +64,13 @@ class JsonlSink:
         self.count = 0
 
     def emit(self, event: Event) -> None:
-        """Write one event as a compact JSON line."""
-        self._file.write(json.dumps(event_to_dict(event), sort_keys=True))
-        self._file.write("\n")
+        """Write one event as a compact JSON line (a single ``write``)."""
+        self._file.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
         self.count += 1
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS without closing the sink."""
+        self._file.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file if this sink opened it."""
@@ -125,6 +135,11 @@ LATENCY_EDGES: tuple[float, ...] = tuple(1e-6 * 4.0**k for k in range(10))
 
 #: Default bucket upper bounds for cluster-average queue depth.
 DEPTH_EDGES: tuple[float, ...] = (0.25, 0.5, 0.8, 1.2, 2.0, 4.0, 8.0, 16.0)
+
+#: Default bucket upper bounds for pmf grid sizes (support lengths) seen
+#: by the stoch op observer: powers of four from 4 up, overflow catches
+#: pathologically wide supports.
+GRID_EDGES: tuple[float, ...] = tuple(4.0**k for k in range(1, 8))
 
 
 @dataclass

@@ -43,7 +43,7 @@ from repro.sim.state import CoreState, QueuedTask, RunningTask
 from repro.sim.system import TrialSystem
 from repro.workload.task import Task
 
-__all__ = ["Engine", "EngineHooks", "run_trial"]
+__all__ = ["Engine", "EngineHooks", "Tracer", "run_trial"]
 
 # Event kinds; completions sort before arrivals at equal times.
 _COMPLETION = 0
@@ -68,6 +68,20 @@ class EngineHooks(Protocol):
         """Called after a task finishes and before the next one starts."""
 
 
+class Tracer(Protocol):
+    """Structural interface for span profiling (duck-typed, optional).
+
+    Anything with a ``span(name)`` context manager fits — in practice
+    the observability layer's span recorder, but the engine deliberately
+    knows only this shape so that package stays un-imported here.  With
+    ``tracer=None`` (the default) the event loop takes the bare branch
+    and allocates nothing per event.
+    """
+
+    def span(self, name: str) -> object:
+        """Return a context manager timing one named region."""
+
+
 @dataclass
 class _PendingOutcome:
     core_id: int
@@ -89,6 +103,8 @@ class Engine:
         Optional :class:`~repro.sim.metrics.TraceCollector`.
     hooks:
         Optional :class:`EngineHooks` for extensions.
+    tracer:
+        Optional :class:`Tracer` timing each event handler as a span.
     """
 
     def __init__(
@@ -99,12 +115,14 @@ class Engine:
         *,
         collector: TraceCollector | None = None,
         hooks: EngineHooks | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.system = system
         self.heuristic = heuristic
         self.filter_chain = filter_chain
         self.collector = collector
         self.hooks = hooks
+        self.tracer = tracer
 
         cluster = system.cluster
         dt = system.config.grid.dt
@@ -299,17 +317,34 @@ class Engine:
             self._push(task.arrival, _ARRIVAL, task.task_id)
 
         end_time = 0.0
+        tracer = self.tracer
+        if tracer is None:
+            # Bare loop: with no tracer, per-event cost is the handler alone.
+            while self._heap:
+                time, kind, _seq, payload = heapq.heappop(self._heap)
+                self._now = time
+                end_time = max(end_time, time)
+                if kind == _COMPLETION:
+                    self._handle_completion(payload, time)
+                else:
+                    self._handle_arrival(tasks[payload], time)
+            self.ledger.close(end_time)
+            return self._score(end_time)
+
         while self._heap:
             time, kind, _seq, payload = heapq.heappop(self._heap)
             self._now = time
             end_time = max(end_time, time)
             if kind == _COMPLETION:
-                self._handle_completion(payload, time)
+                with tracer.span("engine.completion"):
+                    self._handle_completion(payload, time)
             else:
-                self._handle_arrival(tasks[payload], time)
+                with tracer.span("engine.arrival"):
+                    self._handle_arrival(tasks[payload], time)
 
         self.ledger.close(end_time)
-        return self._score(end_time)
+        with tracer.span("engine.score"):
+            return self._score(end_time)
 
     def _score(self, end_time: float) -> TrialResult:
         system = self.system
@@ -378,8 +413,9 @@ def run_trial(
     *,
     collector: TraceCollector | None = None,
     hooks: EngineHooks | None = None,
+    tracer: Tracer | None = None,
 ) -> TrialResult:
     """Convenience wrapper: construct an :class:`Engine` and run it."""
     return Engine(
-        system, heuristic, filter_chain, collector=collector, hooks=hooks
+        system, heuristic, filter_chain, collector=collector, hooks=hooks, tracer=tracer
     ).run()

@@ -19,7 +19,7 @@ predicting stochastic completion times:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +32,29 @@ __all__ = [
     "truncate_below",
     "prob_sum_at_most",
     "expectation_of_sum",
+    "set_op_observer",
 ]
+
+#: Optional instrumentation callback ``(op: str, grid_size: int)``.
+#: The observability layer installs one to count pmf operations and
+#: their grid sizes (``repro.obs.hooks``); this module never imports
+#: observability code, and the ``is not None`` guard is the only cost
+#: on the unobserved hot path.
+_op_observer: Callable[[str, int], None] | None = None
+
+
+def set_op_observer(
+    observer: Callable[[str, int], None] | None,
+) -> Callable[[str, int], None] | None:
+    """Install (or clear, with ``None``) the module-wide op observer.
+
+    Returns the previously-installed observer so callers can restore it
+    — observation scopes nest like the hooks they serve.
+    """
+    global _op_observer
+    previous = _op_observer
+    _op_observer = observer
+    return previous
 
 
 def _check_same_grid(a: PMF, b: PMF) -> None:
@@ -52,6 +74,10 @@ def convolve(a: PMF, b: PMF) -> PMF:
     if len(b) == 1:
         return shift(a, b.start)
     probs = np.convolve(a.probs, b.probs)
+    if _op_observer is not None:
+        # Count only materialized convolutions (delta shortcuts above are
+        # free); the grid size is the produced support length.
+        _op_observer("convolve", probs.size)
     return PMF(a.start + b.start, a.dt, probs).compact()
 
 
@@ -94,6 +120,8 @@ def truncate_below(pmf: PMF, t: float, *, dt_for_degenerate: float | None = None
     k = int(np.ceil((t - pmf.start) / pmf.dt - 1e-9))
     if k <= 0:
         return pmf
+    if _op_observer is not None:
+        _op_observer("truncate_below", pmf.probs.size)
     if k >= pmf.probs.size:
         return PMF.delta(t, dt_for_degenerate if dt_for_degenerate is not None else pmf.dt)
     tail = pmf.probs[k:]
@@ -112,6 +140,8 @@ def prob_sum_at_most(ready: PMF, exec_pmf: PMF, deadline: float) -> float:
     completes by its deadline under a candidate assignment.
     """
     _check_same_grid(ready, exec_pmf)
+    if _op_observer is not None:
+        _op_observer("prob_sum_at_most", exec_pmf.probs.size)
     # F_R evaluated at (deadline - x_i) for every exec impulse time x_i.
     # x_i = exec.start + i*dt  =>  query_i = deadline - exec.start - i*dt.
     # Index into ready's grid: floor((query_i - ready.start)/dt).

@@ -1,0 +1,122 @@
+"""Tests for span/timeline collection through the ensemble runner.
+
+The contract under test: profiling is an *observer*.  Span streams and
+timelines fan in from worker processes deterministically (same streams,
+same counts, any ``n_jobs``), and collecting them changes nothing about
+the run itself — results and manifest digests are bitwise identical with
+profiling on or off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import VariantSpec, run_ensemble
+from repro.obs.manifest import build_manifest
+from repro.obs.sinks import MetricsRegistry
+from repro.obs.spans import SpanProfile
+from repro.obs.timeline import TimelineSet
+from tests.conftest import micro_config
+
+SPECS = (VariantSpec("LL", "en+rob"), VariantSpec("SQ", "none"))
+TRIALS = 3
+DT = 50.0
+
+
+def run(n_jobs: int, *, profiled: bool):
+    profile = SpanProfile() if profiled else None
+    timeline = TimelineSet(DT) if profiled else None
+    metrics = MetricsRegistry() if profiled else None
+    ensemble = run_ensemble(
+        SPECS,
+        micro_config(),
+        num_trials=TRIALS,
+        base_seed=11,
+        n_jobs=n_jobs,
+        metrics=metrics,
+        profile=profile,
+        timeline=timeline,
+    )
+    return ensemble, profile, timeline, metrics
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return run(1, profiled=True)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return run(2, profiled=True)
+
+
+class TestProfilingIsInert:
+    def test_results_and_digests_identical_profiled_or_not(self, serial):
+        plain, _, _, _ = run(1, profiled=False)
+        profiled = serial[0]
+        assert profiled.results == plain.results
+        config = micro_config()
+        assert (
+            build_manifest(profiled, config).to_dict()
+            == build_manifest(plain, config).to_dict()
+        )
+
+
+class TestSpanFanIn:
+    def test_expected_streams(self, serial):
+        _, profile, _, _ = serial
+        # Stream 0 is the supervisor; one stream per trial after it.
+        assert profile.labels == {
+            0: "supervisor",
+            1: "trial-0",
+            2: "trial-1",
+            3: "trial-2",
+        }
+
+    def test_span_counts_deterministic_across_n_jobs(self, serial, parallel):
+        assert serial[1].span_counts() == parallel[1].span_counts()
+
+    def test_merge_order_deterministic_across_n_jobs(self, serial, parallel):
+        key = [(r.stream, r.seq, r.name) for r in serial[1].sorted_records()]
+        assert key == [(r.stream, r.seq, r.name) for r in parallel[1].sorted_records()]
+
+    def test_expected_span_names_present(self, serial):
+        counts = serial[1].span_counts()
+        assert counts["trial.build_system"] == TRIALS
+        assert counts["trial.run.LL/en+rob"] == TRIALS
+        assert counts["trial.run.SQ/none"] == TRIALS
+        assert counts["executor.trial"] == TRIALS
+        for name in ("engine.arrival", "engine.completion", "filters.chain",
+                     "heuristic.LL", "heuristic.SQ"):
+            assert counts[name] > 0
+
+
+class TestTimelineFanIn:
+    def test_one_stream_per_trial_and_spec(self, serial):
+        _, _, timeline, _ = serial
+        labels = [(s["stream"], s["label"]) for s in timeline.sorted_streams()]
+        assert labels == [
+            (trial, f"trial{trial}:{spec.label}")
+            for trial in range(TRIALS)
+            for spec in SPECS
+        ]
+
+    def test_timelines_identical_across_n_jobs(self, serial, parallel):
+        assert serial[2].to_dict() == parallel[2].to_dict()
+
+
+class TestMetricsFanIn:
+    def test_counters_identical_across_n_jobs(self, serial, parallel):
+        # Counters (incl. the stoch op counters) are seed-deterministic;
+        # latency histograms are wall-clock and deliberately excluded.
+        serial_counters = serial[3].to_dict()["counters"]
+        parallel_counters = {
+            k: v
+            for k, v in parallel[3].to_dict()["counters"].items()
+            if not k.startswith("executor.")
+        }
+        assert {
+            k: v for k, v in serial_counters.items() if not k.startswith("executor.")
+        } == parallel_counters
+        assert serial_counters["stoch.ops.convolve"] > 0
+        assert serial_counters["stoch.ops.truncate_below"] > 0

@@ -25,8 +25,15 @@ from repro.obs.events import (
     TrialFinished,
     TrialStarted,
 )
-from repro.obs.hooks import ObservingHooks, TimedHeuristic, run_observed_trial
+from repro.obs.hooks import (
+    ObservingHooks,
+    TimedFilterChain,
+    TimedHeuristic,
+    run_observed_trial,
+)
 from repro.obs.sinks import MetricsRegistry, RingBufferSink
+from repro.obs.spans import SpanRecorder
+from repro.obs.timeline import TimelineRecorder
 from repro.sim.engine import run_trial
 from tests.conftest import micro_config
 from repro import build_trial_system
@@ -144,3 +151,104 @@ class TestObservationIsInert:
             system, LightestLoad(), make_filter_chain("none"), hooks=ObservingHooks()
         )
         assert result.num_tasks == system.num_tasks
+
+    def test_profiled_trial_bitwise_identical(self):
+        system = build_trial_system(micro_config(seed=6))
+        plain = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        profiled = run_observed_trial(
+            system, LightestLoad(), make_filter_chain("en+rob"),
+            profile=SpanRecorder(),
+            timeline=TimelineRecorder(50.0),
+        )
+        assert plain == profiled
+
+
+class TestTrialLifecycle:
+    """run_observed_trial's envelope ordering, asserted directly."""
+
+    @staticmethod
+    def run_with_ring(seed: int = 3, **updates):
+        system = build_trial_system(micro_config(seed=seed, **updates))
+        ring = RingBufferSink(capacity=10_000)
+        result = run_observed_trial(
+            system, LightestLoad(), make_filter_chain("en+rob"), sinks=(ring,)
+        )
+        return ring.events, result
+
+    def test_started_first_finished_last(self):
+        events, _ = self.run_with_ring()
+        assert isinstance(events[0], TrialStarted)
+        assert isinstance(events[-1], TrialFinished)
+        assert sum(isinstance(e, TrialStarted) for e in events) == 1
+        assert sum(isinstance(e, TrialFinished) for e in events) == 1
+
+    def test_at_most_one_exhaustion_even_under_tight_budget(self):
+        # A starved budget exhausts early; the event must still appear
+        # exactly once, between the envelope events.
+        events, result = self.run_with_ring(energy={"budget_mult": 0.05})
+        exhaustions = [i for i, e in enumerate(events) if isinstance(e, EnergyExhausted)]
+        assert len(exhaustions) == 1
+        assert result.exhaustion_time < float("inf")
+        assert 0 < exhaustions[0] < len(events) - 1
+
+    def test_no_exhaustion_event_under_ample_budget(self):
+        events, result = self.run_with_ring(energy={"budget_mult": 100.0})
+        assert not any(isinstance(e, EnergyExhausted) for e in events)
+        assert result.exhaustion_time == float("inf")
+
+
+class TestTimedHeuristic:
+    def test_records_one_histogram_sample_per_select(self):
+        system = build_trial_system(micro_config(seed=2))
+        metrics = MetricsRegistry()
+        timed = TimedHeuristic(LightestLoad(), metrics)
+        run_trial(system, timed, make_filter_chain("none"))
+        hist = metrics.histograms["decision_latency_s.LL"]
+        assert hist.count == system.num_tasks
+        assert hist.min >= 0.0
+
+    def test_feeds_span_recorder_same_measurement(self):
+        system = build_trial_system(micro_config(seed=2))
+        metrics = MetricsRegistry()
+        recorder = SpanRecorder()
+        timed = TimedHeuristic(LightestLoad(), metrics, recorder=recorder)
+        run_trial(system, timed, make_filter_chain("none"))
+        spans = [r for r in recorder.records if r.name == "heuristic.LL"]
+        hist = metrics.histograms["decision_latency_s.LL"]
+        assert len(spans) == hist.count
+        # One perf_counter pair serves both consumers: identical totals.
+        assert sum(r.dur for r in spans) == pytest.approx(hist.total)
+
+    def test_works_without_metrics(self):
+        system = build_trial_system(micro_config(seed=2))
+        recorder = SpanRecorder()
+        timed = TimedHeuristic(LightestLoad(), recorder=recorder)
+        result = run_trial(system, timed, make_filter_chain("none"))
+        assert result.num_tasks == system.num_tasks
+        assert len(recorder) == system.num_tasks
+
+    def test_repr_names_inner(self):
+        assert "LightestLoad" in repr(TimedHeuristic(LightestLoad()))
+
+
+class TestTimedFilterChain:
+    def test_preserves_label_and_choices(self):
+        system = build_trial_system(micro_config(seed=2))
+        inner = make_filter_chain("en+rob")
+        timed = TimedFilterChain(inner, SpanRecorder())
+        assert timed.label == inner.label == "en+rob"
+        a = run_trial(system, LightestLoad(), inner)
+        b = run_trial(system, LightestLoad(), timed)
+        assert a == b
+
+    def test_spans_chain_and_each_filter(self):
+        system = build_trial_system(micro_config(seed=2))
+        recorder = SpanRecorder()
+        timed = TimedFilterChain(make_filter_chain("en+rob"), recorder)
+        run_trial(system, LightestLoad(), timed)
+        counts: dict[str, int] = {}
+        for record in recorder.records:
+            counts[record.name] = counts.get(record.name, 0) + 1
+        assert counts["filters.chain"] == system.num_tasks
+        assert counts["filter.en"] == counts["filters.chain"]
+        assert counts["filter.rob"] == counts["filters.chain"]

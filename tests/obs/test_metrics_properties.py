@@ -1,0 +1,79 @@
+"""Property tests: MetricsRegistry merge forms a commutative monoid.
+
+The ensemble fan-in relies on merge being insensitive to how trials are
+partitioned across workers and in which order results arrive — i.e.
+associative and order-independent.  Values are integer-valued floats so
+the running ``total`` sums associatively in floating point and document
+equality is exact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.sinks import MetricsRegistry
+
+EDGES = (1.0, 4.0, 16.0)
+
+# One recorded observation: a counter bump or a histogram sample.
+_op = st.one_of(
+    st.tuples(
+        st.just("inc"),
+        st.sampled_from(["tasks_mapped", "stoch.ops.convolve", "trials_run"]),
+        st.integers(min_value=1, max_value=20),
+    ),
+    st.tuples(
+        st.just("observe"),
+        st.sampled_from(["queue_depth", "stoch.grid.convolve"]),
+        st.integers(min_value=0, max_value=64),
+    ),
+)
+
+_registry_ops = st.lists(_op, max_size=20)
+
+
+def build(ops) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "inc":
+            reg.inc(name, value)
+        else:
+            reg.observe(name, float(value), EDGES)
+    return reg
+
+
+def merged(*registries: MetricsRegistry) -> MetricsRegistry:
+    out = MetricsRegistry()
+    for reg in registries:
+        out.merge(reg)
+    return out
+
+
+@given(_registry_ops, _registry_ops, _registry_ops)
+def test_merge_is_associative(ops_a, ops_b, ops_c):
+    left = merged(merged(build(ops_a), build(ops_b)), build(ops_c))
+    right = merged(build(ops_a), merged(build(ops_b), build(ops_c)))
+    assert left.to_dict() == right.to_dict()
+
+
+@given(st.lists(_registry_ops, min_size=2, max_size=5), st.randoms())
+def test_merge_is_order_independent(ops_lists, rnd):
+    in_order = merged(*[build(ops) for ops in ops_lists])
+    shuffled = list(ops_lists)
+    rnd.shuffle(shuffled)
+    out_of_order = merged(*[build(ops) for ops in shuffled])
+    assert in_order.to_dict() == out_of_order.to_dict()
+
+
+@given(_registry_ops)
+def test_empty_registry_is_identity(ops):
+    reg = build(ops)
+    assert merged(MetricsRegistry(), reg).to_dict() == reg.to_dict()
+    assert merged(reg, MetricsRegistry()).to_dict() == reg.to_dict()
+
+
+@given(_registry_ops, _registry_ops)
+def test_merge_equals_interleaved_recording(ops_a, ops_b):
+    # Merging two registries equals recording both op streams into one.
+    assert merged(build(ops_a), build(ops_b)).to_dict() == build(ops_a + ops_b).to_dict()

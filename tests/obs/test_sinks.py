@@ -51,6 +51,55 @@ class TestJsonlSink:
             assert not fh.closed
 
 
+class TestJsonlSinkDurability:
+    def test_flush_pushes_lines_without_closing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(EVENT)
+        sink.flush()
+        assert path.read_text().endswith("\n")
+        sink.emit(EVENT)
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_close_flushes_borrowed_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as fh:  # block-buffered: lines sit in memory
+            sink = JsonlSink(fh)
+            sink.emit(EVENT)
+            sink.close()
+            assert not fh.closed
+            assert path.read_text().count("\n") == 1
+
+    def test_crashed_writer_leaves_only_whole_lines(self, tmp_path):
+        # Regression: a worker that dies mid-trial (os._exit skips every
+        # atexit/__exit__ path) must leave a parseable trace prefix, not
+        # a file ending in half a JSON object.
+        import os
+
+        from repro.io.trace_io import load_trace
+
+        path = tmp_path / "crash.jsonl"
+        pid = os.fork()
+        if pid == 0:  # child: write a burst of events, die without close
+            sink = JsonlSink(path)
+            for i in range(200):
+                sink.emit(
+                    TaskCompleted(t=float(i), task_id=i, type_id=0, core_id=0)
+                )
+            os._exit(17)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 17
+        raw = path.read_text()
+        assert raw.endswith("\n")
+        lines = raw.splitlines()
+        for line in lines:  # every surviving line is a complete object
+            json.loads(line)
+        events = load_trace(path)
+        assert len(events) == 200  # line-buffered: nothing was lost
+        assert [e.task_id for e in events] == list(range(200))
+
+
 class TestRingBufferSink:
     def test_keeps_most_recent(self):
         ring = RingBufferSink(capacity=3)

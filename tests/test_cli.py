@@ -243,3 +243,148 @@ class TestResilienceFlags:
     def test_resume_requires_checkpoint(self, capsys):
         with pytest.raises(ValueError, match="checkpoint"):
             main(["figure", "fig2", *TINY, "--trials", "2", "--resume"])
+
+
+class TestProfilingFlags:
+    def test_parser_defaults(self):
+        for cmd in (["trial"], ["figure", "fig2"], ["grid"]):
+            args = build_parser().parse_args(cmd)
+            assert args.profile_out is None
+            assert args.timeline_out is None
+            assert args.timeline_dt == 60.0
+
+    @pytest.fixture(scope="class")
+    def profiled_trial(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("profiled")
+        prof = outdir / "prof.json"
+        tl = outdir / "tl.json"
+        code = main(
+            [
+                "trial", "--tasks", "60", "--seed", "5",
+                "--profile-out", str(prof),
+                "--timeline-out", str(tl),
+                "--timeline-dt", "30",
+            ]
+        )
+        assert code == 0
+        return prof, tl
+
+    def test_trial_writes_chrome_trace(self, profiled_trial):
+        prof, _tl = profiled_trial
+        doc = json.loads(prof.read_text())
+        events = doc["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans
+        for e in spans:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+        names = {e["name"] for e in spans}
+        assert {"engine.arrival", "filters.chain", "heuristic.LL"} <= names
+
+    def test_trial_writes_timeline(self, profiled_trial):
+        _prof, tl = profiled_trial
+        doc = json.loads(tl.read_text())
+        assert doc["format"] == "repro.timeline/1"
+        assert doc["dt"] == 30.0
+        (stream,) = doc["streams"]
+        assert stream["t"] == sorted(stream["t"])
+        assert len(stream["t"]) > 1
+
+    def test_trace_check_script_accepts_profile(self, profiled_trial):
+        import pathlib
+        import subprocess
+        import sys
+
+        prof, _tl = profiled_trial
+        repo = pathlib.Path(__file__).resolve().parents[1]
+        proc = subprocess.run(
+            [sys.executable, str(repo / "scripts" / "trace_check.py"), str(prof)],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "ok" in proc.stdout
+
+    def test_profile_command_renders_table(self, capsys, profiled_trial):
+        prof, tl = profiled_trial
+        assert main(["profile", str(prof), "--timeline", str(tl)]) == 0
+        out = capsys.readouterr().out
+        assert "| span" in out
+        assert "engine.arrival" in out
+        assert "| timeline" in out
+
+    def test_profile_command_writes_svgs(self, capsys, profiled_trial, tmp_path):
+        prof, tl = profiled_trial
+        svg_dir = tmp_path / "svgs"
+        assert main(
+            ["profile", str(prof), "--timeline", str(tl), "--svg-dir", str(svg_dir)]
+        ) == 0
+        capsys.readouterr()
+        svgs = list(svg_dir.glob("timeline_*.svg"))
+        assert len(svgs) == 1
+        assert svgs[0].read_text().startswith("<svg")
+
+    def test_figure_profile_round_trip(self, capsys, tmp_path):
+        prof = tmp_path / "fig.prof.json"
+        tl = tmp_path / "fig.tl.json"
+        code = main(
+            [
+                "figure", "fig2", *TINY, "--trials", "2",
+                "--profile-out", str(prof),
+                "--timeline-out", str(tl),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(prof.read_text())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        # Supervisor stream + one per trial.
+        assert {m["args"]["name"] for m in meta} == {
+            "supervisor", "trial-0", "trial-1",
+        }
+        tl_doc = json.loads(tl.read_text())
+        # fig2 runs 4 specs x 2 trials.
+        assert len(tl_doc["streams"]) == 8
+
+
+class TestInspectManifestMetrics:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("companions")
+        code = main(
+            [
+                "figure", "fig2", *TINY, "--trials", "2",
+                "--out", str(outdir / "fig.json"),
+                "--metrics-out", str(outdir / "fig.metrics.json"),
+                "--profile-out", str(outdir / "fig.prof.json"),
+            ]
+        )
+        assert code == 0
+        return outdir
+
+    def test_metrics_flag_defaults_to_sibling(self, capsys, run_dir):
+        manifest = run_dir / "fig.manifest.json"
+        assert main(["inspect-manifest", str(manifest), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "## Counters" in out
+        assert "trials_run" in out
+
+    def test_metrics_flag_accepts_profile_path(self, capsys, run_dir):
+        manifest = run_dir / "fig.manifest.json"
+        code = main(
+            [
+                "inspect-manifest", str(manifest),
+                "--metrics", str(run_dir / "fig.prof.json"),
+            ]
+        )
+        assert code == 0
+        assert "| span" in capsys.readouterr().out
+
+    def test_unrecognized_companion_rejected(self, run_dir, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "repro.other/1"}))
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "inspect-manifest", str(run_dir / "fig.manifest.json"),
+                    "--metrics", str(bogus),
+                ]
+            )

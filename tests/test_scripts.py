@@ -62,3 +62,103 @@ class TestChaosCheck:
         assert "bitwise identical" in proc.stdout
         assert "retried=3 quarantined=0" in proc.stdout
         assert "resumed=3" in proc.stdout
+
+
+class TestTraceCheck:
+    SCRIPT = REPO / "scripts" / "trace_check.py"
+
+    def run_check(self, *paths):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *[str(p) for p in paths]],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    @staticmethod
+    def write(tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_valid_trace_passes(self, tmp_path):
+        good = self.write(
+            tmp_path,
+            "good.json",
+            {
+                "traceEvents": [
+                    {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+                     "args": {"name": "supervisor"}},
+                    {"ph": "X", "name": "a", "ts": 0.0, "dur": 5.0, "pid": 0, "tid": 0},
+                    {"ph": "X", "name": "b", "ts": 1.0, "dur": 2.0, "pid": 0, "tid": 0},
+                ]
+            },
+        )
+        proc = self.run_check(good)
+        assert proc.returncode == 0, proc.stdout
+        assert proc.stdout.startswith("ok")
+
+    def test_negative_duration_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path,
+            "bad.json",
+            [{"ph": "X", "name": "a", "ts": 0.0, "dur": -1.0, "pid": 0, "tid": 0}],
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "bad dur" in proc.stdout
+
+    def test_backwards_timestamps_fail(self, tmp_path):
+        bad = self.write(
+            tmp_path,
+            "bad.json",
+            [
+                {"ph": "X", "name": "a", "ts": 9.0, "dur": 1.0, "pid": 0, "tid": 0},
+                {"ph": "X", "name": "b", "ts": 3.0, "dur": 1.0, "pid": 0, "tid": 0},
+            ],
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "goes backwards" in proc.stdout
+
+    def test_unbalanced_duration_events_fail(self, tmp_path):
+        bad = self.write(
+            tmp_path,
+            "bad.json",
+            [{"ph": "B", "name": "open", "ts": 0.0, "pid": 0, "tid": 0}],
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "unclosed" in proc.stdout
+
+    def test_empty_trace_fails(self, tmp_path):
+        proc = self.run_check(self.write(tmp_path, "empty.json", {"traceEvents": []}))
+        assert proc.returncode == 1
+        assert "no span events" in proc.stdout
+
+    def test_one_bad_file_fails_the_batch(self, tmp_path):
+        good = self.write(
+            tmp_path,
+            "good.json",
+            [{"ph": "X", "name": "a", "ts": 0.0, "dur": 1.0, "pid": 0, "tid": 0}],
+        )
+        bad = self.write(tmp_path, "bad.json", {"traceEvents": "nope"})
+        proc = self.run_check(good, bad)
+        assert proc.returncode == 1
+        assert "ok" in proc.stdout and "FAIL" in proc.stdout
+
+    def test_real_profile_passes(self, tmp_path):
+        # End to end: the exporter's output satisfies the validator.
+        prof = tmp_path / "prof.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "trial",
+                "--tasks", "60", "--seed", "5",
+                "--profile-out", str(prof),
+            ],
+            capture_output=True, text=True, timeout=600,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        check = self.run_check(prof)
+        assert check.returncode == 0, check.stdout
