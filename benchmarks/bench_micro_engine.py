@@ -14,7 +14,7 @@ from repro import SimulationConfig, build_trial_system
 from repro.filters.chain import make_filter_chain
 from repro.heuristics.lightest_load import LightestLoad
 from repro.sim.engine import run_trial
-from repro.sim.mapper import build_candidates
+from repro.sim.mapper import CandidateBuilder, build_candidate_set
 from repro.sim.state import CoreState
 
 from _common import bench_seed
@@ -47,7 +47,7 @@ def test_candidate_build_event(benchmark):
     ]
     task = system.workload.tasks[0]
 
-    cands = benchmark(build_candidates, task, cores, system.table, task.arrival)
+    cands = benchmark(build_candidate_set, task, cores, system.table, task.arrival)
     assert len(cands) == cluster.num_cores * cluster.num_pstates
 
 
@@ -56,3 +56,18 @@ def test_system_build(benchmark):
     config = replace(config, workload=config.workload.with_num_tasks(100))
     system = benchmark.pedantic(build_trial_system, args=(config,), rounds=3, iterations=1)
     assert system.num_tasks == 100
+
+
+def test_candidate_builder_event(benchmark):
+    system = small_system()
+    cluster = system.cluster
+    dt = system.config.grid.dt
+    cores = [
+        CoreState(cid, int(cluster.core_node_index[cid]), dt)
+        for cid in range(cluster.num_cores)
+    ]
+    builder = CandidateBuilder(cores, system.table)
+    task = system.workload.tasks[0]
+
+    cands = benchmark(builder.build, task, task.arrival)
+    assert len(cands) == cluster.num_cores * cluster.num_pstates

@@ -1,0 +1,247 @@
+"""Benchmark the hot-path performance layer; write ``BENCH_perf.json``.
+
+Measures, on one prebuilt trial system:
+
+* micro: pmf truncation with a cold cache vs. a warm cache hit, plus a
+  representative convolution (``bench_micro_pmf``);
+* micro: per-arrival candidate construction, reference per-core loop
+  vs. the vectorized :class:`~repro.sim.mapper.CandidateBuilder`
+  (``bench_micro_engine``);
+* end-to-end: full trials of every requested heuristic with the
+  performance layer off (``PerfConfig.disabled()``) and on (defaults),
+  interleaved and best-of-``--reps`` to shrug off machine noise.
+
+Every cached/uncached result pair is compared for full equality; the
+script exits nonzero if any pair differs or any end-to-end speedup
+falls below ``--min-speedup`` — the CI perf smoke gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py --tasks 1000 --seed 123 \
+        --reps 5 --out BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro._version import __version__
+from repro.api import Scenario
+from repro.experiments.runner import VariantSpec, run_trial_variant
+from repro.filters.chain import make_filter_chain
+from repro.heuristics.registry import make_heuristic
+from repro.perf.kernel_cache import KernelCache, PerfConfig
+from repro.sim.engine import Engine
+from repro.sim.mapper import CandidateBuilder, build_candidate_set
+from repro.sim.state import CoreState
+from repro.stoch.distributions import discretized_gamma
+from repro.stoch.ops import convolve, set_kernel_cache, shift, truncate_below
+
+
+def _best_of(fn, reps: int) -> float:
+    best = math.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _us_per_call(fn, calls: int, reps: int = 3) -> float:
+    def loop():
+        for _ in range(calls):
+            fn()
+
+    return _best_of(loop, reps) / calls * 1e6
+
+
+def bench_micro_pmf(reps: int) -> dict:
+    """Per-operation cost of the truncation the cache interns."""
+    exec_pmf = discretized_gamma(mean=750.0, cv=0.2, dt=15.0)
+    shifted = shift(exec_pmf, 100.0)
+    cut = shifted.start + 0.4 * (shifted.stop - shifted.start)
+    calls = 2000
+
+    uncached_us = _us_per_call(lambda: truncate_below(shifted, cut), calls, reps)
+
+    cache = KernelCache()
+    previous = set_kernel_cache(cache)
+    try:
+        truncate_below(shifted, cut)  # warm the entry
+        cached_us = _us_per_call(lambda: truncate_below(shifted, cut), calls, reps)
+    finally:
+        set_kernel_cache(previous)
+
+    long_pmf = discretized_gamma(mean=1800.0, cv=0.2, dt=15.0)
+    convolve_us = _us_per_call(lambda: convolve(exec_pmf, long_pmf), 500, reps)
+    return {
+        "truncate_uncached_us": round(uncached_us, 3),
+        "truncate_cached_hit_us": round(cached_us, 3),
+        "truncate_hit_speedup": round(uncached_us / cached_us, 2),
+        "convolve_us": round(convolve_us, 3),
+        "cache_hits": cache.stats().hits,
+    }
+
+
+def bench_micro_engine(system, reps: int) -> dict:
+    """Per-arrival candidate-set construction cost, both mappers."""
+    cluster = system.cluster
+    dt = system.config.grid.dt
+
+    def fresh_cores():
+        return [
+            CoreState(cid, int(cluster.core_node_index[cid]), dt)
+            for cid in range(cluster.num_cores)
+        ]
+
+    task = system.workload.tasks[0]
+    calls = 200
+
+    cores = fresh_cores()
+    loop_us = _us_per_call(
+        lambda: build_candidate_set(task, cores, system.table, task.arrival), calls, reps
+    )
+    cores = fresh_cores()
+    builder = CandidateBuilder(cores, system.table)
+    batch_us = _us_per_call(lambda: builder.build(task, task.arrival), calls, reps)
+    return {
+        "build_candidate_set_us": round(loop_us, 3),
+        "candidate_builder_us": round(batch_us, 3),
+        "builder_speedup": round(loop_us / batch_us, 2),
+    }
+
+
+def _cache_stats(system, spec: VariantSpec) -> dict:
+    """One instrumented run to report the cache's hit profile."""
+    rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
+    engine = Engine(
+        system,
+        make_heuristic(spec.heuristic, rng),
+        make_filter_chain(spec.variant, system.config.filters),
+    )
+    engine.run()
+    stats = engine.kernel_cache_stats()
+    assert stats is not None
+    return stats.to_dict()
+
+
+def bench_trials(system, heuristics, variant: str, reps: int) -> dict:
+    """Interleaved off/on full trials, best-of-``reps`` each."""
+    out = {}
+    for heuristic in heuristics:
+        spec = VariantSpec(heuristic, variant)
+        off = on = math.inf
+        identical = True
+        result_off = result_on = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result_off = run_trial_variant(system, spec, perf=PerfConfig.disabled())
+            off = min(off, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            result_on = run_trial_variant(system, spec, perf=PerfConfig())
+            on = min(on, time.perf_counter() - t0)
+            identical = identical and result_off == result_on
+        assert result_off is not None and result_on is not None
+        out[spec.label] = {
+            "uncached_s": round(off, 4),
+            "cached_s": round(on, 4),
+            "speedup": round(off / on, 3),
+            "missed": result_on.missed,
+            "identical": identical,
+            "cache": _cache_stats(system, spec),
+        }
+        print(
+            f"{spec.label:>14}: off {off:.3f}s  on {on:.3f}s  "
+            f"speedup {off / on:.2f}x  missed {result_off.missed}/{result_on.missed}  "
+            f"identical={identical}"
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=1000, help="tasks per trial")
+    parser.add_argument("--seed", type=int, default=123, help="master seed")
+    parser.add_argument("--reps", type=int, default=5, help="repetitions (best-of)")
+    parser.add_argument(
+        "--heuristics", nargs="+", default=["SQ", "MECT", "LL", "Random"]
+    )
+    parser.add_argument("--filters", default="en+rob", help="filter variant to run")
+    parser.add_argument("--out", default="BENCH_perf.json", help="report path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail when any end-to-end speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    system = Scenario(
+        "LL", args.filters, seed=args.seed, num_tasks=args.tasks
+    ).build_system()
+
+    print(f"# micro (pmf ops, {args.reps} reps)")
+    micro_pmf = bench_micro_pmf(args.reps)
+    print(json.dumps(micro_pmf))
+    print(f"# micro (candidate construction, {args.reps} reps)")
+    micro_engine = bench_micro_engine(system, args.reps)
+    print(json.dumps(micro_engine))
+    print(f"# end-to-end ({args.tasks} tasks, seed {args.seed}, best of {args.reps})")
+    trials = bench_trials(system, args.heuristics, args.filters, args.reps)
+
+    speedups = [row["speedup"] for row in trials.values()]
+    report = {
+        "format": "repro.bench_perf/1",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": {
+            "tasks": args.tasks,
+            "seed": args.seed,
+            "reps": args.reps,
+            "filters": args.filters,
+        },
+        "bench_micro_pmf": micro_pmf,
+        "bench_micro_engine": micro_engine,
+        "trials": trials,
+        "summary": {
+            "min_speedup": min(speedups),
+            "geomean_speedup": round(
+                float(np.exp(np.mean(np.log(speedups)))), 3
+            ),
+            "all_identical": all(row["identical"] for row in trials.values()),
+        },
+    }
+    path = pathlib.Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+    if not report["summary"]["all_identical"]:
+        print("FAIL: cached results differ from uncached results", file=sys.stderr)
+        return 1
+    if min(speedups) < args.min_speedup:
+        print(
+            f"FAIL: min end-to-end speedup {min(speedups):.3f}x "
+            f"< required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: speedups {', '.join(f'{s:.2f}x' for s in speedups)} "
+        f"(min {min(speedups):.2f}x >= {args.min_speedup}x), results identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""repro.api — the stable facade over the reproduction.
+
+Everything a study script needs lives here under one import, with the
+compatibility promise that names in ``__all__`` keep their signatures
+across releases (internal modules may move; this module will keep
+re-exporting them):
+
+>>> from repro import api
+>>> result = api.run_trial(api.Scenario("LL", "en+rob", seed=42, num_tasks=100))
+>>> 0 <= result.missed <= 100
+True
+
+The facade groups four things:
+
+* **Describing an experiment** — :class:`Scenario` names a policy
+  (heuristic + filter variant) and the workload scale/seed; the
+  :data:`HEURISTICS` and :data:`FILTER_VARIANTS` registries enumerate
+  the valid names.
+* **Running it** — :func:`run_trial` (one trial), :func:`run_ensemble`
+  (paired trials, optionally fanned out over processes), and
+  :func:`budget_sweep` (the energy-tightness sweep).  All accept the
+  observability collectors (:class:`MetricsRegistry`,
+  :class:`SpanProfile`, :class:`TimelineSet`, event sinks) and the
+  results-neutral :class:`PerfConfig` performance knobs.
+* **Inspecting results** — :class:`TrialResult`,
+  :class:`EnsembleResult` and :class:`PartialEnsembleResult`.
+* **The value types underneath** — :class:`PMF` and
+  :class:`SimulationConfig`, for scripts that construct custom
+  workloads or distributions.
+
+Deprecated pre-facade entry points (kept as warning shims for one
+release): ``repro.sim.mapper.build_candidates`` (use
+:func:`repro.sim.mapper.build_candidate_set`) and
+``repro.obs.hooks.run_observed_trial`` (use
+:func:`repro.obs.hooks.observe_trial`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.config import SimulationConfig
+from repro.experiments.runner import (
+    EnsembleResult,
+    PartialEnsembleResult,
+    VariantSpec,
+    run_trial_variant,
+)
+from repro.experiments.runner import run_ensemble as _run_ensemble
+from repro.experiments.sweep import SweepResult
+from repro.experiments.sweep import budget_sweep as _budget_sweep
+from repro.filters.chain import VARIANTS as FILTER_VARIANTS
+from repro.filters.chain import FilterChain, make_filter_chain
+from repro.heuristics.registry import HEURISTICS, make_heuristic
+from repro.obs.hooks import observe_trial
+from repro.obs.sinks import EventSink, JsonlSink, MetricsRegistry, RingBufferSink
+from repro.obs.spans import SpanProfile, SpanRecorder
+from repro.obs.timeline import TimelineRecorder, TimelineSet
+from repro.perf.kernel_cache import CacheStats, PerfConfig
+from repro.sim.results import TrialResult
+from repro.sim.system import TrialSystem, build_trial_system
+from repro.stoch.pmf import PMF
+
+__all__ = [
+    # describing an experiment
+    "Scenario",
+    "VariantSpec",
+    "HEURISTICS",
+    "FILTER_VARIANTS",
+    "make_heuristic",
+    "make_filter_chain",
+    "FilterChain",
+    "SimulationConfig",
+    "build_trial_system",
+    "TrialSystem",
+    # running it
+    "run_trial",
+    "run_ensemble",
+    "budget_sweep",
+    "observe_trial",
+    "PerfConfig",
+    "CacheStats",
+    # observability collectors
+    "MetricsRegistry",
+    "JsonlSink",
+    "RingBufferSink",
+    "SpanProfile",
+    "SpanRecorder",
+    "TimelineRecorder",
+    "TimelineSet",
+    # results
+    "TrialResult",
+    "EnsembleResult",
+    "PartialEnsembleResult",
+    "SweepResult",
+    # value types
+    "PMF",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named experiment: a policy plus the workload it runs against.
+
+    Attributes
+    ----------
+    heuristic:
+        One of :data:`HEURISTICS` (``"SQ"``, ``"MECT"``, ``"LL"``,
+        ``"Random"``).
+    filters:
+        One of :data:`FILTER_VARIANTS` (``"none"``, ``"en"``, ``"rob"``,
+        ``"en+rob"``).
+    seed:
+        Master seed; ``None`` keeps the seed of ``config`` (or the
+        default configuration's seed).
+    num_tasks:
+        Tasks per trial; ``None`` keeps the configured workload size.
+    config:
+        Optional base :class:`SimulationConfig`; ``seed`` and
+        ``num_tasks`` override it when given.  ``None`` starts from the
+        paper's Section VI defaults.
+    """
+
+    heuristic: str = "LL"
+    filters: str = "en+rob"
+    seed: int | None = None
+    num_tasks: int | None = None
+    config: SimulationConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.heuristic not in HEURISTICS:
+            raise ValueError(
+                f"unknown heuristic {self.heuristic!r}; known: {', '.join(HEURISTICS)}"
+            )
+        if self.filters not in FILTER_VARIANTS:
+            raise ValueError(
+                f"unknown filter variant {self.filters!r}; "
+                f"known: {', '.join(FILTER_VARIANTS)}"
+            )
+
+    @property
+    def spec(self) -> VariantSpec:
+        """The (heuristic, variant) grid cell this scenario names."""
+        return VariantSpec(self.heuristic, self.filters)
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"LL/en+rob"``."""
+        return self.spec.label
+
+    def resolved_config(self) -> SimulationConfig:
+        """The full simulation configuration with overrides applied."""
+        config = self.config if self.config is not None else SimulationConfig()
+        if self.seed is not None:
+            config = config.with_seed(self.seed)
+        if self.num_tasks is not None and config.workload.num_tasks != self.num_tasks:
+            config = replace(config, workload=config.workload.with_num_tasks(self.num_tasks))
+        return config
+
+    def build_system(self) -> TrialSystem:
+        """Generate the trial environment this scenario describes."""
+        return build_trial_system(self.resolved_config())
+
+
+def run_trial(
+    scenario: Scenario,
+    *,
+    system: TrialSystem | None = None,
+    keep_outcomes: bool = False,
+    metrics: MetricsRegistry | None = None,
+    sinks: Sequence[EventSink] = (),
+    profile: SpanRecorder | None = None,
+    timeline: TimelineRecorder | None = None,
+    perf: PerfConfig | None = None,
+) -> TrialResult:
+    """Run one trial of a scenario.
+
+    Pass ``system`` to reuse an already-built
+    :class:`TrialSystem` (e.g. to run several scenarios against the
+    identical workload draw, the paper's pairing discipline); otherwise
+    the scenario builds its own.  Observability collectors and the
+    ``perf`` knobs are results-neutral: the returned
+    :class:`TrialResult` is bitwise identical for any combination.
+    """
+    if system is None:
+        system = scenario.build_system()
+    return run_trial_variant(
+        system,
+        scenario.spec,
+        keep_outcomes=keep_outcomes,
+        metrics=metrics,
+        sinks=sinks,
+        profile=profile,
+        timeline=timeline,
+        perf=perf,
+    )
+
+
+def _common_config(scenarios: Sequence[Scenario]) -> SimulationConfig:
+    """The single resolved config an ensemble's scenarios must share."""
+    config = scenarios[0].resolved_config()
+    for other in scenarios[1:]:
+        if other.resolved_config() != config:
+            raise ValueError(
+                "ensemble scenarios must share one workload configuration "
+                f"({other.label} differs from {scenarios[0].label}); vary only "
+                "the heuristic/filters, or run separate ensembles"
+            )
+    return config
+
+
+def run_ensemble(
+    scenarios: Scenario | Sequence[Scenario],
+    num_trials: int,
+    *,
+    base_seed: int | None = None,
+    n_jobs: int = 1,
+    keep_outcomes: bool = False,
+    metrics: MetricsRegistry | None = None,
+    sinks: Sequence[EventSink] = (),
+    profile: SpanProfile | None = None,
+    timeline: TimelineSet | None = None,
+    perf: PerfConfig | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    trial_timeout: float | None = None,
+    max_retries: int = 2,
+) -> EnsembleResult:
+    """Run ``num_trials`` paired trials of one or more scenarios.
+
+    All scenarios must resolve to the same workload configuration (the
+    pairing discipline: within a trial every policy sees the identical
+    task stream).  ``base_seed`` defaults to the scenarios' shared seed
+    override, falling back to the configured master seed; trial ``i``
+    derives its own seed from it.  The resilience options
+    (``checkpoint``/``resume``/``trial_timeout``/``max_retries``) and
+    collectors forward to
+    :func:`repro.experiments.runner.run_ensemble`.
+    """
+    scens = (scenarios,) if isinstance(scenarios, Scenario) else tuple(scenarios)
+    if not scens:
+        raise ValueError("need at least one scenario")
+    config = _common_config(scens)
+    if base_seed is None:
+        base_seed = config.seed
+    return _run_ensemble(
+        [s.spec for s in scens],
+        config,
+        num_trials,
+        base_seed,
+        n_jobs=n_jobs,
+        keep_outcomes=keep_outcomes,
+        metrics=metrics,
+        sinks=sinks,
+        profile=profile,
+        timeline=timeline,
+        perf=perf,
+        checkpoint=checkpoint,
+        resume=resume,
+        trial_timeout=trial_timeout,
+        max_retries=max_retries,
+    )
+
+
+def budget_sweep(
+    scenarios: Scenario | Sequence[Scenario],
+    multipliers: Sequence[float],
+    num_trials: int,
+    *,
+    base_seed: int | None = None,
+    n_jobs: int = 1,
+    perf: PerfConfig | None = None,
+) -> SweepResult:
+    """Sweep the energy-budget multiplier over one or more scenarios."""
+    scens = (scenarios,) if isinstance(scenarios, Scenario) else tuple(scenarios)
+    if not scens:
+        raise ValueError("need at least one scenario")
+    config = _common_config(scens)
+    if base_seed is None:
+        base_seed = config.seed
+    return _budget_sweep(
+        multipliers,
+        [s.spec for s in scens],
+        config,
+        num_trials,
+        base_seed,
+        n_jobs=n_jobs,
+        perf=perf,
+    )

@@ -99,22 +99,37 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_profiling(parser: argparse.ArgumentParser) -> None:
-    """Span/timeline flags shared by trial/figure/grid."""
-    parser.add_argument(
+def _obs_parent() -> argparse.ArgumentParser:
+    """One argparse parent carrying the observability flags.
+
+    Every simulation subcommand (trial / figure / grid / sweep) inherits
+    the same five flags with the same names and semantics, so ``repro X
+    --metrics-out m.json`` works uniformly: ``--trace-out`` streams
+    JSONL events (per-task events for ``trial``; executor-level recovery
+    events for the ensemble commands), ``--metrics-out`` aggregates the
+    counter/histogram registry, ``--profile-out`` records wall-clock
+    spans as Chrome trace-event JSON, and ``--timeline-out`` samples
+    system state on a ``--timeline-dt`` grid.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--trace-out", help="write a JSONL event trace here")
+    group.add_argument("--metrics-out", help="write the metrics registry JSON here")
+    group.add_argument(
         "--profile-out",
         help="write a Chrome trace-event span profile here (Perfetto-loadable)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--timeline-out",
         help="write sampled system-state timelines (repro.timeline/1 JSON) here",
     )
-    parser.add_argument(
+    group.add_argument(
         "--timeline-dt",
         type=float,
         default=60.0,
         help="simulated seconds between timeline samples (default: 60)",
     )
+    return parent
 
 
 def _parse_spec(label: str) -> VariantSpec:
@@ -236,13 +251,22 @@ def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) ->
     metrics = MetricsRegistry() if args.metrics_out else None
     profile = SpanProfile() if args.profile_out else None
     timeline = TimelineSet(args.timeline_dt) if args.timeline_out else None
-    ensemble = run_ensemble(
-        specs, _config(args), args.trials, base_seed=args.seed,
-        n_jobs=args.jobs, metrics=metrics,
-        checkpoint=args.checkpoint, resume=args.resume,
-        trial_timeout=args.trial_timeout, max_retries=args.max_retries,
-        profile=profile, timeline=timeline,
-    )
+    # Ensemble-level traces carry the executor's recovery events
+    # (retries, quarantines, checkpoints); per-task events stay in the
+    # workers and are summarized by --metrics-out instead.
+    trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
+    try:
+        ensemble = run_ensemble(
+            specs, _config(args), args.trials, base_seed=args.seed,
+            n_jobs=args.jobs, metrics=metrics,
+            checkpoint=args.checkpoint, resume=args.resume,
+            trial_timeout=args.trial_timeout, max_retries=args.max_retries,
+            profile=profile, timeline=timeline,
+            sinks=(trace_sink,) if trace_sink is not None else (),
+        )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     _report_partial(ensemble)
     _print_ensemble(ensemble, args.tasks, args.svg_dir)
     if args.out:
@@ -251,6 +275,8 @@ def _run_ensemble_command(specs: list[VariantSpec], args: argparse.Namespace) ->
         manifest_path = pathlib.Path(args.out).with_suffix(".manifest.json")
         save_manifest(build_manifest(ensemble, _config(args)), manifest_path)
         print(f"wrote {manifest_path}")
+    if trace_sink is not None:
+        print(f"wrote {args.trace_out} ({trace_sink.count} events)")
     if metrics is not None:
         save_json(metrics.to_dict(), args.metrics_out)
         print(f"wrote {args.metrics_out}")
@@ -360,15 +386,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import budget_sweep
 
     specs = tuple(_parse_spec(s) for s in args.specs)
-    sweep = budget_sweep(
-        args.multipliers, specs, _config(args), args.trials, base_seed=args.seed,
-        n_jobs=args.jobs,
-        checkpoint=args.checkpoint, resume=args.resume,
-        trial_timeout=args.trial_timeout, max_retries=args.max_retries,
-    )
+    metrics = MetricsRegistry() if args.metrics_out else None
+    profile = SpanProfile() if args.profile_out else None
+    timeline = TimelineSet(args.timeline_dt) if args.timeline_out else None
+    trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
+    try:
+        sweep = budget_sweep(
+            args.multipliers, specs, _config(args), args.trials, base_seed=args.seed,
+            n_jobs=args.jobs,
+            checkpoint=args.checkpoint, resume=args.resume,
+            trial_timeout=args.trial_timeout, max_retries=args.max_retries,
+            metrics=metrics, profile=profile, timeline=timeline,
+            sinks=(trace_sink,) if trace_sink is not None else (),
+        )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     for point in sweep.points:
         _report_partial(point.ensemble)
     print(sweep.table(num_tasks=args.tasks))
+    if trace_sink is not None:
+        print(f"wrote {args.trace_out} ({trace_sink.count} events)")
+    if metrics is not None:
+        save_json(metrics.to_dict(), args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if profile is not None:
+        save_profile(profile, args.profile_out)
+        print(f"wrote {args.profile_out} ({len(profile)} spans)")
+    if timeline is not None:
+        save_timeline(timeline, args.timeline_out)
+        print(f"wrote {args.timeline_out} ({len(timeline)} timelines)")
     return 0
 
 
@@ -394,43 +441,37 @@ def build_parser() -> argparse.ArgumentParser:
         description="Energy-constrained dynamic resource allocation (ICPP 2011) reproduction",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = _obs_parent()
 
     p = sub.add_parser("calibrate", help="print subscription/budget diagnostics")
     _add_common(p)
     p.set_defaults(func=cmd_calibrate)
 
-    p = sub.add_parser("trial", help="run a single trial of one policy")
+    p = sub.add_parser("trial", help="run a single trial of one policy", parents=[obs])
     _add_common(p)
     p.add_argument("-H", "--heuristic", default="LL", choices=HEURISTICS)
     p.add_argument(
         "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
     )
-    p.add_argument("--trace-out", help="write a JSONL event trace here")
-    p.add_argument("--metrics-out", help="write the metrics registry JSON here")
-    _add_profiling(p)
     p.set_defaults(func=cmd_trial)
 
-    p = sub.add_parser("figure", help="rerun one of the paper's figures")
+    p = sub.add_parser("figure", help="rerun one of the paper's figures", parents=[obs])
     _add_common(p)
     p.add_argument("figure", choices=sorted(FIGURES))
     p.add_argument("--trials", type=int, default=10)
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--out", help="save the ensemble JSON here (plus its manifest)")
     p.add_argument("--svg-dir", help="also write SVG box plots here")
-    p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
     _add_resilience(p)
-    _add_profiling(p)
     p.set_defaults(func=cmd_figure)
 
-    p = sub.add_parser("grid", help="run the full 16-variant evaluation")
+    p = sub.add_parser("grid", help="run the full 16-variant evaluation", parents=[obs])
     _add_common(p)
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--out", help="save the ensemble JSON here (plus its manifest)")
     p.add_argument("--svg-dir", help="also write SVG box plots here")
-    p.add_argument("--metrics-out", help="write aggregated metrics JSON here")
     _add_resilience(p)
-    _add_profiling(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser(
@@ -463,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg-dir", help="also write SVG box plots here")
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("sweep", help="sweep the energy-budget multiplier")
+    p = sub.add_parser("sweep", help="sweep the energy-budget multiplier", parents=[obs])
     _add_common(p)
     p.add_argument(
         "--multipliers",

@@ -51,11 +51,12 @@ from repro.experiments.executor import (
 from repro.filters.chain import make_filter_chain
 from repro.heuristics.registry import make_heuristic
 from repro.obs.events import CheckpointWritten, Event
-from repro.obs.hooks import run_observed_trial
+from repro.obs.hooks import observe_trial
 from repro.obs.manifest import config_digest
 from repro.obs.sinks import EventSink, MetricsRegistry
 from repro.obs.spans import SpanProfile, SpanRecorder
 from repro.obs.timeline import TimelineRecorder, TimelineSet
+from repro.perf.kernel_cache import PerfConfig
 from repro.sim.engine import run_trial
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
@@ -91,6 +92,7 @@ def run_trial_variant(
     sinks: Sequence[EventSink] = (),
     profile: SpanRecorder | None = None,
     timeline: TimelineRecorder | None = None,
+    perf: PerfConfig | None = None,
 ) -> TrialResult:
     """Run one spec against a prebuilt trial system.
 
@@ -99,13 +101,15 @@ def run_trial_variant(
     When ``metrics``, ``sinks``, ``profile`` or ``timeline`` are given
     the trial runs observed (structured events, counters, decision
     timing, spans, state snapshots); the simulated decisions — and
-    therefore the result — are bitwise identical either way.
+    therefore the result — are bitwise identical either way.  ``perf``
+    selects the hot-path performance knobs (:mod:`repro.perf`), which
+    are results-neutral too; ``None`` means everything on.
     """
     rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
     heuristic = make_heuristic(spec.heuristic, rng)
     chain = make_filter_chain(spec.variant, system.config.filters)
     if metrics is not None or sinks or profile is not None or timeline is not None:
-        result = run_observed_trial(
+        result = observe_trial(
             system,
             heuristic,
             chain,
@@ -113,9 +117,10 @@ def run_trial_variant(
             metrics=metrics,
             profile=profile,
             timeline=timeline,
+            perf=perf,
         )
     else:
-        result = run_trial(system, heuristic, chain)
+        result = run_trial(system, heuristic, chain, perf=perf)
     if not keep_outcomes:
         result = replace(result, outcomes=())
     return result
@@ -132,7 +137,15 @@ _TrialValue = tuple[
 
 def _run_one_trial(
     args: tuple[
-        SimulationConfig, int, int, tuple[VariantSpec, ...], bool, bool, bool, float | None
+        SimulationConfig,
+        int,
+        int,
+        tuple[VariantSpec, ...],
+        bool,
+        bool,
+        bool,
+        float | None,
+        PerfConfig | None,
     ],
 ) -> _TrialValue:
     """Worker: build trial ``i``'s system and run every spec against it.
@@ -152,6 +165,7 @@ def _run_one_trial(
         collect_metrics,
         collect_spans,
         timeline_dt,
+        perf,
     ) = args
     seed = rng_mod.spawn_trial_seed(base_seed, trial_index)
     recorder = (
@@ -183,6 +197,7 @@ def _run_one_trial(
                 metrics=registry,
                 profile=recorder,
                 timeline=tl,
+                perf=perf,
             )
         )
         if tl is not None and timelines is not None:
@@ -280,6 +295,7 @@ def run_ensemble(
     sinks: Sequence[EventSink] = (),
     profile: SpanProfile | None = None,
     timeline: TimelineSet | None = None,
+    perf: PerfConfig | None = None,
 ) -> EnsembleResult:
     """Run ``num_trials`` paired trials of every spec.
 
@@ -329,6 +345,10 @@ def run_ensemble(
         Optional :class:`~repro.obs.timeline.TimelineSet`; each trial
         contributes one sampled state timeline per spec at the set's
         ``dt``.  Fully deterministic for a fixed seed.
+    perf:
+        Hot-path performance knobs (:class:`~repro.perf.PerfConfig`)
+        forwarded to every trial; results-neutral, so checkpoints and
+        manifests written with different ``perf`` settings interoperate.
     """
     specs = tuple(specs)
     if not specs:
@@ -400,7 +420,10 @@ def run_ensemble(
     try:
         if pending:
             payloads = {
-                i: (config, base_seed, i, specs, keep_outcomes, collect, collect_spans, timeline_dt)
+                i: (
+                    config, base_seed, i, specs, keep_outcomes,
+                    collect, collect_spans, timeline_dt, perf,
+                )
                 for i in pending
             }
             supervised = n_jobs > 1 or trial_timeout is not None or fault_plan is not None

@@ -16,6 +16,10 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.experiments.runner import EnsembleResult, VariantSpec, run_ensemble
+from repro.obs.sinks import EventSink, MetricsRegistry
+from repro.obs.spans import SpanProfile
+from repro.obs.timeline import TimelineSet
+from repro.perf.kernel_cache import PerfConfig
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "budget_sweep"]
 
@@ -90,6 +94,11 @@ def run_sweep(
     resume: bool = False,
     trial_timeout: float | None = None,
     max_retries: int = 2,
+    metrics: MetricsRegistry | None = None,
+    sinks: Sequence[EventSink] = (),
+    profile: SpanProfile | None = None,
+    timeline: TimelineSet | None = None,
+    perf: PerfConfig | None = None,
 ) -> SweepResult:
     """Run ``specs`` at every parameter value.
 
@@ -105,6 +114,14 @@ def run_sweep(
         fans out to one shard per sweep point
         (``name.pointN.jsonl``), so an interrupted sweep resumes
         point by point.
+    metrics / sinks / profile / timeline:
+        Observability collectors forwarded to every point's ensemble;
+        one registry / span profile / timeline set accumulates across
+        the whole sweep (points are distinguishable by span stream
+        labels and timeline labels).
+    perf:
+        Hot-path performance knobs forwarded to every trial
+        (results-neutral; see :mod:`repro.perf`).
     """
     if not values:
         raise ValueError("need at least one sweep value")
@@ -124,6 +141,11 @@ def run_sweep(
             resume=resume,
             trial_timeout=trial_timeout,
             max_retries=max_retries,
+            metrics=metrics,
+            sinks=sinks,
+            profile=profile,
+            timeline=timeline,
+            perf=perf,
         )
         points.append(SweepPoint(value=value, ensemble=ensemble))
     return SweepResult(parameter=parameter, specs=specs, points=tuple(points))
@@ -141,6 +163,11 @@ def budget_sweep(
     resume: bool = False,
     trial_timeout: float | None = None,
     max_retries: int = 2,
+    metrics: MetricsRegistry | None = None,
+    sinks: Sequence[EventSink] = (),
+    profile: SpanProfile | None = None,
+    timeline: TimelineSet | None = None,
+    perf: PerfConfig | None = None,
 ) -> SweepResult:
     """Sweep the energy-budget multiplier (the constraint's tightness)."""
 
@@ -160,4 +187,9 @@ def budget_sweep(
         resume=resume,
         trial_timeout=trial_timeout,
         max_retries=max_retries,
+        metrics=metrics,
+        sinks=sinks,
+        profile=profile,
+        timeline=timeline,
+        perf=perf,
     )

@@ -21,6 +21,13 @@ from repro.workload.task import Task
 
 __all__ = ["Assignment", "CandidateSet", "MappingContext", "Heuristic", "argmin_lexicographic"]
 
+#: Sentinel default for :attr:`CandidateSet.mask` — replaced by an
+#: all-feasible mask of the right length in ``__post_init__``.  A real
+#: (if empty) boolean array keeps the field's ``np.ndarray`` annotation
+#: honest, unlike the previous ``default=None`` + ``type: ignore``.
+_MASK_UNSET: np.ndarray = np.empty(0, dtype=bool)
+_MASK_UNSET.setflags(write=False)
+
 
 class Assignment(NamedTuple):
     """The heuristic's decision: run the task on ``core_id`` at ``pstate``."""
@@ -63,14 +70,14 @@ class CandidateSet:
     eec: np.ndarray
     ect: np.ndarray
     prob_on_time: np.ndarray
-    mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+    mask: np.ndarray = field(default_factory=lambda: _MASK_UNSET)
 
     def __post_init__(self) -> None:
         n = self.core_ids.size
         for name in ("pstates", "queue_len", "eet", "eec", "ect", "prob_on_time"):
             if getattr(self, name).size != n:
                 raise ValueError(f"candidate array {name!r} misaligned")
-        if self.mask is None:
+        if self.mask is _MASK_UNSET:
             self.mask = np.ones(n, dtype=bool)
         elif self.mask.size != n:
             raise ValueError("mask misaligned")

@@ -17,7 +17,8 @@ inspectable without touching the engine's hot path:
   that merges across worker processes;
 * :mod:`repro.obs.hooks` — the :class:`~repro.obs.hooks.ObservingHooks`
   adapter that plugs into the engine's ``EngineHooks`` protocol, plus
-  :func:`~repro.obs.hooks.run_observed_trial`;
+  :func:`~repro.obs.hooks.observe_trial` (formerly
+  ``run_observed_trial``, kept as a deprecated alias);
 * :mod:`repro.obs.manifest` — run manifests (config digest, seeds,
   version, git SHA, per-trial result digests) so any saved figure is
   reproducible from the manifest sitting next to it;
@@ -51,6 +52,7 @@ from repro.obs.hooks import (
     ObservingHooks,
     TimedFilterChain,
     TimedHeuristic,
+    observe_trial,
     run_observed_trial,
 )
 from repro.obs.manifest import (
@@ -83,6 +85,7 @@ __all__ = [
     "ObservingHooks",
     "TimedFilterChain",
     "TimedHeuristic",
+    "observe_trial",
     "run_observed_trial",
     "RunManifest",
     "build_manifest",

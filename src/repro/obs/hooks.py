@@ -5,20 +5,27 @@
 module, so the engine hot path stays allocation-free when observability
 is off.
 
-:func:`run_observed_trial` wraps :func:`repro.sim.engine.run_trial` with
-the trial-lifecycle events (``TrialStarted``, ``EnergyExhausted``,
+:func:`observe_trial` wraps one :class:`repro.sim.engine.Engine` run
+with the trial-lifecycle events (``TrialStarted``, ``EnergyExhausted``,
 ``TrialFinished``) that the per-event hook protocol cannot see, and
 optionally times every heuristic decision via :class:`TimedHeuristic`,
 every filter evaluation via :class:`TimedFilterChain`, every pmf
 operation via the :mod:`repro.stoch.ops` observer, and the engine's own
-event handlers via the ``tracer`` hook — all strictly opt-in.
+event handlers via the ``tracer`` hook — all strictly opt-in.  It holds
+the engine instance itself (rather than going through the
+``run_trial`` convenience wrapper) so the kernel cache's final counters
+can be folded into the metrics registry after the run.
+
+:func:`run_observed_trial` is the deprecated pre-facade name of
+:func:`observe_trial` and will be removed after one release.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from typing import TYPE_CHECKING, Sequence
+import warnings
+from typing import Sequence
 
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import CandidateSet, Heuristic, MappingContext
@@ -40,16 +47,20 @@ from repro.obs.sinks import (
 )
 from repro.obs.spans import SpanRecorder
 from repro.obs.timeline import TimelineRecorder
-from repro.sim.engine import run_trial
+from repro.perf.kernel_cache import PerfConfig
+from repro.sim.engine import Engine
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem
 from repro.stoch.ops import set_op_observer
 from repro.workload.task import Task
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.engine import Engine
-
-__all__ = ["ObservingHooks", "TimedHeuristic", "TimedFilterChain", "run_observed_trial"]
+__all__ = [
+    "ObservingHooks",
+    "TimedHeuristic",
+    "TimedFilterChain",
+    "observe_trial",
+    "run_observed_trial",
+]
 
 
 class ObservingHooks:
@@ -123,7 +134,7 @@ class ObservingHooks:
         if self.timeline is not None:
             self.timeline.on_completion(engine)
 
-    # -- trial lifecycle (called by run_observed_trial) -----------------
+    # -- trial lifecycle (called by observe_trial) ----------------------
 
     def trial_started(self, system: TrialSystem, heuristic: Heuristic, chain: FilterChain) -> None:
         """Emit the ``TrialStarted`` envelope event."""
@@ -235,7 +246,7 @@ class _StochObserver:
         self.metrics.observe(f"stoch.grid.{op}", float(grid_size), GRID_EDGES)
 
 
-def run_observed_trial(
+def observe_trial(
     system: TrialSystem,
     heuristic: Heuristic,
     filter_chain: FilterChain,
@@ -244,6 +255,7 @@ def run_observed_trial(
     metrics: MetricsRegistry | None = None,
     profile: SpanRecorder | None = None,
     timeline: TimelineRecorder | None = None,
+    perf: PerfConfig | None = None,
 ) -> TrialResult:
     """Run one trial with observability attached.
 
@@ -252,7 +264,11 @@ def run_observed_trial(
     heuristic without touching its choices, and span/timeline recording
     reads state it never mutates — so results are bitwise equal with
     tracing, metrics, profiling and timelines on or off, in any
-    combination.
+    combination.  The same holds for ``perf`` (see :mod:`repro.perf`):
+    the knobs only change how fast the result is computed, and the
+    kernel cache's final counters are summarized into ``perf.cache.*``
+    metrics (the per-lookup ``stoch.ops.cache_*`` counters stream in
+    live through the op observer).
     """
     hooks = ObservingHooks(sinks, metrics=metrics, timeline=timeline)
     engine_heuristic: Heuristic = heuristic
@@ -266,15 +282,50 @@ def run_observed_trial(
         previous_observer = set_op_observer(_StochObserver(metrics))
     try:
         hooks.trial_started(system, heuristic, filter_chain)
+        engine = Engine(
+            system, engine_heuristic, engine_chain, hooks=hooks, tracer=profile, perf=perf
+        )
         if profile is not None:
             with profile.span(f"trial.run.{heuristic.name}/{filter_chain.label}"):
-                result = run_trial(
-                    system, engine_heuristic, engine_chain, hooks=hooks, tracer=profile
-                )
+                result = engine.run()
         else:
-            result = run_trial(system, engine_heuristic, engine_chain, hooks=hooks)
+            result = engine.run()
         hooks.trial_finished(result)
+        stats = engine.kernel_cache_stats()
+        if metrics is not None and stats is not None:
+            metrics.inc("perf.cache.hits", stats.hits)
+            metrics.inc("perf.cache.misses", stats.misses)
+            metrics.inc("perf.cache.evictions", stats.evictions)
+            metrics.inc("perf.cache.entries", stats.entries)
         return result
     finally:
         if metrics is not None:
             set_op_observer(previous_observer)
+
+
+def run_observed_trial(
+    system: TrialSystem,
+    heuristic: Heuristic,
+    filter_chain: FilterChain,
+    *,
+    sinks: Sequence[EventSink] = (),
+    metrics: MetricsRegistry | None = None,
+    profile: SpanRecorder | None = None,
+    timeline: TimelineRecorder | None = None,
+) -> TrialResult:
+    """Deprecated pre-facade name of :func:`observe_trial`."""
+    warnings.warn(
+        "repro.obs.hooks.run_observed_trial is deprecated; use "
+        "repro.obs.hooks.observe_trial (or the repro.api facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return observe_trial(
+        system,
+        heuristic,
+        filter_chain,
+        sinks=sinks,
+        metrics=metrics,
+        profile=profile,
+        timeline=timeline,
+    )

@@ -1,0 +1,21 @@
+"""repro.perf — the hot-path performance layer.
+
+Two mechanisms, both strictly results-neutral (bitwise-identical
+trial results and manifest digests with the layer on or off):
+
+* a **content-addressed kernel cache** (:class:`KernelCache`) interning
+  the results of pmf convolutions and truncations, installed into
+  :mod:`repro.stoch.ops` for the duration of one engine run;
+* the **vectorized candidate builder**
+  (:class:`~repro.sim.mapper.CandidateBuilder`), which assembles the
+  whole per-arrival :class:`~repro.heuristics.base.CandidateSet` with
+  batched array ops and per-ready-pmf deduplication.
+
+:class:`PerfConfig` selects both; the engine defaults to everything on.
+``PerfConfig.disabled()`` is the reference configuration used by the
+parity tests and as the baseline of ``BENCH_perf.json``.
+"""
+
+from repro.perf.kernel_cache import CacheStats, InternedKernel, KernelCache, PerfConfig
+
+__all__ = ["CacheStats", "InternedKernel", "KernelCache", "PerfConfig"]

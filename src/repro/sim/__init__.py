@@ -18,7 +18,7 @@ Entry points:
 
 from repro.sim.system import TrialSystem, build_trial_system
 from repro.sim.state import CoreState, QueuedTask, RunningTask
-from repro.sim.mapper import build_candidates
+from repro.sim.mapper import CandidateBuilder, build_candidate_set, build_candidates
 from repro.sim.results import TaskOutcome, TrialResult
 from repro.sim.engine import Engine, EngineHooks, run_trial
 from repro.sim.metrics import TraceCollector
@@ -29,6 +29,8 @@ __all__ = [
     "CoreState",
     "QueuedTask",
     "RunningTask",
+    "CandidateBuilder",
+    "build_candidate_set",
     "build_candidates",
     "TaskOutcome",
     "TrialResult",

@@ -31,16 +31,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from repro.cluster.energy import IDLE_PSTATE, EnergyLedger
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import Heuristic, MappingContext
-from repro.sim.mapper import build_candidates
+from repro.perf.kernel_cache import CacheStats, PerfConfig
+from repro.sim.mapper import CandidateBuilder, build_candidate_set
 from repro.sim.metrics import TraceCollector
 from repro.sim.results import TaskOutcome, TrialResult
 from repro.sim.state import CoreState, QueuedTask, RunningTask
 from repro.sim.system import TrialSystem
+from repro.stoch.ops import set_kernel_cache
 from repro.workload.task import Task
 
 __all__ = ["Engine", "EngineHooks", "Tracer", "run_trial"]
@@ -105,6 +107,12 @@ class Engine:
         Optional :class:`EngineHooks` for extensions.
     tracer:
         Optional :class:`Tracer` timing each event handler as a span.
+    perf:
+        Hot-path performance knobs (:class:`~repro.perf.PerfConfig`);
+        defaults to everything on.  Strictly results-neutral — see
+        :mod:`repro.perf`.  Deliberately *not* part of
+        :class:`~repro.config.SimulationConfig`, so manifest/config
+        digests are independent of how fast the run was computed.
     """
 
     def __init__(
@@ -116,6 +124,7 @@ class Engine:
         collector: TraceCollector | None = None,
         hooks: EngineHooks | None = None,
         tracer: Tracer | None = None,
+        perf: PerfConfig | None = None,
     ) -> None:
         self.system = system
         self.heuristic = heuristic
@@ -123,6 +132,7 @@ class Engine:
         self.collector = collector
         self.hooks = hooks
         self.tracer = tracer
+        self.perf = perf if perf is not None else PerfConfig()
 
         cluster = system.cluster
         dt = system.config.grid.dt
@@ -130,6 +140,10 @@ class Engine:
             CoreState(cid, int(cluster.core_node_index[cid]), dt)
             for cid in range(cluster.num_cores)
         ]
+        self._kernel_cache = self.perf.make_cache()
+        self._builder = (
+            CandidateBuilder(self.cores, system.table) if self.perf.batch_mapper else None
+        )
         self.ledger = EnergyLedger(cluster, system.config.energy.idle_power_mode)
         self.energy_estimate = system.budget
         self._in_system = 0
@@ -152,6 +166,10 @@ class Engine:
     def avg_queue_depth(self) -> float:
         """Tasks queued or executing per core, cluster-wide."""
         return self._in_system / len(self.cores)
+
+    def kernel_cache_stats(self) -> CacheStats | None:
+        """Counters of this engine's kernel cache (``None`` when disabled)."""
+        return self._kernel_cache.stats() if self._kernel_cache is not None else None
 
     def cancel_queued(self, core_id: int, task_id: int) -> bool:
         """Cancellation extension: drop a *queued* (not running) task.
@@ -244,7 +262,10 @@ class Engine:
             tasks_left=self.system.num_tasks - task.task_id - 1,
             avg_queue_depth=self.avg_queue_depth,
         )
-        cands = build_candidates(task, self.cores, self.system.table, t_now)
+        if self._builder is not None:
+            cands = self._builder.build(task, t_now)
+        else:
+            cands = build_candidate_set(task, self.cores, self.system.table, t_now)
         self.filter_chain.apply(cands, ctx)
         index = self.heuristic.select(cands, ctx)
 
@@ -307,7 +328,13 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self) -> TrialResult:
-        """Execute the trial to completion and score it."""
+        """Execute the trial to completion and score it.
+
+        The engine's kernel cache (when enabled) is installed into
+        :mod:`repro.stoch.ops` for exactly the duration of this call, so
+        nothing is shared across trials and the module global is always
+        restored — even on an exception.
+        """
         if self._ran:
             raise RuntimeError("an Engine instance runs exactly once")
         self._ran = True
@@ -316,6 +343,19 @@ class Engine:
         for task in tasks:
             self._push(task.arrival, _ARRIVAL, task.task_id)
 
+        previous_cache = set_kernel_cache(self._kernel_cache)
+        try:
+            end_time = self._event_loop(tasks)
+            self.ledger.close(end_time)
+            if self.tracer is None:
+                return self._score(end_time)
+            with self.tracer.span("engine.score"):
+                return self._score(end_time)
+        finally:
+            set_kernel_cache(previous_cache)
+
+    def _event_loop(self, tasks: Sequence[Task]) -> float:
+        """Drain the event heap; returns the time of the last event."""
         end_time = 0.0
         tracer = self.tracer
         if tracer is None:
@@ -328,8 +368,7 @@ class Engine:
                     self._handle_completion(payload, time)
                 else:
                     self._handle_arrival(tasks[payload], time)
-            self.ledger.close(end_time)
-            return self._score(end_time)
+            return end_time
 
         while self._heap:
             time, kind, _seq, payload = heapq.heappop(self._heap)
@@ -341,10 +380,7 @@ class Engine:
             else:
                 with tracer.span("engine.arrival"):
                     self._handle_arrival(tasks[payload], time)
-
-        self.ledger.close(end_time)
-        with tracer.span("engine.score"):
-            return self._score(end_time)
+        return end_time
 
     def _score(self, end_time: float) -> TrialResult:
         system = self.system
@@ -414,8 +450,15 @@ def run_trial(
     collector: TraceCollector | None = None,
     hooks: EngineHooks | None = None,
     tracer: Tracer | None = None,
+    perf: PerfConfig | None = None,
 ) -> TrialResult:
     """Convenience wrapper: construct an :class:`Engine` and run it."""
     return Engine(
-        system, heuristic, filter_chain, collector=collector, hooks=hooks, tracer=tracer
+        system,
+        heuristic,
+        filter_chain,
+        collector=collector,
+        hooks=hooks,
+        tracer=tracer,
+        perf=perf,
     ).run()

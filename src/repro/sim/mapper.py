@@ -10,10 +10,25 @@ of Section V-A quantities over all candidates in candidate order
   expectation over the convolution, so no pmf product is formed);
 * ``rho`` (on-time probability) is one padded-matrix pass per core
   against the core's ready-time CDF.
+
+Two implementations produce bitwise-identical candidate sets:
+
+* :func:`build_candidate_set` — the reference per-core loop, kept as the
+  ground truth for the perf-layer parity tests and as the fallback when
+  the performance layer is disabled;
+* :class:`CandidateBuilder` — the batch path the engine uses by default.
+  It precomputes the per-candidate coordinate arrays once per trial,
+  shares a single degenerate ready pmf across all idle cores, and
+  deduplicates the per-core probability rows by ``(node, ready pmf)`` —
+  every idle core of a node yields the same row, so a mostly-idle
+  cluster computes a handful of rows instead of one per core.  The
+  arithmetic expressions are identical to the reference loop's, so the
+  results match bit for bit (``tests/perf/test_parity.py``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -21,19 +36,24 @@ import numpy as np
 from repro.heuristics.base import CandidateSet
 from repro.robustness.completion import prob_on_time_all_pstates
 from repro.sim.state import CoreState
+from repro.stoch.pmf import PMF
 from repro.workload.pmf_table import ExecutionTimeTable
 from repro.workload.task import Task
 
-__all__ = ["build_candidates"]
+__all__ = ["CandidateBuilder", "build_candidate_set", "build_candidates"]
 
 
-def build_candidates(
+def build_candidate_set(
     task: Task,
     cores: Sequence[CoreState],
     table: ExecutionTimeTable,
     t_now: float,
 ) -> CandidateSet:
-    """Assemble the :class:`~repro.heuristics.base.CandidateSet` for ``task``."""
+    """Assemble the :class:`~repro.heuristics.base.CandidateSet` for ``task``.
+
+    Reference implementation: one pass over every core.  The engine's
+    default is the equivalent (and faster) :class:`CandidateBuilder`.
+    """
     cluster = table.cluster
     C = cluster.num_cores
     P = cluster.num_pstates
@@ -68,3 +88,265 @@ def build_candidates(
         ect=ect.ravel(),
         prob_on_time=prob.ravel(),
     )
+
+
+class CandidateBuilder:
+    """Per-trial candidate-set builder with batched array construction.
+
+    Bound to one core list and one execution-time table (both live for a
+    whole trial), so the candidate coordinate arrays — identical for
+    every arrival — are built once.  Per arrival it shares one
+    degenerate ready pmf across all idle cores and computes one
+    probability row per *distinct* ``(node, ready pmf)`` pair instead of
+    one per core.  Output is bitwise identical to
+    :func:`build_candidate_set`.
+    """
+
+    __slots__ = (
+        "_cores",
+        "_table",
+        "_num_cores",
+        "_num_pstates",
+        "_num_nodes",
+        "_core_ids",
+        "_pstates",
+        "_dt",
+        "_node_cores",
+        "_by_type",
+    )
+
+    def __init__(self, cores: Sequence[CoreState], table: ExecutionTimeTable) -> None:
+        self._cores = list(cores)
+        self._table = table
+        cluster = table.cluster
+        if len(self._cores) != cluster.num_cores:
+            raise ValueError("core list does not match the table's cluster")
+        self._num_cores = cluster.num_cores
+        self._num_pstates = cluster.num_pstates
+        self._num_nodes = cluster.num_nodes
+        core_ids = np.repeat(np.arange(self._num_cores), self._num_pstates)
+        pstates = np.tile(np.arange(self._num_pstates), self._num_cores)
+        core_ids.setflags(write=False)
+        pstates.setflags(write=False)
+        self._core_ids = core_ids
+        self._pstates = pstates
+        self._dt = table.grid.dt
+        # Cores grouped by node: collecting distinct ready pmfs in node
+        # order keeps each node's rows contiguous, so the per-node dot
+        # can run on array slices without gather copies.
+        grouped: dict[int, list[int]] = {}
+        for c, core in enumerate(self._cores):
+            grouped.setdefault(core.node_index, []).append(c)
+        self._node_cores: list[tuple[int, list[int]]] = list(grouped.items())
+        # Per-type gathers and node-stacked padded matrices, built on
+        # first use; identical values to the per-arrival lookups of the
+        # reference loop, shared read-only across arrivals.
+        self._by_type: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    def _type_tables(
+        self, type_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._by_type.get(type_id)
+        if cached is None:
+            cluster = self._table.cluster
+            core_node = cluster.core_node_index
+            eet = self._table.eet[type_id][core_node]  # (C, P)
+            eec_flat = self._table.eec[type_id][core_node].ravel()
+            eet_flat = eet.ravel()
+            # Every node's padded (P, L) matrices stacked to a common
+            # width so one batched pass covers all nodes.  The extra
+            # columns extend the table's own padding scheme — zero
+            # probability, times repeating the row's last impulse — so
+            # they contribute exact ``+0.0`` terms to any row dot.
+            pads = [self._table.padded(type_id, n) for n in range(self._num_nodes)]
+            width = max(pad.times.shape[1] for pad in pads)
+            times_stack = np.empty((self._num_nodes, self._num_pstates, width))
+            probs_stack = np.zeros((self._num_nodes, self._num_pstates, width))
+            for n, pad in enumerate(pads):
+                length = pad.times.shape[1]
+                times_stack[n, :, :length] = pad.times
+                times_stack[n, :, length:] = pad.times[:, -1:]
+                probs_stack[n, :, :length] = pad.probs
+            for arr in (eet, eet_flat, eec_flat, times_stack, probs_stack):
+                arr.setflags(write=False)
+            cached = (eet, eet_flat, eec_flat, times_stack, probs_stack)
+            self._by_type[type_id] = cached
+        return cached
+
+    def build(self, task: Task, t_now: float) -> CandidateSet:
+        """Assemble the candidate set for one arrival at ``t_now``."""
+        table = self._table
+        cores = self._cores
+        C = self._num_cores
+        P = self._num_pstates
+        dt = self._dt
+        deadline = task.deadline
+        type_id = task.type_id
+
+        eet, eet_flat, eec_flat, times_stack, probs_stack = self._type_tables(type_id)
+
+        # ``deadline - time`` for every (node, P-state, impulse), once
+        # per arrival — the same elementwise expression the reference
+        # evaluates per node (elementwise ufuncs are exact per element
+        # regardless of batching).
+        a_stack = deadline - times_stack  # (N, P, width)
+
+        # One pass over the cores, grouped by node, collects per
+        # *distinct* (node, ready pmf) pair the quantities the batched
+        # row computation needs; grouping keeps each node's rows
+        # contiguous.  One degenerate pmf stands in for every idle
+        # core's ready time: its values are exactly what
+        # CoreState.ready_pmf would build, and sharing the object caches
+        # the mean and collapses all idle cores of a node onto one
+        # probability row (identity against it is the only way two
+        # cores can share a ready pmf).
+        idle_delta: PMF | None = None
+        idle_mean = 0.0
+        slots: list[int] = [0] * C  # per core: its distinct-row index
+        means: list[float] = [0.0] * C
+        qlens: list[int] = [0] * C
+        starts_l: list[float] = []
+        sizes_l: list[int] = []
+        cdfs: list[np.ndarray] = []
+        node_blocks: list[tuple[int, int, int]] = []  # (node, row lo, row hi)
+        fallback: list[tuple[int, PMF, int]] = []
+        for node, node_core_ids in self._node_cores:
+            row_lo = len(starts_l)
+            idle_slot = -1
+            for c in node_core_ids:
+                core = cores[c]
+                if core.running is None:
+                    if core.dt == dt:
+                        if idle_delta is None:
+                            idle_delta = PMF.delta(t_now, dt)
+                            idle_mean = idle_delta.mean()
+                        ready = idle_delta
+                        means[c] = idle_mean
+                        if idle_slot < 0:
+                            idle_slot = len(starts_l)
+                            starts_l.append(ready.start)
+                            sizes_l.append(ready.probs.size)
+                            cdfs.append(ready.cdf)
+                        slots[c] = idle_slot
+                    else:  # pragma: no cover - engines build homogeneous grids
+                        ready = PMF.delta(t_now, core.dt)
+                        means[c] = ready.mean()
+                        fallback.append((c, ready, node))
+                    qlens[c] = len(core.queue)
+                else:
+                    ready = core.ready_pmf(t_now)
+                    # Inline of PMF.mean's cached branch (same
+                    # expression, minus the method dispatch).
+                    m1 = ready._m1
+                    means[c] = (
+                        float(ready.start + ready.dt * m1) if m1 is not None else ready.mean()
+                    )
+                    if ready.dt == dt:
+                        slots[c] = len(starts_l)
+                        starts_l.append(ready.start)
+                        sizes_l.append(ready.probs.size)
+                        cdfs.append(ready.cdf)
+                    else:  # pragma: no cover - engines build homogeneous grids
+                        fallback.append((c, ready, node))
+                    qlens[c] = len(core.queue) + 1
+            row_hi = len(starts_l)
+            if row_hi > row_lo:
+                node_blocks.append((node, row_lo, row_hi))
+        ready_means = np.array(means)
+        queue_len = np.array(qlens, dtype=np.int64)
+
+        # Probability rows, one per distinct (node, ready pmf), over all
+        # nodes in one batch: the offset/index grid is one elementwise
+        # pass, then the CDF gather and the per-P-state dot run per
+        # distinct pmf on its contiguous (P, width) slice — the same
+        # expressions, on the same values, as prob_on_time_all_pstates
+        # evaluates one core at a time.
+        u = len(starts_l)
+        if u:
+            starts = np.array(starts_l)
+            sizes = np.array(sizes_l, dtype=np.int64)
+            # floor((a - start) / dt + 1e-9) in-place on a writable
+            # stack of each distinct pmf's node rows: the same
+            # elementwise chain as the expression form, without the
+            # intermediate temporaries.
+            work = np.empty((u, a_stack.shape[1], a_stack.shape[2]))
+            for node, row_lo, row_hi in node_blocks:
+                work[row_lo:row_hi] = a_stack[node]
+            np.subtract(work, starts[:, None, None], out=work)
+            np.divide(work, dt, out=work)
+            np.add(work, 1e-9, out=work)
+            np.floor(work, out=work)
+            ks_all = work.astype(np.int64)
+            np.minimum(ks_all, (sizes - 1)[:, None, None], out=ks_all)
+            np.maximum(ks_all, -1, out=ks_all)
+            # One flat gather over all distinct CDFs, with an exact-0.0
+            # sentinel ahead of each block: entry ``j`` of pmf ``i``
+            # lives at ``offsets[i] + j`` and the clamped ``j == -1``
+            # (query before the pmf's start) lands on the sentinel — the
+            # same per-element values the reference's ``np.where`` form
+            # produces, without materializing the mask.
+            offsets_l: list[int] = []
+            acc = 1
+            for size in sizes_l:
+                offsets_l.append(acc)
+                acc += size + 1
+            flat_cdf = np.zeros(acc - 1)
+            for i, cdf in enumerate(cdfs):
+                off = offsets_l[i]
+                flat_cdf[off : off + cdf.size] = cdf
+            np.add(ks_all, np.array(offsets_l, dtype=np.int64)[:, None, None], out=ks_all)
+            fr_all = np.take(flat_cdf, ks_all)
+            # One sum-of-products per node over its contiguous row
+            # block: einsum's u axis is an outer loop over independent
+            # (p, l) reductions, so each row is bitwise the per-slice
+            # two-operand reduction, and broadcasting the node's shared
+            # probability matrix avoids a gather copy.
+            rows = np.empty((u, P))
+            for node, row_lo, row_hi in node_blocks:
+                np.einsum(
+                    "pl,upl->up",
+                    probs_stack[node],
+                    fr_all[row_lo:row_hi],
+                    out=rows[row_lo:row_hi],
+                )
+            prob = np.take(rows, slots, axis=0)  # (C, P) scatter by slot
+        else:  # pragma: no cover - engines build homogeneous grids
+            prob = np.empty((C, P))
+        for c, ready, node in fallback:  # pragma: no cover - hetero grids only
+            pad = table.padded(type_id, node)
+            prob[c] = prob_on_time_all_pstates(ready, pad.times, pad.probs, deadline)
+
+        ect = ready_means[:, None] + eet
+
+        return CandidateSet(
+            core_ids=self._core_ids,
+            pstates=self._pstates,
+            queue_len=np.repeat(queue_len, P),
+            eet=eet_flat,
+            eec=eec_flat,
+            ect=ect.ravel(),
+            prob_on_time=prob.ravel(),
+        )
+
+
+def build_candidates(
+    task: Task,
+    cores: Sequence[CoreState],
+    table: ExecutionTimeTable,
+    t_now: float,
+) -> CandidateSet:
+    """Deprecated alias of :func:`build_candidate_set`.
+
+    This was an internal entrypoint (see ``docs/architecture.md``); use
+    :func:`build_candidate_set` or, for whole-trial runs, the
+    :mod:`repro.api` facade.
+    """
+    warnings.warn(
+        "repro.sim.mapper.build_candidates is deprecated; use "
+        "build_candidate_set (or the repro.api facade for whole trials)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_candidate_set(task, cores, table, t_now)

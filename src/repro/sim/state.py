@@ -4,8 +4,12 @@ The dominant cost of a mapping event is computing, for every core, the
 *ready-time* pmf — the completion distribution of everything already on
 the core (Section IV-B).  :class:`CoreState` caches both pieces:
 
-* the convolution of queued tasks' execution pmfs (invalidated only when
-  the queue mutates), and
+* the convolution of queued tasks' execution pmfs, maintained
+  *incrementally* on enqueue whenever that is exact (appending a pmf at
+  least as long as every queued one convolves last in the sorted fold of
+  :func:`~repro.stoch.ops.convolve_many`, so one incremental convolution
+  reproduces the full recomputation bit for bit) and invalidated
+  otherwise, and
 * the running task's truncated completion pmf.  Truncation at a later
   time ``t`` changes nothing as long as the cached distribution has no
   impulse before ``t``, so the cache records its first-impulse time and
@@ -61,6 +65,7 @@ class CoreState:
         "queue",
         "_version",
         "_queue_conv",
+        "_queue_maxlen",
         "_ready_version",
         "_ready_pmf",
         "_ready_trunc_start",
@@ -74,6 +79,7 @@ class CoreState:
         self.queue: deque[QueuedTask] = deque()
         self._version = 0
         self._queue_conv: PMF | None = None
+        self._queue_maxlen = 0
         self._ready_version = -1
         self._ready_pmf: PMF | None = None
         self._ready_trunc_start = 0.0
@@ -97,12 +103,30 @@ class CoreState:
     # ------------------------------------------------------------------
 
     def enqueue(self, entry: QueuedTask) -> None:
-        """Append a task to the core's FIFO queue."""
+        """Append a task to the core's FIFO queue.
+
+        The cached queue convolution is extended *incrementally* when
+        that is provably exact: ``convolve_many`` folds smallest-first
+        with a stable sort, so a new pmf no shorter than every queued
+        one would convolve last anyway, and
+        ``convolve(cached, new)`` reproduces the full recomputation
+        bitwise.  Shorter pmfs fall back to invalidation (the kernel
+        cache makes the eventual recomputation cheap).
+        """
         if self.running is None:
             raise RuntimeError("enqueue on an idle core; start the task instead")
+        n = len(entry.exec_pmf)
+        if not self.queue:
+            # convolve_many([x]) is x itself.
+            self._queue_conv = entry.exec_pmf
+            self._queue_maxlen = n
+        elif self._queue_conv is not None and n >= self._queue_maxlen:
+            self._queue_conv = convolve(self._queue_conv, entry.exec_pmf)
+            self._queue_maxlen = n
+        else:
+            self._queue_conv = None
         self.queue.append(entry)
         self._version += 1
-        self._queue_conv = None
 
     def set_running(self, running: RunningTask) -> None:
         """Begin executing a task (the core must not be busy)."""
@@ -147,6 +171,7 @@ class CoreState:
             return None
         if self._queue_conv is None:
             self._queue_conv = convolve_many([e.exec_pmf for e in self.queue])
+            self._queue_maxlen = max(len(e.exec_pmf) for e in self.queue)
         return self._queue_conv
 
     def ready_pmf(self, t_now: float) -> PMF:

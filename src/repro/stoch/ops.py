@@ -19,11 +19,15 @@ predicting stochastic completion times:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+import math
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.stoch.pmf import PMF
+from repro.stoch.pmf import _RTOL, _TRIM_EPS, PMF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.kernel_cache import KernelCache
 
 __all__ = [
     "convolve",
@@ -33,6 +37,7 @@ __all__ = [
     "prob_sum_at_most",
     "expectation_of_sum",
     "set_op_observer",
+    "set_kernel_cache",
 ]
 
 #: Optional instrumentation callback ``(op: str, grid_size: int)``.
@@ -57,6 +62,25 @@ def set_op_observer(
     return previous
 
 
+#: Optional kernel intern table (:class:`repro.perf.KernelCache`).
+#: The engine installs one for the duration of a run; this module never
+#: imports :mod:`repro.perf` at runtime, mirroring the op-observer
+#: decoupling above.  Results are bitwise identical with or without it.
+_kernel_cache: "KernelCache | None" = None
+
+
+def set_kernel_cache(cache: "KernelCache | None") -> "KernelCache | None":
+    """Install (or clear, with ``None``) the module-wide kernel cache.
+
+    Returns the previously-installed cache so callers can restore it —
+    engine runs nest the same way observation scopes do.
+    """
+    global _kernel_cache
+    previous = _kernel_cache
+    _kernel_cache = cache
+    return previous
+
+
 def _check_same_grid(a: PMF, b: PMF) -> None:
     if not a.same_grid(b):
         raise ValueError(f"grid mismatch: dt={a.dt} vs dt={b.dt}")
@@ -73,6 +97,15 @@ def convolve(a: PMF, b: PMF) -> PMF:
         return shift(b, a.start)
     if len(b) == 1:
         return shift(a, b.start)
+    if _kernel_cache is not None:
+        # Convolution results repeat far too rarely to be worth interning
+        # (queue convolutions incorporate an ever-changing accumulator),
+        # but the validation-free finalizer still applies: the raw
+        # product of two valid probability arrays needs no re-checking.
+        probs = np.convolve(a.probs, b.probs)
+        if _op_observer is not None:
+            _op_observer("convolve", probs.size)
+        return _finalize_conv(a.start + b.start, a.dt, probs)
     probs = np.convolve(a.probs, b.probs)
     if _op_observer is not None:
         # Count only materialized convolutions (delta shortcuts above are
@@ -100,6 +133,20 @@ def shift(pmf: PMF, offset: float) -> PMF:
     """Translate a pmf along the time axis by ``offset``."""
     if offset == 0.0:
         return pmf
+    if _kernel_cache is not None:
+        # Same (start + offset, dt, probs) triple as below, minus the
+        # constructor's re-validation of an array that is already a
+        # valid pmf's.  Forcing the content digest here means it lands
+        # on the long-lived operand (typically a table execution pmf),
+        # so the truncation that always follows on the hot path keys
+        # itself without rehashing.
+        return PMF._intern(
+            pmf.start + offset,
+            pmf.dt,
+            pmf.probs,
+            key=pmf.content_key(),
+            m1=object.__getattribute__(pmf, "_m1"),
+        )
     return PMF(pmf.start + offset, pmf.dt, pmf.probs, normalize=False)
 
 
@@ -117,18 +164,100 @@ def truncate_below(pmf: PMF, t: float, *, dt_for_degenerate: float | None = None
     if t <= pmf.start:
         return pmf
     # First index with time >= t (times equal to t survive).
-    k = int(np.ceil((t - pmf.start) / pmf.dt - 1e-9))
+    # math.ceil on a float equals int(np.ceil(...)) exactly, without
+    # the numpy scalar round-trip.
+    k = math.ceil((t - pmf.start) / pmf.dt - 1e-9)
     if k <= 0:
         return pmf
     if _op_observer is not None:
         _op_observer("truncate_below", pmf.probs.size)
     if k >= pmf.probs.size:
         return PMF.delta(t, dt_for_degenerate if dt_for_degenerate is not None else pmf.dt)
+    cache = _kernel_cache
+    if cache is not None:
+        # The renormalized tail depends only on (contents, k); the cut
+        # time enters solely through ``k`` and the result offset.
+        from repro.perf.kernel_cache import OP_TRUNCATE, InternedKernel
+
+        key = (OP_TRUNCATE, pmf.content_key(), k, pmf.dt)
+        kernel = cache.get(key)
+        if kernel is not None:
+            if _op_observer is not None:
+                _op_observer("cache_hit", kernel.probs.size)
+            return kernel.rebuild(pmf.start, pmf.dt)
+        out = _truncate_tail(pmf, t, k, dt_for_degenerate)
+        if out is not None:
+            evicted = cache.put(key, InternedKernel.from_result(out, pmf.start))
+            if _op_observer is not None:
+                _op_observer("cache_miss", out.probs.size)
+                if evicted:
+                    _op_observer("cache_evict", evicted)
+            return out
+        # All-zero tail: degenerate results are cheap, skip interning.
+        return PMF.delta(t, dt_for_degenerate if dt_for_degenerate is not None else pmf.dt)
+    out = _truncate_tail(pmf, t, k, dt_for_degenerate)
+    if out is None:
+        return PMF.delta(t, dt_for_degenerate if dt_for_degenerate is not None else pmf.dt)
+    return out
+
+
+def _truncate_tail(
+    pmf: PMF, t: float, k: int, dt_for_degenerate: float | None
+) -> PMF | None:
+    """The materializing branch of :func:`truncate_below` (``0 < k < n``).
+
+    Returns ``None`` when the surviving tail carries no mass (the caller
+    substitutes the degenerate "completes now" pmf).
+    """
     tail = pmf.probs[k:]
     total = float(tail.sum())
     if total <= 0.0:
-        return PMF.delta(t, dt_for_degenerate if dt_for_degenerate is not None else pmf.dt)
+        return None
+    if _kernel_cache is not None:
+        # Replicate PMF.__init__'s normalization branch on a slice of
+        # an already-valid pmf, skipping only its re-validation: the
+        # tail is finite, non-negative, and its sum was checked above.
+        if abs(total - 1.0) > _RTOL:
+            arr = tail / total
+        else:
+            arr = tail.copy()
+        arr.setflags(write=False)
+        return PMF._intern(pmf.start + k * pmf.dt, pmf.dt, arr)
     return PMF(pmf.start + k * pmf.dt, pmf.dt, tail)
+
+
+def _finalize_conv(base: float, dt: float, raw: np.ndarray) -> PMF:
+    """``PMF(base, dt, raw).compact()`` minus the redundant validation.
+
+    ``raw`` is the product of two valid probability arrays, so it is
+    finite and non-negative with positive total by construction; the
+    normalization and trimming below follow PMF.__init__ and
+    PMF.compact branch for branch, producing bitwise-identical arrays.
+    """
+    total = float(raw.sum())
+    arr = raw / total if abs(total - 1.0) > _RTOL else raw
+    thresh = float(arr.max()) * _TRIM_EPS
+    # First/last index above threshold without materializing the index
+    # array flatnonzero builds.  When both end bins survive (checked on
+    # scalars first) nothing trims; otherwise the mask is never empty
+    # because the max itself always exceeds ``max * _TRIM_EPS``.
+    if arr[0] > thresh and arr[-1] > thresh:
+        lo = 0
+        hi = arr.size - 1
+    else:
+        keep = arr > thresh
+        lo = int(keep.argmax())
+        hi = arr.size - 1 - int(keep[::-1].argmax())
+    if lo == 0 and hi == arr.size - 1:
+        start = base
+        out = arr
+    else:
+        sl = arr[lo : hi + 1]
+        t2 = float(sl.sum())
+        out = sl / t2 if abs(t2 - 1.0) > _RTOL else sl.copy()
+        start = base + lo * dt
+    out.setflags(write=False)
+    return PMF._intern(start, dt, out)
 
 
 def prob_sum_at_most(ready: PMF, exec_pmf: PMF, deadline: float) -> float:
@@ -148,7 +277,9 @@ def prob_sum_at_most(ready: PMF, exec_pmf: PMF, deadline: float) -> float:
     n = exec_pmf.probs.size
     base = (deadline - exec_pmf.start - ready.start) / ready.dt
     ks = np.floor(base + 1e-9 - np.arange(n)).astype(np.int64)
-    np.clip(ks, -1, ready.probs.size - 1, out=ks)
+    # minimum+maximum instead of np.clip: exact on integers, cheaper.
+    np.minimum(ks, ready.probs.size - 1, out=ks)
+    np.maximum(ks, -1, out=ks)
     cdf = ready.cdf
     # F_R for index -1 (query before ready.start) is 0.
     fr = np.where(ks >= 0, cdf[np.maximum(ks, 0)], 0.0)

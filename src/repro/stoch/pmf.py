@@ -13,6 +13,7 @@ The cumulative sum used by CDF queries is computed lazily and cached.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -48,7 +49,7 @@ class PMF:
     tails do this internally).
     """
 
-    __slots__ = ("start", "dt", "probs", "_cdf")
+    __slots__ = ("start", "dt", "probs", "_cdf", "_m1", "_key")
 
     start: float
     dt: float
@@ -69,7 +70,7 @@ class PMF:
             raise ValueError(f"dt must be a positive finite float, got {dt}")
         if not np.isfinite(start):
             raise ValueError(f"start must be finite, got {start}")
-        if np.any(arr < 0.0) or not np.all(np.isfinite(arr)):
+        if (arr < 0.0).any() or not np.isfinite(arr).all():
             raise ValueError("probs must be finite and non-negative")
         total = float(arr.sum())
         if total <= 0.0:
@@ -86,6 +87,8 @@ class PMF:
         object.__setattr__(self, "dt", float(dt))
         object.__setattr__(self, "probs", arr)
         object.__setattr__(self, "_cdf", None)
+        object.__setattr__(self, "_m1", None)
+        object.__setattr__(self, "_key", None)
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("PMF instances are immutable")
@@ -98,6 +101,37 @@ class PMF:
     def delta(time: float, dt: float) -> "PMF":
         """A degenerate pmf: all mass at ``time``."""
         return PMF(time, dt, np.ones(1), normalize=False)
+
+    @classmethod
+    def _intern(
+        cls,
+        start: float,
+        dt: float,
+        probs: np.ndarray,
+        *,
+        key: bytes | None = None,
+        m1: "np.floating | None" = None,
+        cdf: "np.ndarray | None" = None,
+    ) -> "PMF":
+        """Wrap an *already-validated, read-only* probability array.
+
+        Fast path for the kernel cache (:mod:`repro.perf`): the array
+        came out of a regular :class:`PMF` earlier, so re-running the
+        constructor's validation and normalization would only burn time
+        (and a renormalization could perturb the stored bits).  ``key``,
+        ``m1`` and ``cdf`` optionally pre-seed the content digest, the
+        first moment and the cumulative sum so interned siblings share
+        them — all three are functions of ``probs`` alone, so carrying
+        them over is exact.  Not part of the public surface.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "dt", float(dt))
+        object.__setattr__(self, "probs", probs)
+        object.__setattr__(self, "_cdf", cdf)
+        object.__setattr__(self, "_m1", m1)
+        object.__setattr__(self, "_key", key)
+        return self
 
     @staticmethod
     def from_mapping(mapping: Mapping[float, float], dt: float) -> "PMF":
@@ -142,14 +176,33 @@ class PMF:
         """Cached cumulative sum of ``probs`` (read-only view)."""
         cached = object.__getattribute__(self, "_cdf")
         if cached is None:
-            cached = np.cumsum(self.probs)
+            cached = self.probs.cumsum()
             cached.setflags(write=False)
             object.__setattr__(self, "_cdf", cached)
         return cached
 
     def mean(self) -> float:
-        """Expectation ``E[X]``."""
-        return float(self.start + self.dt * np.dot(np.arange(self.probs.size), self.probs))
+        """Expectation ``E[X]`` (the start-independent moment is cached)."""
+        m1 = object.__getattribute__(self, "_m1")
+        if m1 is None:
+            m1 = np.dot(np.arange(self.probs.size), self.probs)
+            object.__setattr__(self, "_m1", m1)
+        return float(self.start + self.dt * m1)
+
+    def content_key(self) -> bytes:
+        """Digest of the probability contents (grid offsets excluded).
+
+        Two pmfs share a key iff their ``probs`` arrays are bitwise
+        equal, which is exactly the invariance the kernel cache needs:
+        convolution/truncation results depend on operand *contents*,
+        with starts entering only as additive offsets.  Cached per
+        instance (arrays are immutable).
+        """
+        key = object.__getattribute__(self, "_key")
+        if key is None:
+            key = hashlib.blake2b(self.probs.tobytes(), digest_size=16).digest()
+            object.__setattr__(self, "_key", key)
+        return key
 
     def var(self) -> float:
         """Variance ``Var[X]`` (non-negative by clipping tiny round-off)."""

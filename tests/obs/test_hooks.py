@@ -1,4 +1,4 @@
-"""Tests for ObservingHooks / run_observed_trial (repro.obs.hooks).
+"""Tests for ObservingHooks / observe_trial (repro.obs.hooks).
 
 The two load-bearing guarantees:
 
@@ -29,7 +29,7 @@ from repro.obs.hooks import (
     ObservingHooks,
     TimedFilterChain,
     TimedHeuristic,
-    run_observed_trial,
+    observe_trial,
 )
 from repro.obs.sinks import MetricsRegistry, RingBufferSink
 from repro.obs.spans import SpanRecorder
@@ -45,7 +45,7 @@ def observed():
     system = build_trial_system(micro_config(seed=3))
     ring = RingBufferSink(capacity=10_000)
     metrics = MetricsRegistry()
-    result = run_observed_trial(
+    result = observe_trial(
         system, LightestLoad(), make_filter_chain("en+rob"),
         sinks=(ring,), metrics=metrics,
     )
@@ -130,7 +130,7 @@ class TestObservationIsInert:
         system = build_trial_system(micro_config(seed=6))
         plain = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
         ring = RingBufferSink(capacity=10_000)
-        observed = run_observed_trial(
+        observed = observe_trial(
             system, LightestLoad(), make_filter_chain("en+rob"),
             sinks=(ring,), metrics=MetricsRegistry(),
         )
@@ -155,7 +155,7 @@ class TestObservationIsInert:
     def test_profiled_trial_bitwise_identical(self):
         system = build_trial_system(micro_config(seed=6))
         plain = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
-        profiled = run_observed_trial(
+        profiled = observe_trial(
             system, LightestLoad(), make_filter_chain("en+rob"),
             profile=SpanRecorder(),
             timeline=TimelineRecorder(50.0),
@@ -164,13 +164,13 @@ class TestObservationIsInert:
 
 
 class TestTrialLifecycle:
-    """run_observed_trial's envelope ordering, asserted directly."""
+    """observe_trial's envelope ordering, asserted directly."""
 
     @staticmethod
     def run_with_ring(seed: int = 3, **updates):
         system = build_trial_system(micro_config(seed=seed, **updates))
         ring = RingBufferSink(capacity=10_000)
-        result = run_observed_trial(
+        result = observe_trial(
             system, LightestLoad(), make_filter_chain("en+rob"), sinks=(ring,)
         )
         return ring.events, result
@@ -252,3 +252,16 @@ class TestTimedFilterChain:
         assert counts["filters.chain"] == system.num_tasks
         assert counts["filter.en"] == counts["filters.chain"]
         assert counts["filter.rob"] == counts["filters.chain"]
+
+
+class TestDeprecatedAlias:
+    def test_run_observed_trial_warns_and_matches(self):
+        from repro.obs.hooks import run_observed_trial
+
+        system = build_trial_system(micro_config(seed=6))
+        expected = observe_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        with pytest.warns(DeprecationWarning, match="observe_trial"):
+            result = run_observed_trial(
+                system, LightestLoad(), make_filter_chain("en+rob")
+            )
+        assert result == expected

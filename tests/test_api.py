@@ -1,0 +1,97 @@
+"""Tests for the repro.api facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+
+
+class TestSurface:
+    def test_every_exported_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_registries_enumerate_valid_names(self):
+        assert api.HEURISTICS == ("SQ", "MECT", "LL", "Random")
+        assert api.FILTER_VARIANTS == ("none", "en", "rob", "en+rob")
+
+
+class TestScenario:
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="heuristic"):
+            api.Scenario("XX")
+        with pytest.raises(ValueError, match="filter"):
+            api.Scenario("LL", "bogus")
+
+    def test_overrides_apply(self):
+        scenario = api.Scenario("LL", "none", seed=9, num_tasks=123)
+        config = scenario.resolved_config()
+        assert config.seed == 9
+        assert config.workload.num_tasks == 123
+        assert scenario.label == "LL/none"
+
+    def test_explicit_config_passes_through(self):
+        base = api.SimulationConfig(seed=4)
+        scenario = api.Scenario("SQ", config=base)
+        assert scenario.resolved_config() == base
+        assert scenario.spec == api.VariantSpec("SQ", "en+rob")
+
+    def test_seed_override_beats_config(self):
+        base = api.SimulationConfig(seed=4)
+        scenario = api.Scenario("SQ", seed=7, config=base)
+        assert scenario.resolved_config().seed == 7
+
+
+class TestRunTrial:
+    SCENARIO = api.Scenario("MECT", "en+rob", seed=5, num_tasks=60)
+
+    def test_deterministic(self):
+        a = api.run_trial(self.SCENARIO)
+        b = api.run_trial(self.SCENARIO)
+        assert a == b
+        assert a.heuristic == "MECT" and a.variant == "en+rob"
+        assert a.num_tasks == 60
+
+    def test_prebuilt_system_reuse(self):
+        system = self.SCENARIO.build_system()
+        assert api.run_trial(self.SCENARIO, system=system) == api.run_trial(self.SCENARIO)
+
+    def test_perf_knobs_results_neutral(self):
+        fast = api.run_trial(self.SCENARIO)
+        slow = api.run_trial(self.SCENARIO, perf=api.PerfConfig.disabled())
+        assert fast == slow
+
+    def test_metrics_capture_cache_counters(self):
+        metrics = api.MetricsRegistry()
+        api.run_trial(self.SCENARIO, metrics=metrics)
+        assert metrics.counter("perf.cache.misses") > 0
+        assert metrics.counter("perf.cache.hits") > 0
+
+
+class TestRunEnsemble:
+    def test_scenarios_must_share_config(self):
+        with pytest.raises(ValueError, match="share"):
+            api.run_ensemble(
+                [
+                    api.Scenario("LL", seed=1, num_tasks=50),
+                    api.Scenario("SQ", seed=2, num_tasks=50),
+                ],
+                1,
+            )
+
+    def test_paired_trials_across_scenarios(self):
+        scenarios = [
+            api.Scenario("LL", "en+rob", seed=3, num_tasks=40),
+            api.Scenario("SQ", "none", seed=3, num_tasks=40),
+        ]
+        ensemble = api.run_ensemble(scenarios, 2)
+        assert ensemble.num_trials == 2
+        assert ensemble.base_seed == 3  # defaulted from the shared seed
+        assert set(ensemble.results) == {s.spec for s in scenarios}
+        for spec in ensemble.specs:
+            assert len(ensemble.results[spec]) == 2
+
+    def test_single_scenario_accepted_bare(self):
+        ensemble = api.run_ensemble(api.Scenario("LL", seed=3, num_tasks=40), 1)
+        assert ensemble.specs == (api.VariantSpec("LL", "en+rob"),)
