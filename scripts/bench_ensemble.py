@@ -1,0 +1,219 @@
+"""Benchmark ensemble-scale performance; write ``BENCH_ensemble.json``.
+
+Times full ensembles (4 heuristics x en+rob against paired trials, the
+paper's evaluation grid) through :func:`repro.experiments.runner.run_ensemble`
+under per-optimization ablations of the ensemble performance layer:
+
+* ``baseline``    — warm cross-spec cache and batched table build off
+  (the pre-ensemble-layer configuration; kernel cache and vectorized
+  mapper stay on, as they predate this layer);
+* ``warm_cache``  — plus the trial-scoped cross-spec
+  :class:`~repro.perf.TrialCache`;
+* ``batch_table`` — plus the one-pass vectorized execution-time table
+  with lazy padding (warm cache off);
+* ``full``        — everything on (the defaults).
+
+Each configuration runs at ``n_jobs`` 1 and 4, plus a chunked-dispatch
+ablation (``chunk_size=1`` vs. auto) on the parallel path.  Every run's
+results are compared for full equality against the
+``PerfConfig.disabled()`` reference — the script exits nonzero if any
+run differs (``all_identical``) or the serial full-vs-baseline speedup
+falls below ``--min-speedup``.  Mirrors ``BENCH_perf.json``'s format;
+CI runs a reduced configuration as a regression gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_ensemble.py --tasks 200 \
+        --trials 16 --out BENCH_ensemble.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro._version import __version__
+from repro.api import Scenario
+from repro.experiments.executor import _auto_chunk_size
+from repro.experiments.runner import VariantSpec, run_ensemble
+from repro.obs.sinks import MetricsRegistry
+from repro.perf.kernel_cache import PerfConfig
+
+ABLATIONS: tuple[tuple[str, PerfConfig], ...] = (
+    ("baseline", PerfConfig(warm_cache=False, batch_table=False)),
+    ("warm_cache", PerfConfig(batch_table=False)),
+    ("batch_table", PerfConfig(warm_cache=False)),
+    ("full", PerfConfig()),
+)
+
+
+def _timed_ensemble(config, specs, args, *, n_jobs, perf, chunk_size=None):
+    t0 = time.perf_counter()
+    ensemble = run_ensemble(
+        specs,
+        config,
+        num_trials=args.trials,
+        base_seed=args.seed,
+        n_jobs=n_jobs,
+        keep_outcomes=True,
+        perf=perf,
+        chunk_size=chunk_size,
+    )
+    return ensemble, time.perf_counter() - t0
+
+
+def _cache_counters(config, specs, args) -> dict:
+    """One short instrumented full-config run for the cache hit profile."""
+    metrics = MetricsRegistry()
+    run_ensemble(
+        specs,
+        config,
+        num_trials=min(4, args.trials),
+        base_seed=args.seed,
+        n_jobs=1,
+        metrics=metrics,
+        perf=PerfConfig(),
+    )
+    return {
+        k: v for k, v in sorted(metrics.counters.items()) if k.startswith("perf.cache.")
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=200, help="tasks per trial")
+    parser.add_argument("--trials", type=int, default=16, help="trials per ensemble")
+    parser.add_argument("--seed", type=int, default=123, help="base seed")
+    parser.add_argument(
+        "--heuristics", nargs="+", default=["SQ", "MECT", "LL", "Random"]
+    )
+    parser.add_argument("--filters", default="en+rob", help="filter variant to run")
+    parser.add_argument(
+        "--n-jobs", nargs="+", type=int, default=[1, 4], help="worker counts to time"
+    )
+    parser.add_argument("--out", default="BENCH_ensemble.json", help="report path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        help="fail when the serial full-vs-baseline speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    specs = [VariantSpec(h, args.filters) for h in args.heuristics]
+    config = Scenario(
+        args.heuristics[0], args.filters, seed=args.seed, num_tasks=args.tasks
+    ).resolved_config()
+
+    print(
+        f"# reference ({len(specs)} specs x {args.trials} trials, "
+        f"{args.tasks} tasks, perf disabled)"
+    )
+    reference, reference_s = _timed_ensemble(
+        config, specs, args, n_jobs=1, perf=PerfConfig.disabled()
+    )
+    print(f"reference: {reference_s:.2f}s")
+
+    all_identical = True
+    ensembles: dict[str, dict] = {}
+    for n_jobs in args.n_jobs:
+        rows: dict[str, dict] = {}
+        for name, perf in ABLATIONS:
+            ensemble, wall = _timed_ensemble(
+                config, specs, args, n_jobs=n_jobs, perf=perf
+            )
+            identical = ensemble.results == reference.results
+            all_identical = all_identical and identical
+            rows[name] = {"wall_s": round(wall, 3), "identical": identical}
+            print(
+                f"n_jobs={n_jobs} {name:>11}: {wall:6.2f}s  identical={identical}"
+            )
+        for name in rows:
+            rows[name]["speedup_vs_baseline"] = round(
+                rows["baseline"]["wall_s"] / rows[name]["wall_s"], 3
+            )
+        ensembles[f"n_jobs={n_jobs}"] = rows
+
+    # Chunked dispatch ablation on the widest parallel configuration.
+    chunk_jobs = max(args.n_jobs)
+    chunking: dict | None = None
+    if chunk_jobs > 1:
+        _, chunk1_s = _timed_ensemble(
+            config, specs, args, n_jobs=chunk_jobs, perf=PerfConfig(), chunk_size=1
+        )
+        auto_ens, auto_s = _timed_ensemble(
+            config, specs, args, n_jobs=chunk_jobs, perf=PerfConfig(), chunk_size=None
+        )
+        identical = auto_ens.results == reference.results
+        all_identical = all_identical and identical
+        chunking = {
+            "n_jobs": chunk_jobs,
+            "chunk_size_1_s": round(chunk1_s, 3),
+            "chunk_size_auto_s": round(auto_s, 3),
+            "auto_chunk": _auto_chunk_size(args.trials, chunk_jobs),
+            "speedup": round(chunk1_s / auto_s, 3),
+            "identical": identical,
+        }
+        print(
+            f"chunking (n_jobs={chunk_jobs}): chunk=1 {chunk1_s:.2f}s  "
+            f"auto {auto_s:.2f}s  identical={identical}"
+        )
+
+    speedups = [
+        rows["full"]["speedup_vs_baseline"] for rows in ensembles.values()
+    ]
+    serial_key = f"n_jobs={args.n_jobs[0]}"
+    serial_speedup = ensembles[serial_key]["full"]["speedup_vs_baseline"]
+    report = {
+        "format": "repro.bench_ensemble/1",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": {
+            "tasks": args.tasks,
+            "trials": args.trials,
+            "seed": args.seed,
+            "heuristics": args.heuristics,
+            "filters": args.filters,
+            "n_jobs": args.n_jobs,
+        },
+        "reference_s": round(reference_s, 3),
+        "ensembles": ensembles,
+        "chunking": chunking,
+        "cache": _cache_counters(config, specs, args),
+        "summary": {
+            "serial_speedup": serial_speedup,
+            "geomean_speedup": round(float(np.exp(np.mean(np.log(speedups)))), 3),
+            "all_identical": all_identical,
+        },
+    }
+    path = pathlib.Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+    if not all_identical:
+        print("FAIL: optimized results differ from the reference", file=sys.stderr)
+        return 1
+    if serial_speedup < args.min_speedup:
+        print(
+            f"FAIL: serial full-vs-baseline speedup {serial_speedup:.3f}x "
+            f"< required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: serial speedup {serial_speedup:.2f}x >= {args.min_speedup}x, "
+        f"geomean {report['summary']['geomean_speedup']:.2f}x, results identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,17 +133,83 @@ def timeline_table(timeline: TimelineSet, *, limit: int = 10) -> str:
     )
 
 
+#: Cache counters folded per spec by ``observe_trial``; the order here
+#: is the column order of the kernel-cache table.
+_CACHE_FIELDS = ("hits", "misses", "evictions", "entries")
+
+
+def _cache_table(counters: Mapping[str, int]) -> str | None:
+    """Per-spec kernel-cache stats from ``perf.cache.*`` counters.
+
+    One row per ``heuristic/variant`` label (the attribution deltas the
+    engine reports even when specs share one warm
+    :class:`~repro.perf.TrialCache`), plus a total row; hit rate is
+    derived.  Returns ``None`` when the registry carries no cache
+    counters at all.
+    """
+    if not any(k.startswith("perf.cache.") for k in counters):
+        return None
+    labels = sorted(
+        {
+            k.split(".", 3)[3]
+            for k in counters
+            if k.startswith("perf.cache.") and k.count(".") >= 3
+        }
+    )
+    rows = []
+    for label in labels + ["(total)"]:
+        suffix = "" if label == "(total)" else f".{label}"
+        values = [counters.get(f"perf.cache.{f}{suffix}", 0) for f in _CACHE_FIELDS]
+        lookups = values[0] + values[1]
+        rate = f"{values[0] / lookups:.1%}" if lookups else "-"
+        rows.append((label, *values, rate))
+    return markdown_table(["spec", *_CACHE_FIELDS, "hit rate"], rows)
+
+
+def _executor_table(counters: Mapping[str, int]) -> str | None:
+    """Chunk-level dispatch and recovery stats from ``executor.*`` counters."""
+    items = {k: v for k, v in counters.items() if k.startswith("executor.")}
+    if not items:
+        return None
+    rows: list[tuple[str, str]] = []
+    chunks = items.pop("executor.chunks_dispatched", 0)
+    trials = items.pop("executor.trials_dispatched", 0)
+    if chunks:
+        rows.append(("chunks dispatched", str(chunks)))
+        rows.append(("trials dispatched", str(trials)))
+        rows.append(("mean trials/chunk", f"{trials / chunks:.2f}"))
+    for key, value in sorted(items.items()):
+        rows.append((key.removeprefix("executor.").replace("_", " "), str(value)))
+    return markdown_table(["executor", "value"], rows)
+
+
 def metrics_tables(data: Mapping[str, Any]) -> str:
-    """Render a ``repro.metrics/1`` document as counter/histogram tables."""
+    """Render a ``repro.metrics/1`` document as counter/histogram tables.
+
+    ``perf.cache.*`` and ``executor.*`` counters get dedicated derived
+    tables (per-spec cache hit rates; chunk-level dispatch stats) and
+    are omitted from the generic counter dump.
+    """
     if data.get("format") != "repro.metrics/1":
         raise ValueError("not a repro.metrics/1 document")
     parts: list[str] = []
     counters = data.get("counters", {})
-    if counters:
+    generic = {
+        k: v
+        for k, v in counters.items()
+        if not k.startswith(("perf.cache.", "executor."))
+    }
+    if generic:
         parts.append("## Counters\n")
-        parts.append(
-            markdown_table(["counter", "value"], sorted(counters.items()))
-        )
+        parts.append(markdown_table(["counter", "value"], sorted(generic.items())))
+    cache = _cache_table(counters)
+    if cache is not None:
+        parts.append("\n## Kernel cache\n")
+        parts.append(cache)
+    executor = _executor_table(counters)
+    if executor is not None:
+        parts.append("\n## Executor\n")
+        parts.append(executor)
     histograms = data.get("histograms", {})
     if histograms:
         parts.append("\n## Histograms\n")

@@ -59,6 +59,7 @@ from repro.obs.sinks import EventSink, JsonlSink, MetricsRegistry, RingBufferSin
 from repro.obs.spans import SpanProfile, SpanRecorder
 from repro.obs.timeline import TimelineRecorder, TimelineSet
 from repro.perf.kernel_cache import CacheStats, PerfConfig
+from repro.perf.trial_cache import TrialCache
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
 from repro.stoch.pmf import PMF
@@ -82,6 +83,7 @@ __all__ = [
     "observe_trial",
     "PerfConfig",
     "CacheStats",
+    "TrialCache",
     # observability collectors
     "MetricsRegistry",
     "JsonlSink",
@@ -174,15 +176,19 @@ def run_trial(
     profile: SpanRecorder | None = None,
     timeline: TimelineRecorder | None = None,
     perf: PerfConfig | None = None,
+    shared: TrialCache | None = None,
 ) -> TrialResult:
     """Run one trial of a scenario.
 
     Pass ``system`` to reuse an already-built
     :class:`TrialSystem` (e.g. to run several scenarios against the
     identical workload draw, the paper's pairing discipline); otherwise
-    the scenario builds its own.  Observability collectors and the
-    ``perf`` knobs are results-neutral: the returned
-    :class:`TrialResult` is bitwise identical for any combination.
+    the scenario builds its own.  When reusing a system across
+    scenarios, a single :class:`TrialCache` passed as ``shared`` lets
+    later runs reuse the kernel cache and mapper tables the first run
+    warmed.  Observability collectors, the ``perf`` knobs and
+    ``shared`` are results-neutral: the returned :class:`TrialResult`
+    is bitwise identical for any combination.
     """
     if system is None:
         system = scenario.build_system()
@@ -195,6 +201,7 @@ def run_trial(
         profile=profile,
         timeline=timeline,
         perf=perf,
+        shared=shared,
     )
 
 
@@ -227,6 +234,7 @@ def run_ensemble(
     resume: bool = False,
     trial_timeout: float | None = None,
     max_retries: int = 2,
+    chunk_size: int | None = None,
 ) -> EnsembleResult:
     """Run ``num_trials`` paired trials of one or more scenarios.
 
@@ -235,8 +243,8 @@ def run_ensemble(
     task stream).  ``base_seed`` defaults to the scenarios' shared seed
     override, falling back to the configured master seed; trial ``i``
     derives its own seed from it.  The resilience options
-    (``checkpoint``/``resume``/``trial_timeout``/``max_retries``) and
-    collectors forward to
+    (``checkpoint``/``resume``/``trial_timeout``/``max_retries``), the
+    ``chunk_size`` dispatch knob, and collectors forward to
     :func:`repro.experiments.runner.run_ensemble`.
     """
     scens = (scenarios,) if isinstance(scenarios, Scenario) else tuple(scenarios)
@@ -261,6 +269,7 @@ def run_ensemble(
         resume=resume,
         trial_timeout=trial_timeout,
         max_retries=max_retries,
+        chunk_size=chunk_size,
     )
 
 

@@ -6,10 +6,18 @@ every completed trial.  This module fails *open* instead, applying the
 robustness discipline of the paper's scheduler to the harness itself:
 
 * :func:`run_supervised` owns a pool of worker processes connected by
-  pipes.  Each trial is one job; a dying worker forfeits only its
-  in-flight trial (the worker is respawned), a hung worker is killed at
-  the per-trial wall-clock timeout, and result payloads are checksummed
-  so transport corruption is detected rather than silently recorded.
+  pipes.  Trials are dispatched in *chunks* of ``chunk_size`` jobs per
+  IPC round (auto-sized from the trial count and ``n_jobs`` by
+  default), but fault granularity stays per-trial: a dying worker
+  forfeits only the trial it was running — the rest of its chunk is
+  requeued at the same attempt, uncharged — a hung worker is killed at
+  the per-trial wall-clock timeout (the deadline re-arms as each trial
+  of a chunk starts), and result payloads are checksummed so transport
+  corruption is detected rather than silently recorded.  Results travel
+  as single-copy binary frames: the worker pickles the value once,
+  directly into the frame buffer behind a fixed header carrying the
+  trial index and the payload's SHA-256, instead of pickling the value
+  and then pickling the (blob, digest) tuple again for the pipe.
 * Failed trials retry with exponential backoff and **deterministic**
   jitter derived from ``(base_seed, "retry", trial, attempt)`` via
   :mod:`repro.rng` — chaos runs replay exactly.  A trial that exhausts
@@ -38,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import io
 import json
 import multiprocessing
 import multiprocessing.connection
@@ -46,6 +55,7 @@ import pathlib
 import pickle
 import time
 import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
@@ -74,6 +84,48 @@ _CRASH_EXIT = 86
 _HANG_SECONDS = 3600.0
 #: Floor for supervisor poll timeouts, so deadline rounding can't spin.
 _MIN_WAIT = 0.01
+
+#: Result-frame layout: status byte, trial index, payload SHA-256, payload.
+_STATUS_OK = 0x52  # "R"
+_STATUS_ERR = 0x45  # "E"
+_HEADER_SIZE = 1 + 8 + 32
+#: Chunk auto-sizing: aim for this many dispatch waves per worker (keeps
+#: the tail balanced when trials have uneven durations) up to this cap
+#: (bounds how much work one crash or timeout can requeue).
+_CHUNK_WAVES = 4
+_CHUNK_CAP = 16
+
+
+def _auto_chunk_size(num_trials: int, n_jobs: int) -> int:
+    """Default jobs per IPC round given the trial count and pool size."""
+    return max(1, min(_CHUNK_CAP, num_trials // (_CHUNK_WAVES * n_jobs)))
+
+
+def _result_frame(trial: int, value: Any) -> memoryview:
+    """Pickle ``value`` once, in place, behind the framed header.
+
+    The pickler writes directly after a placeholder header in one
+    buffer; the header (status, trial, SHA-256 of the payload bytes) is
+    then patched in via ``getbuffer`` — no second serialization or copy
+    of the payload ever happens on the worker side.
+    """
+    buf = io.BytesIO()
+    buf.write(b"\x00" * _HEADER_SIZE)
+    pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(value)
+    frame = buf.getbuffer()
+    frame[0] = _STATUS_OK
+    frame[1:9] = trial.to_bytes(8, "little")
+    frame[9:_HEADER_SIZE] = hashlib.sha256(frame[_HEADER_SIZE:]).digest()
+    return frame
+
+
+def _error_frame(trial: int, detail: str) -> bytes:
+    """Frame an error reply: status, trial, UTF-8 detail text."""
+    return (
+        bytes((_STATUS_ERR,))
+        + trial.to_bytes(8, "little")
+        + detail.encode("utf-8", "replace")
+    )
 
 
 # ----------------------------------------------------------------------
@@ -133,39 +185,44 @@ class _ChaosError(RuntimeError):
 
 
 def _worker_main(conn: multiprocessing.connection.Connection) -> None:
-    """Worker loop: receive ``(trial, attempt, fn, payload, fault)`` jobs.
+    """Worker loop: receive ``(fn, jobs)`` chunks; ``None`` means exit.
 
-    Results travel back as ``("ok", trial, blob, sha256)`` where ``blob``
-    is the pickled return value — checksummed so the supervisor can
-    detect corruption in transit.  Exceptions travel as
-    ``("error", trial, detail)``; injected crash/hang faults bypass the
-    reply entirely (that is the point).
+    Each job is ``(trial, attempt, payload, fault)``; the chunk's trials
+    run strictly in order and every trial replies with its own binary
+    frame (see :func:`_result_frame` / :func:`_error_frame`) as soon as
+    it resolves, so the supervisor sees per-trial progress even though
+    dispatch is chunked.  Injected crash/hang faults bypass the reply
+    for their trial (that is the point) — a crash mid-chunk abandons the
+    rest of the chunk exactly like a real mid-chunk death would.
     """
     try:
         while True:
             msg = conn.recv()
             if msg is None:
                 break
-            trial, attempt, fn, payload, fault = msg
-            if fault == FAULT_CRASH:
-                os._exit(_CRASH_EXIT)
-            if fault == FAULT_HANG:
-                time.sleep(_HANG_SECONDS)
-                conn.send(("error", trial, "injected hang outlived the supervisor"))
-                continue
-            try:
-                if fault == FAULT_ERROR:
-                    raise _ChaosError(
-                        f"injected error fault (trial {trial}, attempt {attempt})"
+            fn, jobs = msg
+            for trial, attempt, payload, fault in jobs:
+                if fault == FAULT_CRASH:
+                    os._exit(_CRASH_EXIT)
+                if fault == FAULT_HANG:
+                    time.sleep(_HANG_SECONDS)
+                    conn.send_bytes(
+                        _error_frame(trial, "injected hang outlived the supervisor")
                     )
-                value = fn(payload)
-                blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-                digest = hashlib.sha256(blob).hexdigest()
-                if fault == FAULT_CORRUPT:
-                    blob = bytes([blob[0] ^ 0xFF]) + blob[1:]
-                conn.send(("ok", trial, blob, digest))
-            except Exception as exc:
-                conn.send(("error", trial, f"{type(exc).__name__}: {exc}"))
+                    continue
+                try:
+                    if fault == FAULT_ERROR:
+                        raise _ChaosError(
+                            f"injected error fault (trial {trial}, attempt {attempt})"
+                        )
+                    frame = _result_frame(trial, fn(payload))
+                    if fault == FAULT_CORRUPT:
+                        frame[_HEADER_SIZE] ^= 0xFF
+                    conn.send_bytes(frame)
+                except Exception as exc:
+                    conn.send_bytes(
+                        _error_frame(trial, f"{type(exc).__name__}: {exc}")
+                    )
     except (EOFError, OSError, KeyboardInterrupt):
         pass
 
@@ -179,9 +236,9 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 
 
 class _Worker:
-    """One supervised worker process plus its pipe and in-flight job."""
+    """One supervised worker process plus its pipe and in-flight chunk."""
 
-    __slots__ = ("conn", "process", "job")
+    __slots__ = ("conn", "process", "jobs", "deadline", "started_at")
 
     def __init__(self, ctx: multiprocessing.context.BaseContext) -> None:
         parent_conn, child_conn = ctx.Pipe()
@@ -189,8 +246,12 @@ class _Worker:
         self.process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
         self.process.start()
         child_conn.close()
-        #: (trial, attempt, deadline | None, sent_at, slot) while busy, else None.
-        self.job: tuple[int, int, float | None, float, int] | None = None
+        #: Remaining (trial, attempt) jobs of the in-flight chunk; the
+        #: head entry is the trial the worker is running *now* — its
+        #: deadline and span clock below always refer to the head.
+        self.jobs: deque[tuple[int, int]] = deque()
+        self.deadline: float | None = None
+        self.started_at: float = 0.0
 
     def kill(self) -> None:
         """Terminate the process and close the pipe (idempotent)."""
@@ -221,6 +282,7 @@ def run_supervised(
     on_event: Callable[[Event], None] | None = None,
     metrics: MetricsRegistry | None = None,
     profile: SpanRecorder | None = None,
+    chunk_size: int | None = None,
 ) -> tuple[dict[int, Any], list[TrialFailure]]:
     """Run ``fn(payloads[trial])`` for every trial under supervision.
 
@@ -230,17 +292,31 @@ def run_supervised(
     :class:`~repro.obs.events.TrialRetried` /
     :class:`~repro.obs.events.TrialQuarantined`.
 
-    With ``profile``, every attempt's send-to-resolution wall time is
+    ``chunk_size`` is the number of jobs handed to a worker per IPC
+    round (``None`` auto-sizes from the trial count and ``n_jobs``;
+    chaos-scale ensembles get 1).  Chunking amortizes dispatch latency
+    without coarsening recovery: workers reply per trial, the per-trial
+    ``trial_timeout`` deadline re-arms as each trial of a chunk starts,
+    and when a worker dies only the trial it was actually running is
+    charged a fault — the untouched remainder of its chunk goes back to
+    the queue at the same attempt number.  Checkpoint (``on_result``)
+    and quarantine granularity are therefore identical to
+    ``chunk_size=1``.
+
+    With ``profile``, every attempt's start-to-resolution wall time is
     recorded as an ``executor.trial`` span (``tid`` = pool slot, so
     trace viewers show one lane per worker; faulted and timed-out
     attempts are included — their cost is real even when their result
-    is discarded).
+    is discarded).  A chunked trial's span starts when it becomes its
+    worker's head job, not when the chunk was sent.
 
     ``fn`` and the payloads must be picklable; ``fn`` must be a
     module-level callable so the worker can resolve it.
     """
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     retry = retry or RetryPolicy()
     done: dict[int, Any] = {}
     failures: list[TrialFailure] = []
@@ -255,14 +331,29 @@ def run_supervised(
         if metrics is not None:
             metrics.inc(name, n)
 
-    def span_trial(sent_at: float, slot: int) -> None:
+    def span_trial(started_at: float, slot: int) -> None:
         if profile is not None:
-            profile.add("executor.trial", sent_at, time.perf_counter() - sent_at, tid=slot)
+            profile.add(
+                "executor.trial", started_at, time.perf_counter() - started_at, tid=slot
+            )
 
     # (eligible_time, trial, attempt); attempts are 1-based.
     now = time.monotonic()
     pending: list[tuple[float, int, int]] = [(now, t, 1) for t in sorted(payloads)]
     heapq.heapify(pending)
+    chunk = chunk_size if chunk_size is not None else _auto_chunk_size(len(payloads), n_jobs)
+
+    def abandon_chunk(worker: _Worker) -> None:
+        """Requeue a dead worker's untouched jobs at the same attempt.
+
+        They never ran, so no fault is charged and no retry is counted —
+        they become immediately eligible again.
+        """
+        now = time.monotonic()
+        count("executor.trials_requeued", len(worker.jobs))
+        while worker.jobs:
+            trial, attempt = worker.jobs.popleft()
+            heapq.heappush(pending, (now, trial, attempt))
 
     def handle_fault(trial: int, attempt: int, fault: str, detail: str) -> None:
         count(f"executor.faults.{fault}")
@@ -283,28 +374,35 @@ def run_supervised(
     try:
         while len(done) + len(failures) < len(payloads):
             now = time.monotonic()
-            # Assign eligible pending jobs to idle workers.
+            # Assign up to ``chunk`` eligible pending jobs per idle worker.
             for slot, worker in enumerate(workers):
-                if worker.job is not None or not pending or pending[0][0] > now:
+                if worker.jobs or not pending or pending[0][0] > now:
                     continue
-                _, trial, attempt = heapq.heappop(pending)
-                fault = fault_plan.fault_for(trial, attempt) if fault_plan else None
-                deadline = now + trial_timeout if trial_timeout is not None else None
+                jobs: list[tuple[int, int, Any, str | None]] = []
+                while pending and pending[0][0] <= now and len(jobs) < chunk:
+                    _, trial, attempt = heapq.heappop(pending)
+                    fault = fault_plan.fault_for(trial, attempt) if fault_plan else None
+                    jobs.append((trial, attempt, payloads[trial], fault))
                 try:
-                    worker.conn.send((trial, attempt, fn, payloads[trial], fault))
+                    worker.conn.send((fn, jobs))
                 except (BrokenPipeError, OSError):
-                    # The worker died between jobs; put the job back and
-                    # replace the worker before trying again.
-                    heapq.heappush(pending, (now, trial, attempt))
+                    # The worker died between chunks; put the jobs back
+                    # and replace the worker before trying again.
+                    for trial, attempt, _payload, _fault in jobs:
+                        heapq.heappush(pending, (now, trial, attempt))
                     worker.kill()
                     workers[slot] = _Worker(ctx)
                     continue
-                worker.job = (trial, attempt, deadline, time.perf_counter(), slot)
+                worker.jobs = deque((t, a) for t, a, _p, _f in jobs)
+                worker.deadline = now + trial_timeout if trial_timeout is not None else None
+                worker.started_at = time.perf_counter()
+                count("executor.chunks_dispatched")
+                count("executor.trials_dispatched", len(jobs))
 
-            busy = [w for w in workers if w.job is not None]
+            busy = [w for w in workers if w.jobs]
             # How long may we block?  Until the soonest worker deadline
             # or the soonest retry becomes eligible.
-            horizons = [w.job[2] - now for w in busy if w.job and w.job[2] is not None]
+            horizons = [w.deadline - now for w in busy if w.deadline is not None]
             if pending:
                 horizons.append(pending[0][0] - now)
             wait_for = max(_MIN_WAIT, min(horizons)) if horizons else None
@@ -319,53 +417,83 @@ def run_supervised(
             )
             for conn in ready:
                 worker = next(w for w in busy if w.conn is conn)
-                if worker.job is None:  # pragma: no cover - defensive
+                if not worker.jobs:  # pragma: no cover - defensive
                     continue
-                trial, attempt, _, sent_at, slot = worker.job
+                slot = workers.index(worker)
+                trial, attempt = worker.jobs[0]
+                started_at = worker.started_at
                 try:
-                    msg = conn.recv()
+                    frame = conn.recv_bytes()
                 except (EOFError, OSError):
-                    # Pipe closed without a reply: the worker crashed
-                    # mid-trial.  Only this trial is forfeit.
-                    worker.job = None
+                    # Pipe closed without a reply: the worker crashed on
+                    # its current trial.  Only that trial is forfeit —
+                    # the untouched rest of the chunk goes back as-is.
+                    worker.jobs.popleft()
+                    abandon_chunk(worker)
                     worker.kill()
                     workers[slot] = _Worker(ctx)
-                    span_trial(sent_at, slot)
+                    span_trial(started_at, slot)
                     handle_fault(trial, attempt, FAULT_CRASH, "worker process died")
                     continue
-                worker.job = None
-                span_trial(sent_at, slot)
-                status = msg[0]
-                if status == "ok":
-                    _, _, blob, digest = msg
-                    if hashlib.sha256(blob).hexdigest() != digest:
+                worker.jobs.popleft()
+                span_trial(started_at, slot)
+                view = memoryview(frame)
+                ok_len = len(view) >= 9
+                status = view[0] if ok_len else -1
+                frame_trial = int.from_bytes(view[1:9], "little") if ok_len else -1
+                if frame_trial != trial:  # pragma: no cover - defensive
+                    handle_fault(
+                        trial, attempt, FAULT_CORRUPT,
+                        "reply frame named the wrong trial",
+                    )
+                elif status == _STATUS_OK:
+                    payload = view[_HEADER_SIZE:]
+                    if hashlib.sha256(payload).digest() != bytes(view[9:_HEADER_SIZE]):
                         handle_fault(
                             trial, attempt, FAULT_CORRUPT,
                             "result payload failed its checksum",
                         )
-                        continue
-                    value = pickle.loads(blob)
-                    done[trial] = value
-                    if on_result is not None:
-                        on_result(trial, value)
+                    else:
+                        value = pickle.loads(payload)
+                        done[trial] = value
+                        if on_result is not None:
+                            on_result(trial, value)
+                elif status == _STATUS_ERR:
+                    handle_fault(
+                        trial, attempt, FAULT_ERROR,
+                        bytes(view[9:]).decode("utf-8", "replace"),
+                    )
+                else:  # pragma: no cover - defensive
+                    handle_fault(
+                        trial, attempt, FAULT_CORRUPT, "malformed result frame"
+                    )
+                # The next trial of the chunk (if any) starts now: re-arm
+                # its deadline and span clock.
+                if worker.jobs:
+                    worker.deadline = (
+                        time.monotonic() + trial_timeout
+                        if trial_timeout is not None
+                        else None
+                    )
+                    worker.started_at = time.perf_counter()
                 else:
-                    handle_fault(trial, attempt, FAULT_ERROR, str(msg[2]))
+                    worker.deadline = None
 
             # Enforce per-trial wall-clock deadlines on whoever is left.
             now = time.monotonic()
             for i, worker in enumerate(workers):
-                if worker.job is None:
+                if not worker.jobs or worker.deadline is None or now < worker.deadline:
                     continue
-                trial, attempt, deadline, sent_at, slot = worker.job
-                if deadline is not None and now >= deadline:
-                    worker.job = None
-                    worker.kill()
-                    workers[i] = _Worker(ctx)
-                    span_trial(sent_at, slot)
-                    handle_fault(
-                        trial, attempt, FAULT_TIMEOUT,
-                        f"trial exceeded {trial_timeout}s wall clock",
-                    )
+                trial, attempt = worker.jobs.popleft()
+                started_at = worker.started_at
+                abandon_chunk(worker)
+                worker.kill()
+                workers[i] = _Worker(ctx)
+                span_trial(started_at, i)
+                handle_fault(
+                    trial, attempt, FAULT_TIMEOUT,
+                    f"trial exceeded {trial_timeout}s wall clock",
+                )
     finally:
         for worker in workers:
             try:

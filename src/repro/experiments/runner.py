@@ -57,6 +57,7 @@ from repro.obs.sinks import EventSink, MetricsRegistry
 from repro.obs.spans import SpanProfile, SpanRecorder
 from repro.obs.timeline import TimelineRecorder, TimelineSet
 from repro.perf.kernel_cache import PerfConfig
+from repro.perf.trial_cache import TrialCache
 from repro.sim.engine import run_trial
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
@@ -93,6 +94,7 @@ def run_trial_variant(
     profile: SpanRecorder | None = None,
     timeline: TimelineRecorder | None = None,
     perf: PerfConfig | None = None,
+    shared: TrialCache | None = None,
 ) -> TrialResult:
     """Run one spec against a prebuilt trial system.
 
@@ -103,7 +105,10 @@ def run_trial_variant(
     timing, spans, state snapshots); the simulated decisions — and
     therefore the result — are bitwise identical either way.  ``perf``
     selects the hot-path performance knobs (:mod:`repro.perf`), which
-    are results-neutral too; ``None`` means everything on.
+    are results-neutral too; ``None`` means everything on.  ``shared``
+    carries the warm cross-spec caches of the trial
+    (:class:`~repro.perf.TrialCache`); pass the same handle for every
+    spec run against the same ``system``.
     """
     rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
     heuristic = make_heuristic(spec.heuristic, rng)
@@ -118,9 +123,10 @@ def run_trial_variant(
             profile=profile,
             timeline=timeline,
             perf=perf,
+            shared=shared,
         )
     else:
-        result = run_trial(system, heuristic, chain, perf=perf)
+        result = run_trial(system, heuristic, chain, perf=perf, shared=shared)
     if not keep_outcomes:
         result = replace(result, outcomes=())
     return result
@@ -152,9 +158,15 @@ def _run_one_trial(
 
     Returns the per-spec results plus, when requested, the worker's
     metrics / span stream / timelines serialized for the trip back to
-    the parent process.  The span stream id is ``trial_index + 1``
-    (stream 0 is the parent supervisor), so streams merge
-    deterministically regardless of which pool slot ran the trial.
+    the parent process.  Span *and* timeline streams share the id
+    ``trial_index + 1`` (stream 0 is the parent supervisor), so streams
+    merge deterministically regardless of which pool slot ran the trial
+    and a trial's spans correlate with its timelines by stream id.
+
+    One :class:`~repro.perf.TrialCache` spans all specs: they run
+    against the same system, so the kernel cache and the builder's type
+    tables warmed by the first spec serve the rest (results-neutral;
+    see :mod:`repro.perf.trial_cache`).
     """
     (
         config,
@@ -175,16 +187,19 @@ def _run_one_trial(
     )
     if recorder is not None:
         with recorder.span("trial.build_system"):
-            system = build_trial_system(config.with_seed(seed))
+            system = build_trial_system(config.with_seed(seed), perf=perf)
     else:
-        system = build_trial_system(config.with_seed(seed))
+        system = build_trial_system(config.with_seed(seed), perf=perf)
     registry = MetricsRegistry() if collect_metrics else None
     timelines: list[dict[str, Any]] | None = [] if timeline_dt is not None else None
+    shared = TrialCache(perf)
     results = []
     for spec in specs:
         tl = (
             TimelineRecorder(
-                timeline_dt, stream=trial_index, label=f"trial{trial_index}:{spec.label}"
+                timeline_dt,
+                stream=trial_index + 1,
+                label=f"trial{trial_index}:{spec.label}",
             )
             if timeline_dt is not None
             else None
@@ -198,6 +213,7 @@ def _run_one_trial(
                 profile=recorder,
                 timeline=tl,
                 perf=perf,
+                shared=shared,
             )
         )
         if tl is not None and timelines is not None:
@@ -291,6 +307,7 @@ def run_ensemble(
     max_retries: int = 2,
     backoff_base: float = 0.5,
     backoff_cap: float = 30.0,
+    chunk_size: int | None = None,
     fault_plan: FaultPlan | None = None,
     sinks: Sequence[EventSink] = (),
     profile: SpanProfile | None = None,
@@ -328,6 +345,12 @@ def run_ensemble(
         :class:`~repro.experiments.executor.RetryPolicy`).  A trial
         failing ``max_retries + 1`` attempts is quarantined and the
         ensemble returns a :class:`PartialEnsembleResult`.
+    chunk_size:
+        Trials dispatched to a worker per IPC round on the supervised
+        path (``None`` = auto from the trial count and ``n_jobs``; see
+        :func:`~repro.experiments.executor.run_supervised`).  Purely a
+        transport knob: results, checkpoint granularity and quarantine
+        stay per-trial.
     fault_plan:
         Deterministic chaos injection (tests/CI only); see
         :mod:`repro.experiments.chaos`.
@@ -344,7 +367,8 @@ def run_ensemble(
     timeline:
         Optional :class:`~repro.obs.timeline.TimelineSet`; each trial
         contributes one sampled state timeline per spec at the set's
-        ``dt``.  Fully deterministic for a fixed seed.
+        ``dt``, on the same stream id as the trial's spans
+        (``trial + 1``).  Fully deterministic for a fixed seed.
     perf:
         Hot-path performance knobs (:class:`~repro.perf.PerfConfig`)
         forwarded to every trial; results-neutral, so checkpoints and
@@ -439,6 +463,7 @@ def run_ensemble(
                         backoff_base=backoff_base,
                         backoff_cap=backoff_cap,
                     ),
+                    chunk_size=chunk_size,
                     fault_plan=fault_plan,
                     on_result=record,
                     on_event=emit,

@@ -48,6 +48,7 @@ from repro.obs.sinks import (
 from repro.obs.spans import SpanRecorder
 from repro.obs.timeline import TimelineRecorder
 from repro.perf.kernel_cache import PerfConfig
+from repro.perf.trial_cache import TrialCache
 from repro.sim.engine import Engine
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem
@@ -256,6 +257,7 @@ def observe_trial(
     profile: SpanRecorder | None = None,
     timeline: TimelineRecorder | None = None,
     perf: PerfConfig | None = None,
+    shared: TrialCache | None = None,
 ) -> TrialResult:
     """Run one trial with observability attached.
 
@@ -269,6 +271,14 @@ def observe_trial(
     kernel cache's final counters are summarized into ``perf.cache.*``
     metrics (the per-lookup ``stoch.ops.cache_*`` counters stream in
     live through the op observer).
+
+    ``shared`` is the trial-scoped warm-cache handle
+    (:class:`~repro.perf.TrialCache`); with one, the totals folded into
+    the registry are still this run's *own* activity (the engine
+    baselines the shared counters at run start), and the same deltas
+    additionally land under per-spec keys
+    ``perf.cache.<counter>.<heuristic>/<variant>`` so a merged ensemble
+    registry stays attributable.
     """
     hooks = ObservingHooks(sinks, metrics=metrics, timeline=timeline)
     engine_heuristic: Heuristic = heuristic
@@ -283,7 +293,13 @@ def observe_trial(
     try:
         hooks.trial_started(system, heuristic, filter_chain)
         engine = Engine(
-            system, engine_heuristic, engine_chain, hooks=hooks, tracer=profile, perf=perf
+            system,
+            engine_heuristic,
+            engine_chain,
+            hooks=hooks,
+            tracer=profile,
+            perf=perf,
+            shared=shared,
         )
         if profile is not None:
             with profile.span(f"trial.run.{heuristic.name}/{filter_chain.label}"):
@@ -293,10 +309,15 @@ def observe_trial(
         hooks.trial_finished(result)
         stats = engine.kernel_cache_stats()
         if metrics is not None and stats is not None:
-            metrics.inc("perf.cache.hits", stats.hits)
-            metrics.inc("perf.cache.misses", stats.misses)
-            metrics.inc("perf.cache.evictions", stats.evictions)
-            metrics.inc("perf.cache.entries", stats.entries)
+            label = f"{heuristic.name}/{filter_chain.label}"
+            for counter, value in (
+                ("hits", stats.hits),
+                ("misses", stats.misses),
+                ("evictions", stats.evictions),
+                ("entries", stats.entries),
+            ):
+                metrics.inc(f"perf.cache.{counter}", value)
+                metrics.inc(f"perf.cache.{counter}.{label}", value)
         return result
     finally:
         if metrics is not None:

@@ -11,11 +11,22 @@ trial results and manifest digests with the layer on or off):
   whole per-arrival :class:`~repro.heuristics.base.CandidateSet` with
   batched array ops and per-ready-pmf deduplication.
 
-:class:`PerfConfig` selects both; the engine defaults to everything on.
-``PerfConfig.disabled()`` is the reference configuration used by the
-parity tests and as the baseline of ``BENCH_perf.json``.
+At ensemble scale two more mechanisms ride on the same contract:
+
+* a **trial-scoped warm cache** (:class:`TrialCache`) sharing the
+  kernel cache and the builder's type tables across every spec of a
+  trial (all specs run the same :class:`~repro.sim.system.TrialSystem`);
+* **batched table construction** (``PerfConfig.batch_table``): the
+  per-trial :class:`~repro.workload.pmf_table.ExecutionTimeTable` is
+  discretized through one vectorized gamma-CDF pass.
+
+:class:`PerfConfig` selects all of them; the engine defaults to
+everything on.  ``PerfConfig.disabled()`` is the reference
+configuration used by the parity tests and as the baseline of
+``BENCH_perf.json`` / ``BENCH_ensemble.json``.
 """
 
 from repro.perf.kernel_cache import CacheStats, InternedKernel, KernelCache, PerfConfig
+from repro.perf.trial_cache import TrialCache
 
-__all__ = ["CacheStats", "InternedKernel", "KernelCache", "PerfConfig"]
+__all__ = ["CacheStats", "InternedKernel", "KernelCache", "PerfConfig", "TrialCache"]

@@ -82,6 +82,22 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def since(self, base: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier snapshot of the same cache.
+
+        Used to attribute a *shared* cache's activity to one engine run:
+        ``hits``/``misses``/``evictions`` become the run's own counts and
+        ``entries`` the entries the run added (an LRU at capacity adds
+        none).  For a fresh private cache ``base`` is all zeros and this
+        is the identity.
+        """
+        return CacheStats(
+            hits=self.hits - base.hits,
+            misses=self.misses - base.misses,
+            evictions=self.evictions - base.evictions,
+            entries=self.entries - base.entries,
+        )
+
 
 class InternedKernel:
     """One interned result: a probability array plus its grid offset.
@@ -225,17 +241,31 @@ class PerfConfig:
     ----------
     kernel_cache:
         Intern convolution/truncation kernels for the run (one private
-        cache per engine; nothing leaks across trials).
+        cache per engine unless ``warm_cache`` shares it; nothing ever
+        leaks across trials).
     batch_mapper:
         Use the vectorized :class:`~repro.sim.mapper.CandidateBuilder`
         instead of the reference per-core loop.
     max_entries:
         Kernel-cache capacity (LRU past it).
+    warm_cache:
+        Share one kernel cache and one ``CandidateBuilder`` type-table
+        cache across every spec of a trial (via
+        :class:`~repro.perf.trial_cache.TrialCache`): all 16 specs run
+        against the same :class:`~repro.sim.system.TrialSystem`, so the
+        interned truncation tails seeded by the first spec are hits for
+        the rest.  Scope is one trial in one worker — trials never share.
+    batch_table:
+        Build the per-trial
+        :class:`~repro.workload.pmf_table.ExecutionTimeTable` through
+        one vectorized gamma-CDF pass instead of a per-cell scipy loop.
     """
 
     kernel_cache: bool = True
     batch_mapper: bool = True
     max_entries: int = 65536
+    warm_cache: bool = True
+    batch_table: bool = True
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
@@ -243,8 +273,13 @@ class PerfConfig:
 
     @staticmethod
     def disabled() -> "PerfConfig":
-        """The reference configuration: no cache, no batch path."""
-        return PerfConfig(kernel_cache=False, batch_mapper=False)
+        """The reference configuration: no cache, no batch paths."""
+        return PerfConfig(
+            kernel_cache=False,
+            batch_mapper=False,
+            warm_cache=False,
+            batch_table=False,
+        )
 
     def make_cache(self) -> KernelCache | None:
         """Build the engine's kernel cache (``None`` when disabled)."""

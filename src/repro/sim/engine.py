@@ -37,6 +37,7 @@ from repro.cluster.energy import IDLE_PSTATE, EnergyLedger
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import Heuristic, MappingContext
 from repro.perf.kernel_cache import CacheStats, PerfConfig
+from repro.perf.trial_cache import TrialCache
 from repro.sim.mapper import CandidateBuilder, build_candidate_set
 from repro.sim.metrics import TraceCollector
 from repro.sim.results import TaskOutcome, TrialResult
@@ -113,6 +114,14 @@ class Engine:
         :mod:`repro.perf`.  Deliberately *not* part of
         :class:`~repro.config.SimulationConfig`, so manifest/config
         digests are independent of how fast the run was computed.
+    shared:
+        Optional :class:`~repro.perf.TrialCache` carrying warm state
+        from earlier specs of the same trial (kernel cache + builder
+        type tables).  When given and its sharing knobs are on, the
+        engine *reuses* that cache instead of building a private one;
+        ``kernel_cache_stats`` still reports this run's own activity
+        (counters are snapshotted at run start).  ``perf`` defaults to
+        the handle's config when both are supplied by the runner.
     """
 
     def __init__(
@@ -125,6 +134,7 @@ class Engine:
         hooks: EngineHooks | None = None,
         tracer: Tracer | None = None,
         perf: PerfConfig | None = None,
+        shared: TrialCache | None = None,
     ) -> None:
         self.system = system
         self.heuristic = heuristic
@@ -132,7 +142,9 @@ class Engine:
         self.collector = collector
         self.hooks = hooks
         self.tracer = tracer
-        self.perf = perf if perf is not None else PerfConfig()
+        if perf is None:
+            perf = shared.perf if shared is not None else PerfConfig()
+        self.perf = perf
 
         cluster = system.cluster
         dt = system.config.grid.dt
@@ -140,9 +152,17 @@ class Engine:
             CoreState(cid, int(cluster.core_node_index[cid]), dt)
             for cid in range(cluster.num_cores)
         ]
-        self._kernel_cache = self.perf.make_cache()
+        shared_cache = shared.kernel if shared is not None else None
+        if shared_cache is not None and self.perf.kernel_cache:
+            self._kernel_cache = shared_cache
+        else:
+            self._kernel_cache = self.perf.make_cache()
+        self._cache_base: CacheStats | None = None
+        type_tables = shared.mapper_tables(system.table) if shared is not None else None
         self._builder = (
-            CandidateBuilder(self.cores, system.table) if self.perf.batch_mapper else None
+            CandidateBuilder(self.cores, system.table, type_tables=type_tables)
+            if self.perf.batch_mapper
+            else None
         )
         self.ledger = EnergyLedger(cluster, system.config.energy.idle_power_mode)
         self.energy_estimate = system.budget
@@ -168,8 +188,21 @@ class Engine:
         return self._in_system / len(self.cores)
 
     def kernel_cache_stats(self) -> CacheStats | None:
-        """Counters of this engine's kernel cache (``None`` when disabled)."""
-        return self._kernel_cache.stats() if self._kernel_cache is not None else None
+        """This run's kernel-cache activity (``None`` when disabled).
+
+        With a private cache these are the cache's lifetime counters;
+        with a shared :class:`~repro.perf.TrialCache` they are the
+        deltas since this engine's ``run()`` started, so per-spec stats
+        stay attributable (``entries`` is then the entries this run
+        added).  The shared cache's trial-wide totals live on
+        ``TrialCache.stats()``.
+        """
+        if self._kernel_cache is None:
+            return None
+        stats = self._kernel_cache.stats()
+        if self._cache_base is not None:
+            stats = stats.since(self._cache_base)
+        return stats
 
     def cancel_queued(self, core_id: int, task_id: int) -> bool:
         """Cancellation extension: drop a *queued* (not running) task.
@@ -343,6 +376,10 @@ class Engine:
         for task in tasks:
             self._push(task.arrival, _ARRIVAL, task.task_id)
 
+        if self._kernel_cache is not None:
+            # Baseline for per-run stat attribution; all zeros for a
+            # private cache, the previous specs' totals for a shared one.
+            self._cache_base = self._kernel_cache.stats()
         previous_cache = set_kernel_cache(self._kernel_cache)
         try:
             end_time = self._event_loop(tasks)
@@ -451,6 +488,7 @@ def run_trial(
     hooks: EngineHooks | None = None,
     tracer: Tracer | None = None,
     perf: PerfConfig | None = None,
+    shared: TrialCache | None = None,
 ) -> TrialResult:
     """Convenience wrapper: construct an :class:`Engine` and run it."""
     return Engine(
@@ -461,4 +499,5 @@ def run_trial(
         hooks=hooks,
         tracer=tracer,
         perf=perf,
+        shared=shared,
     ).run()

@@ -115,7 +115,13 @@ class CandidateBuilder:
         "_by_type",
     )
 
-    def __init__(self, cores: Sequence[CoreState], table: ExecutionTimeTable) -> None:
+    def __init__(
+        self,
+        cores: Sequence[CoreState],
+        table: ExecutionTimeTable,
+        *,
+        type_tables: dict | None = None,
+    ) -> None:
         self._cores = list(cores)
         self._table = table
         cluster = table.cluster
@@ -140,14 +146,19 @@ class CandidateBuilder:
         self._node_cores: list[tuple[int, list[int]]] = list(grouped.items())
         # Per-type gathers and node-stacked padded matrices, built on
         # first use; identical values to the per-arrival lookups of the
-        # reference loop, shared read-only across arrivals.
+        # reference loop, shared read-only across arrivals.  A caller
+        # holding several builders over the *same* table (the specs of
+        # one trial) may pass a shared ``type_tables`` dict so the
+        # tables are built once per trial instead of once per spec —
+        # entries are pure functions of (table, type_id), so sharing is
+        # exact.
         self._by_type: dict[
             int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-        ] = {}
+        ] = type_tables if type_tables is not None else {}
 
     def _type_tables(
         self, type_id: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, ...]]:
         cached = self._by_type.get(type_id)
         if cached is None:
             cluster = self._table.cluster
@@ -159,19 +170,24 @@ class CandidateBuilder:
             # width so one batched pass covers all nodes.  The extra
             # columns extend the table's own padding scheme — zero
             # probability, times repeating the row's last impulse — so
-            # they contribute exact ``+0.0`` terms to any row dot.
+            # the index/gather passes can run rectangularly; each node's
+            # *native* width is kept so row reductions run over exactly
+            # the reference's term count (an appended ``+0.0`` term is
+            # value-neutral but can change the reduction's accumulator
+            # blocking, which is a bitwise difference).
             pads = [self._table.padded(type_id, n) for n in range(self._num_nodes)]
-            width = max(pad.times.shape[1] for pad in pads)
+            widths = tuple(pad.times.shape[1] for pad in pads)
+            width = max(widths)
             times_stack = np.empty((self._num_nodes, self._num_pstates, width))
             probs_stack = np.zeros((self._num_nodes, self._num_pstates, width))
             for n, pad in enumerate(pads):
-                length = pad.times.shape[1]
+                length = widths[n]
                 times_stack[n, :, :length] = pad.times
                 times_stack[n, :, length:] = pad.times[:, -1:]
                 probs_stack[n, :, :length] = pad.probs
             for arr in (eet, eet_flat, eec_flat, times_stack, probs_stack):
                 arr.setflags(write=False)
-            cached = (eet, eet_flat, eec_flat, times_stack, probs_stack)
+            cached = (eet, eet_flat, eec_flat, times_stack, probs_stack, widths)
             self._by_type[type_id] = cached
         return cached
 
@@ -185,7 +201,7 @@ class CandidateBuilder:
         deadline = task.deadline
         type_id = task.type_id
 
-        eet, eet_flat, eec_flat, times_stack, probs_stack = self._type_tables(type_id)
+        eet, eet_flat, eec_flat, times_stack, probs_stack, widths = self._type_tables(type_id)
 
         # ``deadline - time`` for every (node, P-state, impulse), once
         # per arrival — the same elementwise expression the reference
@@ -302,13 +318,18 @@ class CandidateBuilder:
             # block: einsum's u axis is an outer loop over independent
             # (p, l) reductions, so each row is bitwise the per-slice
             # two-operand reduction, and broadcasting the node's shared
-            # probability matrix avoids a gather copy.
+            # probability matrix avoids a gather copy.  Sliced to the
+            # node's native pad width: the reduction must run over
+            # exactly the reference's terms, because extra zero-probability
+            # columns — while value-neutral term by term — change the
+            # inner loop's accumulator blocking and therefore rounding.
             rows = np.empty((u, P))
             for node, row_lo, row_hi in node_blocks:
+                w = widths[node]
                 np.einsum(
                     "pl,upl->up",
-                    probs_stack[node],
-                    fr_all[row_lo:row_hi],
+                    probs_stack[node, :, :w],
+                    fr_all[row_lo:row_hi, :, :w],
                     out=rows[row_lo:row_hi],
                 )
             prob = np.take(rows, slots, axis=0)  # (C, P) scatter by slot

@@ -19,6 +19,7 @@ from repro.stoch.pmf import PMF
 
 __all__ = [
     "discretized_gamma",
+    "discretized_gamma_batch",
     "discretized_normal",
     "discretized_uniform",
     "discretized_exponential",
@@ -34,18 +35,24 @@ def _bin_edges(lo: float, hi: float, dt: float) -> np.ndarray:
     return dt * np.arange(first, last + 1)
 
 
+def _from_masses(masses: np.ndarray, first_edge: float, dt: float) -> PMF:
+    """Build a pmf from clipped bin masses; mass of bin i sits at its center."""
+    if masses.sum() <= 0.0:
+        # Degenerate law narrower than one bin: all mass in the bin
+        # containing the midpoint of the range.
+        fallback = np.zeros(masses.size)
+        fallback[fallback.size // 2] = 1.0
+        masses = fallback
+    centers_start = first_edge + 0.5 * dt
+    pmf = PMF(centers_start, dt, masses)
+    return pmf.compact()
+
+
 def _from_cdf(cdf_vals: np.ndarray, edges: np.ndarray, dt: float) -> PMF:
     """Build a pmf from CDF values at bin edges; mass of bin i sits at its center."""
     masses = np.diff(cdf_vals)
     masses = np.clip(masses, 0.0, None)
-    if masses.sum() <= 0.0:
-        # Degenerate law narrower than one bin: all mass in the bin
-        # containing the midpoint of the range.
-        masses = np.zeros(edges.size - 1)
-        masses[masses.size // 2] = 1.0
-    centers_start = float(edges[0]) + 0.5 * dt
-    pmf = PMF(centers_start, dt, masses)
-    return pmf.compact()
+    return _from_masses(masses, float(edges[0]), dt)
 
 
 def discretized_gamma(mean: float, cv: float, dt: float, *, tail_sigmas: float = 4.0) -> PMF:
@@ -66,6 +73,57 @@ def discretized_gamma(mean: float, cv: float, dt: float, *, tail_sigmas: float =
     edges = _bin_edges(lo, hi, dt)
     cdf_vals = stats.gamma.cdf(edges, a=shape, scale=scale)
     return _from_cdf(cdf_vals, edges, dt)
+
+
+def discretized_gamma_batch(
+    means: np.ndarray, cv: float, dt: float, *, tail_sigmas: float = 4.0
+) -> list[PMF]:
+    """Batch form of :func:`discretized_gamma`: one pmf per entry of ``means``.
+
+    All laws share ``cv`` (hence the gamma shape) and the grid, which is
+    exactly the situation of the execution-time table — so the gamma CDF
+    is evaluated over the concatenation of every law's bin edges in a
+    *single* vectorized call instead of one scipy round trip per law.
+    Every arithmetic step (support bounds, edge indices, CDF, bin-mass
+    differences, clipping, normalization) is the same elementwise
+    expression the scalar path evaluates, so each returned pmf is
+    bitwise identical to ``discretized_gamma(means[i], ...)``; enforced
+    by ``tests/stoch/test_distributions.py``.
+    """
+    means = np.asarray(means, dtype=np.float64).ravel()
+    if means.size == 0:
+        return []
+    if cv <= 0.0 or not np.all(means > 0.0):
+        raise ValueError("mean and cv must be positive")
+    shape = 1.0 / (cv * cv)
+    scales = means * cv * cv
+    stds = cv * means
+    los = np.maximum(0.0, means - tail_sigmas * stds)
+    his = means + tail_sigmas * stds
+    firsts = np.floor(los / dt).astype(np.int64)
+    lasts = np.ceil(his / dt).astype(np.int64)
+    np.maximum(lasts, firsts + 1, out=lasts)
+    counts = lasts - firsts + 1  # bin edges per law
+    offsets = np.zeros(means.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # Concatenated per-law edge indices: law i occupies
+    # ``[offsets[i], offsets[i+1])`` and edge j of law i is
+    # ``dt * (firsts[i] + j)`` — the scalar path's ``dt * arange`` term
+    # by term.
+    idx = np.arange(int(offsets[-1]), dtype=np.int64)
+    idx -= np.repeat(offsets[:-1] - firsts, counts)
+    edges = dt * idx
+    cdf_vals = stats.gamma.cdf(edges, a=shape, scale=np.repeat(scales, counts))
+    # Bin masses batched: within law i the first ``counts[i] - 1``
+    # entries after its offset are exactly ``np.diff`` of its CDF slice
+    # (the entry straddling two laws is never read).
+    masses = np.clip(cdf_vals[1:] - cdf_vals[:-1], 0.0, None)
+    out: list[PMF] = []
+    for i in range(means.size):
+        o = int(offsets[i])
+        n = int(counts[i])
+        out.append(_from_masses(masses[o : o + n - 1], float(edges[o]), dt))
+    return out
 
 
 def discretized_normal(mean: float, std: float, dt: float, *, tail_sigmas: float = 4.0) -> PMF:

@@ -132,6 +132,36 @@ class TestMetricsTables:
     def test_empty_registry(self):
         assert "empty" in metrics_tables(MetricsRegistry().to_dict())
 
+    def test_cache_table_attributes_per_spec(self):
+        reg = MetricsRegistry()
+        reg.inc("perf.cache.hits", 90)
+        reg.inc("perf.cache.misses", 10)
+        reg.inc("perf.cache.hits.LL/en+rob", 60)
+        reg.inc("perf.cache.misses.LL/en+rob", 10)
+        reg.inc("perf.cache.hits.SQ/none", 30)
+        reg.inc("perf.cache.misses.SQ/none", 0)
+        text = metrics_tables(reg.to_dict())
+        assert "## Kernel cache" in text
+        lines = {line.split("|")[1].strip(): line for line in text.splitlines() if "|" in line}
+        assert "85.7%" in lines["LL/en+rob"]
+        assert "100.0%" in lines["SQ/none"]
+        assert "90.0%" in lines["(total)"]
+        # Rendered in the derived table only, not the generic dump.
+        assert "## Counters" not in text
+
+    def test_executor_table_derives_chunk_stats(self):
+        reg = MetricsRegistry()
+        reg.inc("executor.chunks_dispatched", 4)
+        reg.inc("executor.trials_dispatched", 10)
+        reg.inc("executor.trials_requeued", 2)
+        reg.inc("executor.faults.crash", 1)
+        text = metrics_tables(reg.to_dict())
+        assert "## Executor" in text
+        assert "mean trials/chunk" in text
+        assert "2.50" in text
+        assert "trials requeued" in text
+        assert "faults.crash" in text
+
     def test_rejects_wrong_format(self):
         with pytest.raises(ValueError):
             metrics_tables({"format": "repro.spans/1"})

@@ -95,11 +95,25 @@ class TestTimelineFanIn:
     def test_one_stream_per_trial_and_spec(self, serial):
         _, _, timeline, _ = serial
         labels = [(s["stream"], s["label"]) for s in timeline.sorted_streams()]
+        # Timeline streams share the span-stream numbering: id trial + 1,
+        # because stream 0 belongs to the parent supervisor.
         assert labels == [
-            (trial, f"trial{trial}:{spec.label}")
+            (trial + 1, f"trial{trial}:{spec.label}")
             for trial in range(TRIALS)
             for spec in SPECS
         ]
+
+    def test_timeline_streams_correlate_with_span_streams(self, serial):
+        # Regression: timelines used to number streams from 0 while span
+        # streams started at 1 (stream 0 = supervisor), so a trial's
+        # spans and timelines landed on *different* ids and could not be
+        # joined in a trace viewer.  Both recorders now stamp
+        # ``trial_index + 1``.
+        _, profile, timeline, _ = serial
+        for stream in timeline.sorted_streams():
+            trial = int(stream["label"].split(":")[0].removeprefix("trial"))
+            assert stream["stream"] == trial + 1
+            assert profile.labels[stream["stream"]] == f"trial-{trial}"
 
     def test_timelines_identical_across_n_jobs(self, serial, parallel):
         assert serial[2].to_dict() == parallel[2].to_dict()

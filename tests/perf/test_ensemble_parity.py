@@ -1,0 +1,66 @@
+"""Ensemble-level results-neutrality of the full optimization stack.
+
+PR-level acceptance: with every ensemble optimization engaged at once —
+batched table construction, the warm cross-spec :class:`TrialCache`,
+the vectorized mapper, the kernel cache, chunked dispatch and the
+single-copy result frames — every ``TrialResult`` and the run's
+manifest digests are bitwise identical to the fully-disabled reference
+path, at any ``n_jobs`` and chunk size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import VariantSpec, run_ensemble
+from repro.obs.manifest import build_manifest
+from repro.perf.kernel_cache import PerfConfig
+from tests.conftest import micro_config
+
+SPECS = (VariantSpec("LL", "en+rob"), VariantSpec("MECT", "none"), VariantSpec("SQ", "en+rob"))
+TRIALS = 4
+
+
+def run(perf, *, n_jobs=1, chunk_size=None):
+    return run_ensemble(
+        SPECS,
+        micro_config(seed=31),
+        num_trials=TRIALS,
+        base_seed=17,
+        n_jobs=n_jobs,
+        keep_outcomes=True,
+        perf=perf,
+        chunk_size=chunk_size,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run(PerfConfig.disabled())
+
+
+@pytest.mark.parametrize(
+    "n_jobs,chunk_size",
+    [(1, None), (2, None), (2, 1), (2, 3)],
+    ids=["serial", "parallel-auto", "parallel-chunk1", "parallel-chunk3"],
+)
+def test_all_optimizations_bitwise_match_reference(reference, n_jobs, chunk_size):
+    optimized = run(None, n_jobs=n_jobs, chunk_size=chunk_size)
+    for spec in SPECS:
+        assert optimized.results[spec] == reference.results[spec]
+    config = micro_config(seed=31)
+    assert (
+        build_manifest(optimized, config).to_dict()
+        == build_manifest(reference, config).to_dict()
+    )
+
+
+def test_each_knob_alone_matches_reference(reference):
+    for perf in (
+        PerfConfig(warm_cache=False, batch_table=False),  # PR-4 baseline
+        PerfConfig(batch_table=False),  # + warm cross-spec cache
+        PerfConfig(warm_cache=False),  # + batched table build
+    ):
+        partial = run(perf)
+        for spec in SPECS:
+            assert partial.results[spec] == reference.results[spec]
