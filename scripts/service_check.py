@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Validate a ``repro serve --windows-out`` JSONL file (CI service job).
+
+Checks the invariants any downstream window consumer relies on:
+
+* every line is a JSON object tagged ``"format": "repro.window/1"``;
+* ``index`` counts 0, 1, 2, ... in file order;
+* windows are contiguous (each ``start`` equals the previous ``end``)
+  and non-degenerate (``end >= start``, the first ``start`` is 0);
+* counts are non-negative integers with ``arrivals == mapped +
+  discarded`` and ``completed == on_time + late``;
+* ``energy`` is non-negative and finite; ``budget_remaining`` is
+  either null (no rolling budget) or non-negative;
+* ``label``/``seed``/``traffic`` are constant across the file.
+
+Exits 0 when every file is valid, 1 with diagnostics otherwise.  No
+repro imports — the script validates the *format*, so it must not share
+code with the writer it is checking.
+
+Usage:
+    python scripts/service_check.py windows.jsonl [more.jsonl ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+FORMAT = "repro.window/1"
+COUNT_FIELDS = ("arrivals", "mapped", "discarded", "completed", "on_time", "late",
+                "in_system_end")
+
+
+def check_windows(path: Path) -> list[str]:
+    """Return a list of problems (empty when the file is valid)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not lines:
+        return ["no window rows at all"]
+
+    problems: list[str] = []
+    prev_end: float | None = None
+    constants: dict[str, object] = {}
+    for i, line in enumerate(lines):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i}: not JSON ({exc})")
+            continue
+        if not isinstance(row, dict):
+            problems.append(f"line {i}: not an object")
+            continue
+        if row.get("format") != FORMAT:
+            problems.append(f"line {i}: format {row.get('format')!r} != {FORMAT!r}")
+        if row.get("index") != i:
+            problems.append(f"line {i}: index {row.get('index')!r} out of order")
+
+        for key in ("label", "seed", "traffic"):
+            value = row.get(key)
+            if key not in constants:
+                constants[key] = value
+            elif constants[key] != value:
+                problems.append(
+                    f"line {i}: {key} {value!r} differs from {constants[key]!r}"
+                )
+
+        start, end = row.get("start"), row.get("end")
+        if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+            problems.append(f"line {i}: non-numeric start/end")
+            continue
+        if end < start:
+            problems.append(f"line {i}: end {end} precedes start {start}")
+        if prev_end is None:
+            if start != 0.0:
+                problems.append(f"line {i}: first window starts at {start}, not 0")
+        elif start != prev_end:
+            problems.append(
+                f"line {i}: start {start} breaks contiguity (previous end {prev_end})"
+            )
+        prev_end = end
+
+        bad_count = False
+        for key in COUNT_FIELDS:
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(f"line {i}: {key} {value!r} is not a count")
+                bad_count = True
+        if not bad_count:
+            if row["arrivals"] != row["mapped"] + row["discarded"]:
+                problems.append(f"line {i}: arrivals != mapped + discarded")
+            if row["completed"] != row["on_time"] + row["late"]:
+                problems.append(f"line {i}: completed != on_time + late")
+
+        energy = row.get("energy")
+        if (
+            not isinstance(energy, (int, float))
+            or isinstance(energy, bool)
+            or not math.isfinite(energy)
+            or energy < 0
+        ):
+            problems.append(f"line {i}: energy {energy!r} is not a non-negative float")
+        budget = row.get("budget_remaining", None)
+        if budget is not None and (
+            not isinstance(budget, (int, float))
+            or isinstance(budget, bool)
+            or not math.isfinite(budget)
+            or budget < 0
+        ):
+            problems.append(f"line {i}: budget_remaining {budget!r} is negative or bad")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("windows", nargs="+", help="repro serve --windows-out files")
+    args = parser.parse_args()
+    failed = False
+    for name in args.windows:
+        path = Path(name)
+        problems = check_windows(path)
+        if problems:
+            failed = True
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,9 @@ from repro.obs.spans import SpanProfile, SpanRecorder
 from repro.obs.timeline import TimelineRecorder, TimelineSet
 from repro.perf.kernel_cache import CacheStats, PerfConfig
 from repro.perf.trial_cache import TrialCache
+from repro.service import ServiceConfig, ServiceResult, write_windows_jsonl
+from repro.service import serve_system as _serve_system
+from repro.sim.metrics import WindowStats
 from repro.sim.results import TrialResult
 from repro.sim.system import TrialSystem, build_trial_system
 from repro.stoch.pmf import PMF
@@ -80,6 +83,11 @@ __all__ = [
     "run_trial",
     "run_ensemble",
     "budget_sweep",
+    "run_service",
+    "ServiceConfig",
+    "ServiceResult",
+    "WindowStats",
+    "write_windows_jsonl",
     "observe_trial",
     "PerfConfig",
     "CacheStats",
@@ -203,6 +211,34 @@ def run_trial(
         perf=perf,
         shared=shared,
     )
+
+
+def run_service(
+    scenario: Scenario,
+    service: ServiceConfig | None = None,
+    *,
+    system: TrialSystem | None = None,
+    timeline: TimelineRecorder | None = None,
+) -> ServiceResult:
+    """Run one scenario in continuous-service mode.
+
+    ``service`` selects the traffic model, windowing and rolling energy
+    budget (default: equilibrium-rate Poisson replayed over the batch
+    workload is *not* assumed — the default :class:`ServiceConfig` is
+    generative, so a ``horizon`` or ``task_limit`` is required; pass
+    ``ServiceConfig(traffic="replay")`` for the finite batch-equivalent
+    run).  ``system`` reuses a prebuilt :class:`TrialSystem` exactly as
+    in :func:`run_trial`; ``timeline`` attaches a (optionally
+    ring-buffered) :class:`TimelineRecorder`.
+
+    Replay mode's :attr:`ServiceResult.trial_result` is bitwise
+    identical to what :func:`run_trial` returns for the same scenario.
+    """
+    if service is None:
+        service = ServiceConfig(traffic="replay")
+    if system is None:
+        system = scenario.build_system()
+    return _serve_system(system, scenario.spec, service, timeline=timeline)
 
 
 def _common_config(scenarios: Sequence[Scenario]) -> SimulationConfig:

@@ -4,6 +4,8 @@ Installed as the ``repro`` console script::
 
     repro calibrate                     # sanity-check the Section VI setup
     repro trial -H LL -F en+rob         # one trial, one policy
+    repro serve --traffic diurnal --horizon 3e5 --windows-out w.jsonl
+                                        # continuous-service mode
     repro figure fig5 --trials 10       # one of the paper's figures
     repro grid --trials 50 -o grid.json # the full 16-variant evaluation
     repro sweep --multipliers 0.7 1.0 1.3  # budget-tightness sweep
@@ -58,6 +60,8 @@ from repro.obs.manifest import build_manifest, load_manifest, save_manifest, ver
 from repro.obs.sinks import JsonlSink, MetricsRegistry
 from repro.obs.spans import SpanProfile, SpanRecorder
 from repro.obs.timeline import TIMELINE_FORMAT, TimelineRecorder, TimelineSet
+from repro.service import TRAFFIC_MODELS, ServiceConfig, ServiceResult, serve_system
+from repro.service import write_windows_jsonl
 
 __all__ = ["main", "build_parser"]
 
@@ -201,6 +205,95 @@ def cmd_trial(args: argparse.Namespace) -> int:
         profile.add_stream(recorder)
         save_profile(profile, args.profile_out)
         print(f"wrote {args.profile_out} ({len(recorder)} spans)")
+    if timeline is not None:
+        timeline_set = TimelineSet(args.timeline_dt)
+        timeline_set.add(timeline)
+        save_timeline(timeline_set, args.timeline_out)
+        print(f"wrote {args.timeline_out} ({len(timeline)} samples)")
+    return 0
+
+
+def _print_windows(result: ServiceResult, head: int = 10, tail: int = 10) -> None:
+    """Render the per-window summary table (elided in the middle when long)."""
+    header = (
+        f"{'#':>5} {'start':>10} {'end':>10} {'arr':>6} {'map':>6} {'disc':>6} "
+        f"{'done':>6} {'late':>6} {'energy MJ':>10} {'allow MJ':>9}"
+    )
+    print(header)
+    rows = list(enumerate(result.windows))
+    elided = len(rows) - head - tail
+    if elided > 1:
+        shown: list[tuple[int, Any] | None] = [*rows[:head], None, *rows[-tail:]]
+    else:
+        shown = list(rows)
+    for row in shown:
+        if row is None:
+            print(f"{'...':>5} ({elided} windows elided)")
+            continue
+        index, w = row
+        allow = "-" if w.budget_remaining != w.budget_remaining else f"{w.budget_remaining / 1e6:9.3f}"
+        print(
+            f"{index:>5} {w.start:>10.1f} {w.end:>10.1f} {w.arrivals:>6} "
+            f"{w.mapped:>6} {w.discarded:>6} {w.completed:>6} {w.late:>6} "
+            f"{w.energy / 1e6:>10.3f} {allow:>9}"
+        )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the engine as a continuous service and summarize its windows."""
+    system = build_trial_system(_config(args))
+    spec = VariantSpec(args.heuristic, args.filters)
+    try:
+        service = ServiceConfig(
+            traffic=args.traffic,
+            rate_mult=args.rate_mult,
+            swing=args.swing,
+            phase_length=args.phase_length,
+            window=args.window,
+            horizon=args.horizon,
+            task_limit=args.task_limit,
+            budget_rate_mult=args.budget_rate_mult,
+            budget_cap_windows=args.budget_cap_windows,
+            budget_cap=args.budget_cap,
+            planning_tasks=args.planning_tasks,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    timeline = (
+        TimelineRecorder(
+            args.timeline_dt, stream=0, label=spec.label, capacity=args.timeline_cap
+        )
+        if args.timeline_out
+        else None
+    )
+    result = serve_system(system, spec, service, timeline=timeline)
+    totals = result.totals
+    print(
+        f"{result.label} [{result.traffic}]: {totals.arrivals} arrivals "
+        f"({totals.mapped} mapped, {totals.discarded} discarded), "
+        f"{totals.completed} completed ({totals.late} late), "
+        f"makespan {result.makespan:.0f}"
+    )
+    print(
+        f"energy {result.total_energy / 1e6:.2f} MJ over {len(result.windows)} "
+        f"windows of {result.window:.0f} s"
+    )
+    if result.trial_result is None and result.traffic != "replay":
+        print(
+            f"allowance drawn {result.budget_drawn / 1e6:.2f} MJ "
+            f"(deficit {result.budget_deficit / 1e6:.2f} MJ)"
+        )
+    if result.trial_result is not None:
+        batch = result.trial_result
+        print(
+            f"batch-equivalent score: missed {batch.missed}/{batch.num_tasks} "
+            f"({batch.late} late, {batch.discarded} discarded, "
+            f"{batch.energy_cutoff} after budget exhaustion)"
+        )
+    _print_windows(result)
+    if args.windows_out:
+        count = write_windows_jsonl(result, args.windows_out)
+        print(f"wrote {args.windows_out} ({count} windows)")
     if timeline is not None:
         timeline_set = TimelineSet(args.timeline_dt)
         timeline_set.add(timeline)
@@ -454,6 +547,97 @@ def build_parser() -> argparse.ArgumentParser:
         "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
     )
     p.set_defaults(func=cmd_trial)
+
+    p = sub.add_parser("serve", help="run the engine as a continuous service")
+    _add_common(p)
+    p.add_argument("-H", "--heuristic", default="LL", choices=HEURISTICS)
+    p.add_argument(
+        "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
+    )
+    p.add_argument(
+        "--traffic",
+        default="poisson",
+        choices=TRAFFIC_MODELS,
+        help="arrival model ('replay' streams the batch workload's own tasks)",
+    )
+    p.add_argument(
+        "--rate-mult",
+        type=float,
+        default=1.0,
+        help="mean arrival rate as a multiple of the equilibrium rate",
+    )
+    p.add_argument(
+        "--swing",
+        type=float,
+        default=0.75,
+        help="peak-to-mean swing of diurnal/mmpp traffic, in [0, 1)",
+    )
+    p.add_argument(
+        "--phase-length",
+        type=float,
+        default=None,
+        help="mean traffic-phase length in simulated seconds (default: 5 windows)",
+    )
+    p.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="metric window in simulated seconds (default: 50 equilibrium arrivals)",
+    )
+    p.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="stop admitting arrivals after this simulated time",
+    )
+    p.add_argument(
+        "--task-limit",
+        type=int,
+        default=None,
+        help="stop admitting arrivals after this many tasks",
+    )
+    p.add_argument(
+        "--budget-rate-mult",
+        type=float,
+        default=1.0,
+        help="allowance accrual as a multiple of the offered load's average cost",
+    )
+    p.add_argument(
+        "--budget-cap-windows",
+        type=float,
+        default=4.0,
+        help="allowance pool cap, in windows' worth of accrual",
+    )
+    p.add_argument(
+        "--budget-cap",
+        type=float,
+        default=None,
+        help="absolute allowance pool cap in joules (overrides --budget-cap-windows)",
+    )
+    p.add_argument(
+        "--planning-tasks",
+        type=int,
+        default=None,
+        help="energy filter fair-share divisor (default: one window of arrivals)",
+    )
+    p.add_argument("--windows-out", help="write one JSON line per window here")
+    p.add_argument(
+        "--timeline-out",
+        help="write sampled system-state timelines (repro.timeline/1 JSON) here",
+    )
+    p.add_argument(
+        "--timeline-dt",
+        type=float,
+        default=60.0,
+        help="simulated seconds between timeline samples (default: 60)",
+    )
+    p.add_argument(
+        "--timeline-cap",
+        type=int,
+        default=None,
+        help="keep only the newest N timeline samples (ring buffer)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figure", help="rerun one of the paper's figures", parents=[obs])
     _add_common(p)

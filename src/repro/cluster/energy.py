@@ -25,7 +25,7 @@ import numpy as np
 from repro.cluster.cluster import ClusterSpec
 from repro.config import IdlePowerMode
 
-__all__ = ["IDLE_PSTATE", "TransitionRecord", "EnergyLedger"]
+__all__ = ["IDLE_PSTATE", "TransitionRecord", "EnergyLedger", "StreamingEnergyMeter"]
 
 #: Sentinel "P-state" meaning the core is idle.
 IDLE_PSTATE = -1
@@ -231,3 +231,113 @@ class EnergyLedger:
             idx = times.size
         energy += rate * (t - prev) if t > prev else 0.0
         return energy
+
+
+class StreamingEnergyMeter:
+    """Bounded-memory consumed-energy accounting for unbounded runs.
+
+    The :class:`EnergyLedger` keeps every transition — O(tasks) memory
+    and O(transitions) queries, fine for a batch trial, fatal for an
+    always-on service.  This meter holds only O(num_cores) state and
+    integrates incrementally: each :meth:`record` folds the elapsed
+    interval of the affected core into a per-core accumulator in O(1).
+
+    It answers :meth:`consumed_at` exactly for any time at or after each
+    core's *second-to-last* transition (the previous consumed-power rate
+    is retained, so the last interval can be unwound).  That covers the
+    service loop's windowed accounting: a window boundary is crossed by
+    the first event at or past it, when every earlier transition lies at
+    or before that event's time.
+
+    The :meth:`record`/:meth:`close` surface mirrors the ledger, so the
+    engine drives either interchangeably; scoring queries
+    (``exhaustion_time``) are deliberately absent — a rolling budget
+    replaces the batch cutoff in service mode.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        idle_power_mode: IdlePowerMode = IdlePowerMode.P4_FLOOR,
+    ) -> None:
+        self._num_pstates = cluster.num_pstates
+        self._mode = idle_power_mode
+        power = cluster.power_table()
+        eff = cluster.efficiency_vector()
+        node_idx = cluster.core_node_index
+        # Consumed (post-efficiency) power per core and P-state, watts.
+        self._consumed_power = power[node_idx] / eff[node_idx][:, None]
+        idle_per_node = (
+            np.zeros(cluster.num_nodes)
+            if idle_power_mode is IdlePowerMode.EXCLUDED
+            else power[:, -1]
+        )
+        self._idle_consumed = idle_per_node[node_idx] / eff[node_idx]
+        n = cluster.num_cores
+        # Cores start idle at time 0, as in the ledger.
+        self._last_t = [0.0] * n
+        self._rate = [float(p) for p in self._idle_consumed]
+        self._prev_rate = list(self._rate)
+        self._acc = [0.0] * n
+        self._closed_at: float | None = None
+        self._total: float | None = None
+
+    @property
+    def idle_power_mode(self) -> IdlePowerMode:
+        """Configured idle accounting mode (mirrors the ledger)."""
+        return self._mode
+
+    def record(self, core_id: int, time: float, pstate: int) -> None:
+        """Fold one P-state transition in; O(1)."""
+        if self._closed_at is not None:
+            raise RuntimeError("meter already closed")
+        if pstate == IDLE_PSTATE:
+            power = float(self._idle_consumed[core_id])
+        elif 0 <= pstate < self._num_pstates:
+            power = float(self._consumed_power[core_id, pstate])
+        else:
+            raise ValueError(f"invalid pstate {pstate}")
+        last_t = self._last_t[core_id]
+        if time < last_t - 1e-9:
+            raise ValueError(
+                f"non-monotonic transition time on core {core_id}: {time} < {last_t}"
+            )
+        if abs(time - last_t) <= 1e-12:
+            # Zero-length interval: only the forward rate changes.
+            self._rate[core_id] = power
+            return
+        rate = self._rate[core_id]
+        if power == rate:
+            return
+        self._acc[core_id] += rate * (time - last_t)
+        self._prev_rate[core_id] = rate
+        self._last_t[core_id] = time
+        self._rate[core_id] = power
+
+    def close(self, end_time: float) -> None:
+        """Freeze the meter; total energy integrates up to ``end_time``."""
+        if self._closed_at is not None:
+            raise RuntimeError("meter already closed")
+        self._total = self.consumed_at(end_time)
+        self._closed_at = end_time
+
+    def consumed_at(self, t: float) -> float:
+        """Cluster-consumed energy integrated from 0 to ``t``, in joules.
+
+        Exact whenever ``t`` is at or after each core's second-to-last
+        recorded transition.
+        """
+        total = 0.0
+        for c in range(len(self._acc)):
+            last_t = self._last_t[c]
+            if t >= last_t:
+                total += self._acc[c] + self._rate[c] * (t - last_t)
+            else:
+                total += self._acc[c] - self._prev_rate[c] * (last_t - t)
+        return total
+
+    def total_energy(self) -> float:
+        """Consumed energy through the close time (requires :meth:`close`)."""
+        if self._total is None:
+            raise RuntimeError("meter not closed yet")
+        return self._total

@@ -91,14 +91,19 @@ _STATUS_ERR = 0x45  # "E"
 _HEADER_SIZE = 1 + 8 + 32
 #: Chunk auto-sizing: aim for this many dispatch waves per worker (keeps
 #: the tail balanced when trials have uneven durations) up to this cap
-#: (bounds how much work one crash or timeout can requeue).
-_CHUNK_WAVES = 4
+#: (bounds how much work one crash or timeout can requeue).  Two waves —
+#: not four — and ceiling division: floor-dividing by four waves drove
+#: small ensembles (e.g. 16 trials on 4 jobs) to chunk size 1, paying
+#: one IPC round trip per trial and benchmarking *slower* than unchunked
+#: dispatch.
+_CHUNK_WAVES = 2
 _CHUNK_CAP = 16
 
 
 def _auto_chunk_size(num_trials: int, n_jobs: int) -> int:
     """Default jobs per IPC round given the trial count and pool size."""
-    return max(1, min(_CHUNK_CAP, num_trials // (_CHUNK_WAVES * n_jobs)))
+    per_worker = -(-num_trials // (_CHUNK_WAVES * max(1, n_jobs)))
+    return max(1, min(_CHUNK_CAP, per_worker))
 
 
 def _result_frame(trial: int, value: Any) -> memoryview:

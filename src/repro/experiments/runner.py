@@ -66,6 +66,7 @@ __all__ = [
     "VariantSpec",
     "EnsembleResult",
     "PartialEnsembleResult",
+    "policy_for",
     "run_trial_variant",
     "run_ensemble",
 ]
@@ -82,6 +83,21 @@ class VariantSpec:
     def label(self) -> str:
         """Display label, e.g. ``"LL/en+rob"``."""
         return f"{self.heuristic}/{self.variant}"
+
+
+def policy_for(system: TrialSystem, spec: VariantSpec):
+    """The seeded (heuristic, filter chain) pair of one spec.
+
+    The Random heuristic's generator derives from the trial seed and the
+    spec label, so it is reproducible and independent across variants.
+    Single source of the policy construction, shared by the batch path
+    below and by :mod:`repro.service` — a replayed service run therefore
+    starts from the identical policy state as its batch counterpart.
+    """
+    rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
+    heuristic = make_heuristic(spec.heuristic, rng)
+    chain = make_filter_chain(spec.variant, system.config.filters)
+    return heuristic, chain
 
 
 def run_trial_variant(
@@ -110,9 +126,7 @@ def run_trial_variant(
     (:class:`~repro.perf.TrialCache`); pass the same handle for every
     spec run against the same ``system``.
     """
-    rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
-    heuristic = make_heuristic(spec.heuristic, rng)
-    chain = make_filter_chain(spec.variant, system.config.filters)
+    heuristic, chain = policy_for(system, spec)
     if metrics is not None or sinks or profile is not None or timeline is not None:
         result = observe_trial(
             system,

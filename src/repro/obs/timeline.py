@@ -21,6 +21,7 @@ steer: the engine does not know this module exists (the
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -64,13 +65,28 @@ class TimelineRecorder:
     deterministically in the parent.
     """
 
-    def __init__(self, dt: float, *, stream: int = 0, label: str = "") -> None:
+    def __init__(
+        self,
+        dt: float,
+        *,
+        stream: int = 0,
+        label: str = "",
+        capacity: int | None = None,
+    ) -> None:
         if not (dt > 0.0):
             raise ValueError(f"timeline dt must be positive, got {dt}")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"timeline capacity must be positive, got {capacity}")
         self.dt = float(dt)
         self.stream = int(stream)
         self.label = label or f"stream-{stream}"
-        self.samples: list[TimelineSample] = []
+        self.capacity = capacity
+        # With a capacity the recorder is a ring buffer holding only the
+        # most recent samples — bounded memory for unbounded service
+        # runs; ``None`` keeps the full batch-mode history.
+        self.samples: "deque[TimelineSample] | list[TimelineSample]" = (
+            deque(maxlen=capacity) if capacity is not None else []
+        )
         self._next_t = 0.0
         self._completed = 0
         self._discarded = 0

@@ -1,0 +1,420 @@
+"""repro.service — continuous-service mode: the engine as an always-on system.
+
+The batch pipeline answers "how did this 1000-task burst go?"; the
+service layer answers "how is the system doing *right now*?".  It drives
+the engine from a lazy traffic stream (:mod:`repro.workload.traffic`),
+aggregates results into fixed-length time windows
+(:class:`~repro.sim.metrics.WindowStats`) instead of per-task outcomes,
+meters energy with O(num_cores) state
+(:class:`~repro.cluster.energy.StreamingEnergyMeter`), and replaces the
+trial-wide energy budget with a token-bucket allowance
+(:class:`~repro.sim.state.RollingEnergyBudget`).  Memory stays bounded
+no matter how long the run.
+
+Two regimes:
+
+* **Generative traffic** (``poisson``/``diurnal``/``mmpp``/``burst``) —
+  an open-loop arrival stream derived from the system's equilibrium
+  rate, bounded by ``horizon`` and/or ``task_limit``.  Per-task state is
+  off; results are the window summaries.
+* **Replay** (``traffic="replay"``) — the batch workload's own tasks
+  stream through the service loop.  This reduces exactly to batch
+  semantics: the returned :attr:`ServiceResult.trial_result` is bitwise
+  identical to :func:`repro.sim.engine.run_trial` (the parity test pins
+  it), with window summaries observed alongside.
+
+Determinism: arrival times, task types and execution luck draw from
+``rng.stream(seed, "service", ...)`` sub-streams, so a service run is as
+reproducible as a batch trial.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Iterator
+
+from repro import rng as rng_mod
+from repro.cluster.energy import EnergyLedger, StreamingEnergyMeter
+from repro.experiments.runner import VariantSpec, policy_for
+from repro.obs.timeline import TimelineRecorder
+from repro.sim.engine import Engine
+from repro.sim.metrics import WindowAccumulator, WindowStats
+from repro.sim.results import TrialResult
+from repro.sim.state import RollingEnergyBudget
+from repro.sim.system import TrialSystem
+from repro.workload.arrivals import burst_schedule
+from repro.workload.task import Task
+from repro.workload.traffic import (
+    TaskFactory,
+    diurnal_times,
+    mmpp_times,
+    piecewise_times,
+    poisson_times,
+    replay_tasks,
+)
+
+__all__ = [
+    "TRAFFIC_MODELS",
+    "WINDOW_FORMAT",
+    "ServiceConfig",
+    "ServiceResult",
+    "serve_system",
+    "window_rows",
+    "write_windows_jsonl",
+]
+
+#: Valid ``ServiceConfig.traffic`` names.
+TRAFFIC_MODELS = ("poisson", "diurnal", "mmpp", "burst", "replay")
+
+#: Format tag of one JSONL window-summary row.
+WINDOW_FORMAT = "repro.window/1"
+
+# Matches TaskOutcome.on_time: completion <= deadline + 1e-9 is on time.
+_LATE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How to run the engine as a continuous service.
+
+    Rate-like values are expressed relative to the system's *equilibrium*
+    arrival rate (one task per core per ``t_avg``), so one config scales
+    across cluster sizes.  ``None`` fields resolve against the trial
+    system at run time (see :func:`serve_system`).
+
+    Attributes
+    ----------
+    traffic:
+        One of :data:`TRAFFIC_MODELS`.  ``"replay"`` streams the batch
+        workload's own tasks (finite, scored, batch-identical); the rest
+        generate open-loop arrivals and need a ``horizon`` and/or
+        ``task_limit`` bound.
+    rate_mult:
+        Mean arrival rate as a multiple of the equilibrium rate.
+    swing:
+        Peak-to-mean swing of ``diurnal``/``mmpp`` traffic in ``[0, 1)``:
+        phases run at ``(1 ± swing)`` times the mean rate.
+    phase_length:
+        Mean length of one traffic phase (half a diurnal period, an MMPP
+        dwell).  Default: five windows.
+    window:
+        Metric window length in simulated seconds.  Default: the span of
+        50 equilibrium arrivals.
+    horizon:
+        Stop admitting arrivals after this simulated time (committed
+        work still drains).
+    task_limit:
+        Stop admitting arrivals after this many tasks.
+    budget_rate_mult:
+        Energy-allowance accrual as a multiple of the offered load's
+        average cost (``mean_rate * t_avg * p_avg`` joules/second) —
+        1.0 grants exactly enough for the average task mix.
+    budget_cap_windows:
+        Allowance pool cap, in windows' worth of accrual.
+    budget_cap:
+        Absolute pool cap in joules; overrides ``budget_cap_windows``
+        (useful to hold the budget fixed while varying the window).
+    planning_tasks:
+        The energy filter's fair-share divisor (batch mode uses "tasks
+        left in the trial", meaningless for a stream).  Default: the
+        expected arrivals in one window.
+    """
+
+    traffic: str = "poisson"
+    rate_mult: float = 1.0
+    swing: float = 0.75
+    phase_length: float | None = None
+    window: float | None = None
+    horizon: float | None = None
+    task_limit: int | None = None
+    budget_rate_mult: float = 1.0
+    budget_cap_windows: float = 4.0
+    budget_cap: float | None = None
+    planning_tasks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.traffic not in TRAFFIC_MODELS:
+            raise ValueError(
+                f"unknown traffic model {self.traffic!r}; known: {', '.join(TRAFFIC_MODELS)}"
+            )
+        if not (self.rate_mult > 0.0):
+            raise ValueError(f"rate_mult must be positive, got {self.rate_mult}")
+        if not (0.0 <= self.swing < 1.0):
+            raise ValueError(f"swing must be in [0, 1), got {self.swing}")
+        for name in ("phase_length", "window", "horizon"):
+            value = getattr(self, name)
+            if value is not None and not (value > 0.0):
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.task_limit is not None and self.task_limit < 1:
+            raise ValueError(f"task_limit must be positive, got {self.task_limit}")
+        if not (self.budget_rate_mult > 0.0):
+            raise ValueError("budget_rate_mult must be positive")
+        if not (self.budget_cap_windows > 0.0):
+            raise ValueError("budget_cap_windows must be positive")
+        if self.budget_cap is not None and not (self.budget_cap > 0.0):
+            raise ValueError("budget_cap must be positive")
+        if self.planning_tasks is not None and self.planning_tasks < 1:
+            raise ValueError("planning_tasks must be positive")
+        if self.traffic != "replay" and self.horizon is None and self.task_limit is None:
+            raise ValueError(
+                "generative traffic is unbounded: set horizon and/or task_limit"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What a service run produced.
+
+    ``windows`` are contiguous :class:`WindowStats`; ``totals`` is their
+    monoid fold (the whole run as one window).  ``trial_result`` is the
+    batch-identical scored result in replay mode, ``None`` otherwise.
+    """
+
+    label: str
+    seed: int
+    traffic: str
+    window: float
+    windows: tuple[WindowStats, ...]
+    makespan: float
+    total_energy: float = 0.0
+    budget_drawn: float = 0.0
+    budget_deficit: float = 0.0
+    trial_result: TrialResult | None = None
+
+    @property
+    def totals(self) -> WindowStats:
+        """All windows merged into one covering window."""
+        return WindowStats.merge_all(self.windows)
+
+    @property
+    def arrivals(self) -> int:
+        """Tasks admitted over the run."""
+        return self.totals.arrivals
+
+
+class _LuckSource:
+    """Per-task execution luck for unbounded streams, by block.
+
+    Batch trials pre-draw one uniform per task (``system.exec_luck``);
+    a stream draws them in blocks keyed by ``task_id // block`` from
+    dedicated rng sub-streams, so a task's luck depends only on its id —
+    the pairing discipline survives unbounded runs.  Blocks regenerate
+    deterministically on demand, so the small LRU of live blocks can
+    evict freely and memory stays bounded.
+    """
+
+    BLOCK = 512
+    _MAX_LIVE = 32
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._blocks: dict[int, Any] = {}
+
+    def __call__(self, task_id: int) -> float:
+        block, offset = divmod(task_id, self.BLOCK)
+        values = self._blocks.get(block)
+        if values is None:
+            values = rng_mod.stream(self._seed, "service", "luck", block).random(
+                self.BLOCK
+            )
+            if len(self._blocks) >= self._MAX_LIVE:
+                self._blocks.pop(min(self._blocks))
+            self._blocks[block] = values
+        return float(values[offset])
+
+
+class _ServiceHooks:
+    """EngineHooks adapter feeding the window accumulator (and timeline)."""
+
+    __slots__ = ("acc", "timeline")
+
+    def __init__(
+        self, acc: WindowAccumulator, timeline: TimelineRecorder | None = None
+    ) -> None:
+        self.acc = acc
+        self.timeline = timeline
+
+    def on_mapped(self, engine: Engine, task: Task, core_id: int, pstate: int) -> None:
+        self.acc.on_mapped(engine.now, engine.in_system)
+        if self.timeline is not None:
+            self.timeline.on_mapped(engine)
+
+    def on_discarded(self, engine: Engine, task: Task) -> None:
+        self.acc.on_discarded(engine.now, engine.in_system)
+        if self.timeline is not None:
+            self.timeline.on_discarded(engine)
+
+    def on_completion(
+        self, engine: Engine, core_id: int, task: Task, t_now: float
+    ) -> None:
+        late = t_now > task.deadline + _LATE_TOL
+        self.acc.on_completion(t_now, late, engine.in_system)
+        if self.timeline is not None:
+            self.timeline.on_completion(engine)
+
+
+def _bound(tasks: Iterator[Task], service: ServiceConfig) -> Iterator[Task]:
+    """Apply the configured task-limit / horizon bounds to a task stream."""
+    if service.task_limit is not None:
+        tasks = itertools.islice(tasks, service.task_limit)
+    if service.horizon is not None:
+        horizon = service.horizon
+        tasks = itertools.takewhile(lambda task: task.arrival <= horizon, tasks)
+    return tasks
+
+
+def _arrival_stream(
+    system: TrialSystem, service: ServiceConfig, mean_rate: float, phase_length: float
+) -> Iterator[float]:
+    """The resolved arrival-time stream of a generative traffic model."""
+    rng = rng_mod.stream(system.config.seed, "service", "arrivals")
+    if service.traffic == "poisson":
+        return poisson_times(mean_rate, rng)
+    if service.traffic == "diurnal":
+        return diurnal_times(
+            mean_rate, rng, period=2.0 * phase_length, swing=service.swing
+        )
+    if service.traffic == "mmpp":
+        hi = mean_rate * (1.0 + service.swing)
+        lo = mean_rate * (1.0 - service.swing)
+        return mmpp_times([hi, lo], [phase_length, phase_length], rng)
+    if service.traffic == "burst":
+        # The paper's fast/slow/fast cadence, cycled forever and scaled
+        # so its mean rate matches the configured one.
+        schedule = [
+            (dur, rate * service.rate_mult)
+            for dur, rate in burst_schedule(
+                system.config.workload, system.workload.rates
+            )
+        ]
+        return piecewise_times(schedule, rng, cycle=True)
+    raise ValueError(f"not a generative traffic model: {service.traffic!r}")
+
+
+def serve_system(
+    system: TrialSystem,
+    spec: VariantSpec,
+    service: ServiceConfig,
+    *,
+    timeline: TimelineRecorder | None = None,
+) -> ServiceResult:
+    """Run one spec as a continuous service against a built trial system.
+
+    Replay mode scores a :class:`TrialResult` exactly as the batch path
+    would; generative modes run unbounded-safe (windowed accounting,
+    streaming energy meter, rolling budget, no per-task state).
+    """
+    eq_rate = system.workload.rates.eq
+    mean_rate = service.rate_mult * eq_rate
+    window = service.window if service.window is not None else 50.0 / eq_rate
+    phase_length = (
+        service.phase_length if service.phase_length is not None else 5.0 * window
+    )
+    seed = system.config.seed
+    heuristic, chain = policy_for(system, spec)
+
+    if service.traffic == "replay":
+        ledger = EnergyLedger(system.cluster, system.config.energy.idle_power_mode)
+        acc = WindowAccumulator(window, energy_at=ledger.cumulative_energy_at)
+        hooks = _ServiceHooks(acc, timeline)
+        engine = Engine(system, heuristic, chain, hooks=hooks, ledger=ledger)
+        trial: TrialResult | None = None
+        if service.task_limit is None and service.horizon is None:
+            # Full replay: score exactly as the batch path does.  The
+            # parity test pins this result bitwise against run_trial.
+            trial = engine.run()
+            makespan = trial.makespan
+        else:
+            # Truncated replay drains unscored (scoring assumes the
+            # whole workload was offered).
+            tasks = _bound(replay_tasks(system.workload.tasks), service)
+            makespan = engine.serve(tasks)
+        windows = tuple(acc.flush(makespan))
+        return ServiceResult(
+            label=spec.label,
+            seed=seed,
+            traffic=service.traffic,
+            window=window,
+            windows=windows,
+            makespan=makespan,
+            total_energy=ledger.total_energy(),
+            trial_result=trial,
+        )
+
+    meter = StreamingEnergyMeter(system.cluster, system.config.energy.idle_power_mode)
+    accrual = service.budget_rate_mult * mean_rate * system.t_avg * system.p_avg
+    cap = (
+        service.budget_cap
+        if service.budget_cap is not None
+        else service.budget_cap_windows * window * accrual
+    )
+    budget = RollingEnergyBudget(rate=accrual, cap=cap)
+    planning = (
+        service.planning_tasks
+        if service.planning_tasks is not None
+        else max(1, round(mean_rate * window))
+    )
+    acc = WindowAccumulator(window, energy_at=meter.consumed_at, budget=budget)
+    hooks = _ServiceHooks(acc, timeline)
+    engine = Engine(
+        system,
+        heuristic,
+        chain,
+        hooks=hooks,
+        ledger=meter,
+        rolling_budget=budget,
+        tasks_left=planning,
+        luck=_LuckSource(seed),
+        track_outcomes=False,
+    )
+    factory = TaskFactory.for_table(system.config.workload, system.table)
+    tasks = _bound(
+        factory.stream(
+            _arrival_stream(system, service, mean_rate, phase_length),
+            rng_mod.stream(seed, "service", "types"),
+        ),
+        service,
+    )
+    makespan = engine.serve(tasks)
+    windows = tuple(acc.flush(makespan))
+    return ServiceResult(
+        label=spec.label,
+        seed=seed,
+        traffic=service.traffic,
+        window=window,
+        windows=windows,
+        makespan=makespan,
+        total_energy=meter.total_energy(),
+        budget_drawn=budget.drawn,
+        budget_deficit=budget.deficit,
+    )
+
+
+def window_rows(result: ServiceResult) -> Iterator[dict[str, Any]]:
+    """Self-describing JSONL rows, one per window."""
+    for index, stats in enumerate(result.windows):
+        row: dict[str, Any] = {
+            "format": WINDOW_FORMAT,
+            "index": index,
+            "label": result.label,
+            "seed": result.seed,
+            "traffic": result.traffic,
+        }
+        row.update(stats.to_dict())
+        yield row
+
+
+def write_windows_jsonl(result: ServiceResult, out: str | Path | IO[str]) -> int:
+    """Write one JSON line per window; returns the row count."""
+    rows = list(window_rows(result))
+    if hasattr(out, "write"):
+        for row in rows:
+            out.write(json.dumps(row, sort_keys=True) + "\n")
+    else:
+        with open(out, "w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)

@@ -17,11 +17,11 @@ Entry points:
 """
 
 from repro.sim.system import TrialSystem, build_trial_system
-from repro.sim.state import CoreState, QueuedTask, RunningTask
+from repro.sim.state import CoreState, QueuedTask, RollingEnergyBudget, RunningTask
 from repro.sim.mapper import CandidateBuilder, build_candidate_set, build_candidates
 from repro.sim.results import TaskOutcome, TrialResult
 from repro.sim.engine import Engine, EngineHooks, run_trial
-from repro.sim.metrics import TraceCollector
+from repro.sim.metrics import TraceCollector, WindowAccumulator, WindowStats
 
 __all__ = [
     "TrialSystem",
@@ -29,6 +29,7 @@ __all__ = [
     "CoreState",
     "QueuedTask",
     "RunningTask",
+    "RollingEnergyBudget",
     "CandidateBuilder",
     "build_candidate_set",
     "build_candidates",
@@ -38,4 +39,6 @@ __all__ = [
     "EngineHooks",
     "run_trial",
     "TraceCollector",
+    "WindowStats",
+    "WindowAccumulator",
 ]

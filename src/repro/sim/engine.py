@@ -4,7 +4,10 @@ Event model
 -----------
 Two event kinds drive the simulation:
 
-* **arrival** — pre-scheduled from the workload's Poisson process.  The
+* **arrival** — pulled lazily from the arrival stream (the workload's
+  materialized Poisson burst in batch mode, an unbounded traffic
+  generator in service mode); only the next pending arrival ever sits
+  in the heap, so memory is independent of stream length.  The
   mapper scores all candidates, the filter chain prunes, the heuristic
   decides immediately (immediate-mode, [MaA99]); a task whose feasible
   set is empty is discarded.  Assignments are final: no re-mapping, no
@@ -31,9 +34,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Callable, Iterable, Iterator, Protocol
 
-from repro.cluster.energy import IDLE_PSTATE, EnergyLedger
+from repro.cluster.energy import IDLE_PSTATE, EnergyLedger, StreamingEnergyMeter
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import Heuristic, MappingContext
 from repro.perf.kernel_cache import CacheStats, PerfConfig
@@ -41,7 +44,7 @@ from repro.perf.trial_cache import TrialCache
 from repro.sim.mapper import CandidateBuilder, build_candidate_set
 from repro.sim.metrics import TraceCollector
 from repro.sim.results import TaskOutcome, TrialResult
-from repro.sim.state import CoreState, QueuedTask, RunningTask
+from repro.sim.state import CoreState, QueuedTask, RollingEnergyBudget, RunningTask
 from repro.sim.system import TrialSystem
 from repro.stoch.ops import set_kernel_cache
 from repro.workload.task import Task
@@ -122,6 +125,33 @@ class Engine:
         ``kernel_cache_stats`` still reports this run's own activity
         (counters are snapshotted at run start).  ``perf`` defaults to
         the handle's config when both are supplied by the runner.
+    ledger:
+        Energy accountant to record P-state transitions into; ``None``
+        (the default) builds the full :class:`EnergyLedger`.  Service
+        mode passes a bounded-memory
+        :class:`~repro.cluster.energy.StreamingEnergyMeter` (which
+        cannot be scored via :meth:`run` — use :meth:`serve`).
+    rolling_budget:
+        Optional :class:`~repro.sim.state.RollingEnergyBudget`.  When
+        given, the heuristic's energy estimate ``zeta`` is the bucket's
+        remaining allowance (advanced at each arrival, drawn down per
+        mapping) instead of the batch ``budget - sum(EEC)`` estimate.
+    tasks_left:
+        Override for ``MappingContext.tasks_left``.  Batch mode derives
+        it from the workload size; an unbounded stream has no size, so
+        service mode pins it to a planning horizon (the energy filter's
+        fair-share divisor).
+    luck:
+        Override for per-task execution luck: maps a task id to the
+        uniform quantile of its sampled execution time.  ``None`` reads
+        ``system.exec_luck`` (batch).
+    track_outcomes:
+        Keep the per-task outcome table needed by :meth:`run` scoring.
+        Service mode turns it off so memory stays bounded; lateness is
+        then classified at completion time by hooks.
+
+    The five service parameters default to batch semantics; any engine
+    constructed without them behaves bit-for-bit as before.
     """
 
     def __init__(
@@ -135,6 +165,11 @@ class Engine:
         tracer: Tracer | None = None,
         perf: PerfConfig | None = None,
         shared: TrialCache | None = None,
+        ledger: EnergyLedger | StreamingEnergyMeter | None = None,
+        rolling_budget: RollingEnergyBudget | None = None,
+        tasks_left: int | None = None,
+        luck: Callable[[int], float] | None = None,
+        track_outcomes: bool = True,
     ) -> None:
         self.system = system
         self.heuristic = heuristic
@@ -164,10 +199,22 @@ class Engine:
             if self.perf.batch_mapper
             else None
         )
-        self.ledger = EnergyLedger(cluster, system.config.energy.idle_power_mode)
-        self.energy_estimate = system.budget
+        self.ledger = (
+            EnergyLedger(cluster, system.config.energy.idle_power_mode)
+            if ledger is None
+            else ledger
+        )
+        self.rolling_budget = rolling_budget
+        self.energy_estimate = (
+            system.budget if rolling_budget is None else rolling_budget.remaining
+        )
+        self._tasks_left_override = tasks_left
+        self._luck = luck
+        self._track_outcomes = track_outcomes
         self._in_system = 0
-        self._heap: list[tuple[float, int, int, int]] = []
+        # Heap payloads: the arriving Task, or the completing core id.
+        # ``seq`` is unique, so payloads are never compared.
+        self._heap: list[tuple[float, int, int, Task | int]] = []
         self._seq = 0
         self._outcomes: dict[int, _PendingOutcome | None] = {}
         self._now = 0.0
@@ -181,6 +228,11 @@ class Engine:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def in_system(self) -> int:
+        """Tasks queued or executing, cluster-wide."""
+        return self._in_system
 
     @property
     def avg_queue_depth(self) -> float:
@@ -214,7 +266,8 @@ class Engine:
         if entry is None:
             return False
         self._in_system -= 1
-        self._outcomes[task_id] = None  # rebranded as discarded
+        if self._track_outcomes:
+            self._outcomes[task_id] = None  # rebranded as discarded
         return True
 
     def move_queued(
@@ -244,10 +297,11 @@ class Engine:
         old_cost = float(eec[task.type_id, from_node, entry.pstate])
         new_cost = float(eec[task.type_id, to_core.node_index, pstate])
         self.energy_estimate -= new_cost - old_cost
-        pending = self._outcomes[task_id]
-        assert pending is not None
-        pending.core_id = to_core_id
-        pending.pstate = pstate
+        if self._track_outcomes:
+            pending = self._outcomes[task_id]
+            assert pending is not None
+            pending.core_id = to_core_id
+            pending.pstate = pstate
         if to_core.running is None:
             self._start_task(to_core, new_entry, self._now)
         else:
@@ -258,13 +312,17 @@ class Engine:
     # Event helpers
     # ------------------------------------------------------------------
 
-    def _push(self, time: float, kind: int, payload: int) -> None:
+    def _push(self, time: float, kind: int, payload: Task | int) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (time, kind, self._seq, payload))
 
     def _start_task(self, core: CoreState, entry: QueuedTask, t_now: float) -> None:
         """Begin executing ``entry`` on ``core`` at ``t_now``."""
-        luck = float(self.system.exec_luck[entry.task.task_id])
+        task_id = entry.task.task_id
+        if self._luck is not None:
+            luck = self._luck(task_id)
+        else:
+            luck = float(self.system.exec_luck[task_id])
         actual = entry.exec_pmf.quantile(luck)
         completion = t_now + actual
         core.set_running(
@@ -277,10 +335,11 @@ class Engine:
             )
         )
         self.ledger.record(core.core_id, t_now, entry.pstate)
-        pending = self._outcomes[entry.task.task_id]
-        assert pending is not None
-        pending.start = t_now
-        pending.completion = completion
+        if self._track_outcomes:
+            pending = self._outcomes[task_id]
+            assert pending is not None
+            pending.start = t_now
+            pending.completion = completion
         self._push(completion, _COMPLETION, core.core_id)
 
     # ------------------------------------------------------------------
@@ -288,11 +347,17 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _handle_arrival(self, task: Task, t_now: float) -> None:
+        if self.rolling_budget is not None:
+            self.energy_estimate = self.rolling_budget.advance(t_now)
+        if self._tasks_left_override is None:
+            tasks_left = self.system.num_tasks - task.task_id - 1
+        else:
+            tasks_left = self._tasks_left_override
         ctx = MappingContext(
             t_now=t_now,
             task=task,
             energy_estimate=self.energy_estimate,
-            tasks_left=self.system.num_tasks - task.task_id - 1,
+            tasks_left=tasks_left,
             avg_queue_depth=self.avg_queue_depth,
         )
         if self._builder is not None:
@@ -303,7 +368,8 @@ class Engine:
         index = self.heuristic.select(cands, ctx)
 
         if index is None:
-            self._outcomes[task.task_id] = None
+            if self._track_outcomes:
+                self._outcomes[task.task_id] = None
             if self.collector is not None:
                 self.collector.record_mapping(
                     t_now, ctx.avg_queue_depth, self.energy_estimate, -1, cands.num_feasible
@@ -313,16 +379,21 @@ class Engine:
             return
 
         assignment = cands.assignment(index)
-        self.energy_estimate -= float(cands.eec[index])
+        eec = float(cands.eec[index])
+        if self.rolling_budget is not None:
+            self.energy_estimate = self.rolling_budget.draw(eec)
+        else:
+            self.energy_estimate -= eec
         core = self.cores[assignment.core_id]
         exec_pmf = self.system.table.pmf(task.type_id, core.node_index, assignment.pstate)
         entry = QueuedTask(task=task, pstate=assignment.pstate, exec_pmf=exec_pmf)
-        self._outcomes[task.task_id] = _PendingOutcome(
-            core_id=assignment.core_id,
-            pstate=assignment.pstate,
-            start=float("nan"),
-            completion=float("nan"),
-        )
+        if self._track_outcomes:
+            self._outcomes[task.task_id] = _PendingOutcome(
+                core_id=assignment.core_id,
+                pstate=assignment.pstate,
+                start=float("nan"),
+                completion=float("nan"),
+            )
         self._in_system += 1
         if core.running is None:
             self._start_task(core, entry, t_now)
@@ -368,13 +439,11 @@ class Engine:
         nothing is shared across trials and the module global is always
         restored — even on an exception.
         """
+        if not self._track_outcomes:
+            raise RuntimeError("run() needs outcome tracking; use serve()")
         if self._ran:
             raise RuntimeError("an Engine instance runs exactly once")
         self._ran = True
-
-        tasks = self.system.workload.tasks
-        for task in tasks:
-            self._push(task.arrival, _ARRIVAL, task.task_id)
 
         if self._kernel_cache is not None:
             # Baseline for per-run stat attribution; all zeros for a
@@ -382,7 +451,7 @@ class Engine:
             self._cache_base = self._kernel_cache.stats()
         previous_cache = set_kernel_cache(self._kernel_cache)
         try:
-            end_time = self._event_loop(tasks)
+            end_time = self._event_loop(iter(self.system.workload.tasks))
             self.ledger.close(end_time)
             if self.tracer is None:
                 return self._score(end_time)
@@ -391,10 +460,46 @@ class Engine:
         finally:
             set_kernel_cache(previous_cache)
 
-    def _event_loop(self, tasks: Sequence[Task]) -> float:
-        """Drain the event heap; returns the time of the last event."""
+    def serve(self, arrivals: Iterable[Task]) -> float:
+        """Drive the engine from an arrival stream; return the end time.
+
+        The continuous-service entrypoint: tasks are pulled lazily from
+        ``arrivals`` (which may be unbounded — bound it with a horizon or
+        task limit before passing it in), committed work drains after the
+        stream ends, and no :class:`TrialResult` is scored — windowed
+        accounting happens in hooks.  A finite stream replaying the
+        workload's own tasks traverses exactly the event trajectory of
+        :meth:`run`.
+        """
+        if self._ran:
+            raise RuntimeError("an Engine instance runs exactly once")
+        self._ran = True
+        if self._kernel_cache is not None:
+            self._cache_base = self._kernel_cache.stats()
+        previous_cache = set_kernel_cache(self._kernel_cache)
+        try:
+            end_time = self._event_loop(iter(arrivals))
+            self.ledger.close(end_time)
+            return end_time
+        finally:
+            set_kernel_cache(previous_cache)
+
+    def _event_loop(self, arrivals: Iterator[Task]) -> float:
+        """Drain events, pulling arrivals lazily; returns the last event time.
+
+        At most one pending arrival lives in the heap: the next one is
+        pulled from the stream only when its predecessor pops.  Pushes
+        stay in event-causal order, so same-``(time, kind)`` ties resolve
+        exactly as the old materialized scheme did (arrivals in stream
+        order, completions in schedule order) and finite streams replay
+        the batch trajectory bit for bit — while unbounded streams hold
+        O(1) future events.
+        """
         end_time = 0.0
         tracer = self.tracer
+        nxt = next(arrivals, None)
+        if nxt is not None:
+            self._push(nxt.arrival, _ARRIVAL, nxt)
         if tracer is None:
             # Bare loop: with no tracer, per-event cost is the handler alone.
             while self._heap:
@@ -404,7 +509,10 @@ class Engine:
                 if kind == _COMPLETION:
                     self._handle_completion(payload, time)
                 else:
-                    self._handle_arrival(tasks[payload], time)
+                    nxt = next(arrivals, None)
+                    if nxt is not None:
+                        self._push(nxt.arrival, _ARRIVAL, nxt)
+                    self._handle_arrival(payload, time)
             return end_time
 
         while self._heap:
@@ -415,8 +523,11 @@ class Engine:
                 with tracer.span("engine.completion"):
                     self._handle_completion(payload, time)
             else:
+                nxt = next(arrivals, None)
+                if nxt is not None:
+                    self._push(nxt.arrival, _ARRIVAL, nxt)
                 with tracer.span("engine.arrival"):
-                    self._handle_arrival(tasks[payload], time)
+                    self._handle_arrival(payload, time)
         return end_time
 
     def _score(self, end_time: float) -> TrialResult:

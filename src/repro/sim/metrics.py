@@ -1,4 +1,4 @@
-"""Optional time-series traces of a running trial.
+"""Optional time-series traces and windowed metrics of a running trial.
 
 The engine emits samples into a :class:`TraceCollector` when one is
 supplied; the default (no collector) keeps the hot path allocation-free.
@@ -9,15 +9,24 @@ The collector stores *columnar* per-mapping samples for NumPy analysis.
 For typed per-event records (JSONL traces, counters/histograms, run
 manifests) use :mod:`repro.obs`, which attaches through the engine's
 ``EngineHooks`` protocol instead.
+
+Continuous-service mode cannot keep per-task state, so it aggregates
+into fixed-length time windows instead: :class:`WindowStats` is the
+per-window summary — a monoid under :meth:`WindowStats.merge`, so
+concatenating adjacent windows is exactly the summary of the combined
+span — and :class:`WindowAccumulator` folds engine events into a
+contiguous run of them.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
-__all__ = ["TraceCollector"]
+__all__ = ["TraceCollector", "WindowStats", "WindowAccumulator"]
 
 
 @dataclass
@@ -93,3 +102,202 @@ class TraceCollector:
         """Counts of chosen P-states (discards excluded)."""
         chosen = np.array([p for p in self.chosen_pstates if p >= 0], dtype=np.int64)
         return np.bincount(chosen, minlength=num_pstates)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Service metrics over one time window ``[start, end)``.
+
+    Events are attributed to the window containing their event time
+    (arrivals at arrival, completions at completion), making the type a
+    monoid under :meth:`merge`: counts and window energy add, while the
+    "state at window end" fields (``budget_remaining``, ``in_system_end``)
+    take the later window's value.
+
+    ``energy`` is the cluster energy consumed within the window;
+    ``budget_remaining`` is the rolling allowance at the window's end
+    (``nan`` when no rolling budget is configured).
+    """
+
+    start: float
+    end: float
+    mapped: int = 0
+    discarded: int = 0
+    completed: int = 0
+    on_time: int = 0
+    late: int = 0
+    energy: float = 0.0
+    budget_remaining: float = float("nan")
+    in_system_end: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} precedes start {self.start}")
+        for name in ("mapped", "discarded", "completed", "on_time", "late"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.completed != self.on_time + self.late:
+            raise ValueError("completed must equal on_time + late")
+
+    @property
+    def arrivals(self) -> int:
+        """Tasks that arrived in the window (every arrival maps or discards)."""
+        return self.mapped + self.discarded
+
+    def merge(self, other: "WindowStats") -> "WindowStats":
+        """Combine with the adjacent later window (``other.start == self.end``)."""
+        if other.start != self.end:
+            raise ValueError(
+                f"windows must be contiguous: {self.end} != {other.start}"
+            )
+        return WindowStats(
+            start=self.start,
+            end=other.end,
+            mapped=self.mapped + other.mapped,
+            discarded=self.discarded + other.discarded,
+            completed=self.completed + other.completed,
+            on_time=self.on_time + other.on_time,
+            late=self.late + other.late,
+            energy=self.energy + other.energy,
+            budget_remaining=other.budget_remaining,
+            in_system_end=other.in_system_end,
+        )
+
+    @staticmethod
+    def merge_all(windows: Iterable["WindowStats"]) -> "WindowStats":
+        """Fold a contiguous window run into one covering window."""
+        it = iter(windows)
+        try:
+            total = next(it)
+        except StopIteration:
+            raise ValueError("merge_all needs at least one window") from None
+        for w in it:
+            total = total.merge(w)
+        return total
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (``budget_remaining`` null when unset)."""
+        budget = None if math.isnan(self.budget_remaining) else self.budget_remaining
+        return {
+            "start": self.start,
+            "end": self.end,
+            "arrivals": self.arrivals,
+            "mapped": self.mapped,
+            "discarded": self.discarded,
+            "completed": self.completed,
+            "on_time": self.on_time,
+            "late": self.late,
+            "energy": self.energy,
+            "budget_remaining": budget,
+            "in_system_end": self.in_system_end,
+        }
+
+
+class WindowAccumulator:
+    """Folds engine events into contiguous :class:`WindowStats` windows.
+
+    Windows are ``[k*window, (k+1)*window)`` from ``start``; a window
+    closes when the first event at or past its end arrives (there is no
+    wall clock — simulated time only advances with events), and
+    :meth:`flush` closes the trailing partial window at the run's end
+    time.  Memory is O(1) plus the closed-window list the caller drains.
+
+    ``energy_at`` maps a simulation time to cumulative consumed energy
+    (e.g. ``StreamingEnergyMeter.consumed_at``); window energies are
+    consecutive differences, so they telescope — merging every window
+    reproduces the whole run's consumption exactly.  ``budget`` is an
+    optional :class:`~repro.sim.state.RollingEnergyBudget` sampled at
+    each boundary.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        *,
+        start: float = 0.0,
+        energy_at: Callable[[float], float] | None = None,
+        budget: Any | None = None,
+    ) -> None:
+        if not (window > 0.0):
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self.closed: list[WindowStats] = []
+        self._start = float(start)
+        self._end = self._start + self.window
+        self._energy_at = energy_at
+        self._budget = budget
+        self._energy_base = energy_at(self._start) if energy_at is not None else 0.0
+        self._mapped = 0
+        self._discarded = 0
+        self._completed = 0
+        self._on_time = 0
+        self._late = 0
+        self._in_system = 0
+
+    # -- event callbacks (driven by the service hooks) -------------------
+
+    def on_mapped(self, t: float, in_system: int) -> None:
+        """A task was mapped at ``t`` with ``in_system`` tasks in flight."""
+        self._roll(t)
+        self._mapped += 1
+        self._in_system = in_system
+
+    def on_discarded(self, t: float, in_system: int) -> None:
+        """A task was discarded at ``t``."""
+        self._roll(t)
+        self._discarded += 1
+        self._in_system = in_system
+
+    def on_completion(self, t: float, late: bool, in_system: int) -> None:
+        """A task completed at ``t``; ``late`` if past its deadline."""
+        self._roll(t)
+        self._completed += 1
+        if late:
+            self._late += 1
+        else:
+            self._on_time += 1
+        self._in_system = in_system
+
+    # -- window management ----------------------------------------------
+
+    def _roll(self, t: float) -> None:
+        while t >= self._end:
+            self._close(self._end)
+
+    def _close(self, end: float) -> None:
+        energy = 0.0
+        if self._energy_at is not None:
+            level = self._energy_at(end)
+            energy = level - self._energy_base
+            self._energy_base = level
+        remaining = (
+            self._budget.peek(end) if self._budget is not None else float("nan")
+        )
+        self.closed.append(
+            WindowStats(
+                start=self._start,
+                end=end,
+                mapped=self._mapped,
+                discarded=self._discarded,
+                completed=self._completed,
+                on_time=self._on_time,
+                late=self._late,
+                energy=energy,
+                budget_remaining=remaining,
+                in_system_end=self._in_system,
+            )
+        )
+        self._mapped = self._discarded = 0
+        self._completed = self._on_time = self._late = 0
+        self._start = end
+        self._end = end + self.window
+
+    def flush(self, end_time: float) -> list[WindowStats]:
+        """Close the trailing partial window at ``end_time``; return all.
+
+        The final window spans ``[start, end_time]`` (shorter than
+        ``window`` unless the last event fell exactly on a boundary).
+        """
+        if end_time > self._start or not self.closed:
+            self._close(max(end_time, self._start))
+        return self.closed

@@ -26,7 +26,7 @@ from repro.stoch.ops import convolve, convolve_many, shift, truncate_below
 from repro.stoch.pmf import PMF
 from repro.workload.task import Task
 
-__all__ = ["RunningTask", "QueuedTask", "CoreState"]
+__all__ = ["RunningTask", "QueuedTask", "CoreState", "RollingEnergyBudget"]
 
 
 @dataclass(frozen=True)
@@ -193,3 +193,90 @@ class CoreState:
         self._ready_pmf = ready
         self._ready_trunc_start = running_c.start
         return ready
+
+
+class RollingEnergyBudget:
+    """Token-bucket energy allowance for continuous service.
+
+    The batch model grants the whole trial its budget up front
+    (``zeta_max = budget_mult * t_avg * p_avg * num_tasks``); an
+    always-on service has no trial to amortize over, so the allowance
+    *accrues*: joules arrive at a constant ``rate`` and pool up to
+    ``cap``, and every mapping draws its estimated energy cost from the
+    pool.  The heuristic's energy estimate ``zeta`` becomes the pool's
+    current level.
+
+    Draws clamp at zero — the energy filter then sees an empty allowance
+    (and prunes everything but the cheapest assignments) rather than a
+    meaningless negative estimate; the clamped shortfall accumulates in
+    :attr:`deficit` for diagnostics.  Invariant: ``0 <= remaining <=
+    cap`` at all times.
+    """
+
+    __slots__ = ("rate", "cap", "_tokens", "_t", "_deficit", "_drawn")
+
+    def __init__(self, rate: float, cap: float, *, initial: float | None = None) -> None:
+        if rate < 0.0:
+            raise ValueError(f"accrual rate must be non-negative, got {rate}")
+        if not (cap > 0.0):
+            raise ValueError(f"cap must be positive, got {cap}")
+        tokens = cap if initial is None else float(initial)
+        if not (0.0 <= tokens <= cap):
+            raise ValueError(f"initial level {tokens} outside [0, {cap}]")
+        self.rate = float(rate)
+        self.cap = float(cap)
+        self._tokens = tokens
+        self._t = 0.0
+        self._deficit = 0.0
+        self._drawn = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Allowance pooled as of the last :meth:`advance`, in joules."""
+        return self._tokens
+
+    @property
+    def deficit(self) -> float:
+        """Total joules requested beyond the pooled allowance."""
+        return self._deficit
+
+    @property
+    def drawn(self) -> float:
+        """Total joules requested by mappings."""
+        return self._drawn
+
+    @property
+    def time(self) -> float:
+        """Simulation time of the last :meth:`advance`."""
+        return self._t
+
+    def advance(self, t: float) -> float:
+        """Accrue allowance up to time ``t``; return the new level."""
+        if t < self._t:
+            raise ValueError(f"time moved backwards: {t} < {self._t}")
+        self._tokens = min(self.cap, self._tokens + self.rate * (t - self._t))
+        self._t = t
+        return self._tokens
+
+    def peek(self, t: float | None = None) -> float:
+        """The level an :meth:`advance` to ``t`` would return, read-only.
+
+        ``t=None`` (or a time at/before the last advance) reads the
+        current level.
+        """
+        if t is None or t <= self._t:
+            return self._tokens
+        return min(self.cap, self._tokens + self.rate * (t - self._t))
+
+    def draw(self, joules: float) -> float:
+        """Consume ``joules`` (clamped at empty); return the new level."""
+        if joules < 0.0:
+            raise ValueError(f"draw must be non-negative, got {joules}")
+        self._drawn += joules
+        short = joules - self._tokens
+        if short > 0.0:
+            self._deficit += short
+            self._tokens = 0.0
+        else:
+            self._tokens -= joules
+        return self._tokens

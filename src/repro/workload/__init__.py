@@ -13,15 +13,36 @@ The workload is a dynamically-arriving stream of independent tasks:
   fast) that oversubscribes the system during bursts;
 * each task's hard deadline is its arrival time plus the mean execution
   time of its type plus a "load factor" (t_avg).
+
+For continuous-service mode, :mod:`repro.workload.traffic` generates
+*lazy* arrival streams (open-loop Poisson, diurnal/piecewise schedules,
+MMPP bursts, trace replay) instead of materialized workloads.
 """
 
 from repro.workload.task import Task
 from repro.workload.cvb import cvb_etc_matrix
 from repro.workload.etc_matrix import ETCMatrix
 from repro.workload.pmf_table import ExecutionTimeTable
-from repro.workload.arrivals import ArrivalRates, bursty_poisson_arrivals, derive_rates
+from repro.workload.arrivals import (
+    ArrivalRates,
+    burst_schedule,
+    bursty_poisson_arrivals,
+    derive_rates,
+    per_task_rates,
+)
 from repro.workload.deadlines import assign_deadlines
 from repro.workload.workload import Workload, build_workload
+from repro.workload.traffic import (
+    TaskFactory,
+    diurnal_times,
+    merge_times,
+    mmpp_times,
+    piecewise_times,
+    poisson_times,
+    replay_tasks,
+    splice_times,
+    trace_times,
+)
 
 __all__ = [
     "Task",
@@ -29,9 +50,20 @@ __all__ = [
     "ETCMatrix",
     "ExecutionTimeTable",
     "ArrivalRates",
+    "burst_schedule",
     "bursty_poisson_arrivals",
     "derive_rates",
+    "per_task_rates",
     "assign_deadlines",
     "Workload",
     "build_workload",
+    "TaskFactory",
+    "poisson_times",
+    "piecewise_times",
+    "diurnal_times",
+    "mmpp_times",
+    "trace_times",
+    "merge_times",
+    "splice_times",
+    "replay_tasks",
 ]

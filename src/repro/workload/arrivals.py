@@ -21,7 +21,14 @@ import numpy as np
 
 from repro.config import LambdaMode, WorkloadConfig
 
-__all__ = ["ArrivalRates", "derive_rates", "bursty_poisson_arrivals", "phase_of_task"]
+__all__ = [
+    "ArrivalRates",
+    "derive_rates",
+    "per_task_rates",
+    "burst_schedule",
+    "bursty_poisson_arrivals",
+    "phase_of_task",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +64,31 @@ def phase_of_task(cfg: WorkloadConfig, task_index: int) -> str:
     return "tail"
 
 
+def per_task_rates(cfg: WorkloadConfig, rates: ArrivalRates) -> np.ndarray:
+    """The arrival rate in effect for each task index (fast/slow/fast)."""
+    per_task_rate = np.empty(cfg.num_tasks)
+    per_task_rate[: cfg.burst_head] = rates.fast
+    per_task_rate[cfg.burst_head : cfg.burst_head + cfg.lull_tasks] = rates.slow
+    per_task_rate[cfg.num_tasks - cfg.burst_tail :] = rates.fast
+    return per_task_rate
+
+
+def burst_schedule(cfg: WorkloadConfig, rates: ArrivalRates) -> list[tuple[float, float]]:
+    """The burst profile as ``(expected duration, rate)`` segments.
+
+    The batch generator switches rate by *task index*; a time-driven
+    stream (:func:`repro.workload.traffic.piecewise_times`) needs
+    durations, so each phase is given its expected length ``count /
+    rate``.  Cycling this schedule yields an open-ended traffic pattern
+    with the paper's fast/slow/fast cadence.
+    """
+    return [
+        (cfg.burst_head / rates.fast, rates.fast),
+        (cfg.lull_tasks / rates.slow, rates.slow),
+        (cfg.burst_tail / rates.fast, rates.fast),
+    ]
+
+
 def bursty_poisson_arrivals(
     cfg: WorkloadConfig, rates: ArrivalRates, rng: np.random.Generator
 ) -> np.ndarray:
@@ -65,9 +97,5 @@ def bursty_poisson_arrivals(
     Inter-arrival gaps are exponential with the phase's rate; the process
     starts at time zero (the first task arrives after one fast-rate gap).
     """
-    per_task_rate = np.empty(cfg.num_tasks)
-    per_task_rate[: cfg.burst_head] = rates.fast
-    per_task_rate[cfg.burst_head : cfg.burst_head + cfg.lull_tasks] = rates.slow
-    per_task_rate[cfg.num_tasks - cfg.burst_tail :] = rates.fast
-    gaps = rng.exponential(scale=1.0 / per_task_rate)
+    gaps = rng.exponential(scale=1.0 / per_task_rates(cfg, rates))
     return np.cumsum(gaps)

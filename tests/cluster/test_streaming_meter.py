@@ -1,0 +1,133 @@
+"""StreamingEnergyMeter vs EnergyLedger equivalence (repro.cluster.energy).
+
+The meter is the O(num_cores) replacement for the ledger in service
+mode: fed the same transition stream, its cumulative consumption must
+match the ledger's everywhere the service loop queries it, and the
+closed totals must agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.energy import IDLE_PSTATE, EnergyLedger, StreamingEnergyMeter
+from repro.cluster.node import NodeSpec
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.pstate import PStateProfile
+from repro.config import IdlePowerMode
+
+
+def two_node_cluster() -> ClusterSpec:
+    p = lambda hi: PStateProfile(np.array([1.0, 0.5]), np.array([hi, hi * 0.4]))
+    return ClusterSpec(
+        (
+            NodeSpec(0, (ProcessorSpec(2),), p(100.0), efficiency=0.5),
+            NodeSpec(1, (ProcessorSpec(1),), p(80.0), efficiency=1.0),
+        )
+    )
+
+
+def both(mode=IdlePowerMode.P4_FLOOR):
+    cluster = two_node_cluster()
+    return EnergyLedger(cluster, mode), StreamingEnergyMeter(cluster, mode)
+
+
+class TestAgainstLedger:
+    @pytest.mark.parametrize("mode", [IdlePowerMode.P4_FLOOR, IdlePowerMode.EXCLUDED])
+    def test_identical_transition_stream_identical_total(self, mode):
+        ledger, meter = both(mode)
+        script = [
+            (0, 5.0, 0),
+            (1, 7.0, 1),
+            (0, 12.0, IDLE_PSTATE),
+            (2, 14.0, 0),
+            (1, 20.0, IDLE_PSTATE),
+            (2, 31.0, IDLE_PSTATE),
+        ]
+        for core, t, pstate in script:
+            ledger.record(core, t, pstate)
+            meter.record(core, t, pstate)
+        ledger.close(40.0)
+        meter.close(40.0)
+        assert meter.total_energy() == pytest.approx(ledger.total_energy(), rel=1e-12)
+
+    def test_consumed_at_tracks_cumulative_energy(self):
+        ledger, meter = both()
+        script = [(0, 3.0, 0), (0, 9.0, IDLE_PSTATE), (1, 10.0, 1)]
+        for core, t, pstate in script:
+            ledger.record(core, t, pstate)
+            meter.record(core, t, pstate)
+        # Query at and after the latest transition (the meter's exactness
+        # domain — exactly how the window accumulator uses it).
+        probe_ledger = EnergyLedger(two_node_cluster(), IdlePowerMode.P4_FLOOR)
+        for core, t, pstate in script:
+            probe_ledger.record(core, t, pstate)
+        probe_ledger.close(50.0)
+        for t in (10.0, 12.5, 30.0, 50.0):
+            assert meter.consumed_at(t) == pytest.approx(
+                probe_ledger.cumulative_energy_at(t), rel=1e-12
+            )
+
+    @settings(max_examples=30)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        steps=st.integers(min_value=1, max_value=60),
+    )
+    def test_random_schedules_agree(self, seed, steps):
+        rng = np.random.default_rng(seed)
+        ledger, meter = both()
+        t = 0.0
+        busy = {0: False, 1: False, 2: False}
+        for _ in range(steps):
+            t += float(rng.exponential(4.0))
+            core = int(rng.integers(0, 3))
+            if busy[core]:
+                pstate = IDLE_PSTATE
+            else:
+                pstate = int(rng.integers(0, 2))
+            busy[core] = pstate != IDLE_PSTATE
+            ledger.record(core, t, pstate)
+            meter.record(core, t, pstate)
+        end = t + float(rng.exponential(4.0))
+        ledger.close(end)
+        meter.close(end)
+        assert meter.total_energy() == pytest.approx(ledger.total_energy(), rel=1e-9)
+
+
+class TestMeterBehaviour:
+    def test_total_requires_close(self):
+        _, meter = both()
+        with pytest.raises(RuntimeError):
+            meter.total_energy()
+
+    def test_rejects_time_reversal(self):
+        _, meter = both()
+        meter.record(0, 10.0, 0)
+        with pytest.raises(ValueError):
+            meter.record(0, 5.0, IDLE_PSTATE)
+
+    def test_rejects_unknown_pstate(self):
+        _, meter = both()
+        with pytest.raises(ValueError):
+            meter.record(0, 1.0, 99)
+
+    def test_unwinds_the_last_interval(self):
+        # consumed_at may be asked for a time just before the newest
+        # transition (the event that crossed a window boundary): the
+        # retained previous rate must unwind it exactly.
+        ledger, meter = both()
+        ledger.record(0, 2.0, 0)
+        meter.record(0, 2.0, 0)
+        ledger.record(0, 10.0, IDLE_PSTATE)
+        meter.record(0, 10.0, IDLE_PSTATE)
+        probe = EnergyLedger(two_node_cluster(), IdlePowerMode.P4_FLOOR)
+        probe.record(0, 2.0, 0)
+        probe.record(0, 10.0, IDLE_PSTATE)
+        probe.close(10.0)
+        assert meter.consumed_at(6.0) == pytest.approx(
+            probe.cumulative_energy_at(6.0), rel=1e-12
+        )

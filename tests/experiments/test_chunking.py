@@ -1,0 +1,94 @@
+"""Regression tests for chunked-dispatch auto-sizing.
+
+BENCH_ensemble.json once recorded ``chunking.speedup`` *below* 1.0: the
+auto-sizer floor-divided the trial count by four waves per worker, which
+drove bench-scale ensembles (16 trials on 4 jobs) to chunk size 1 — one
+IPC round trip per trial, i.e. strictly more overhead than unchunked
+dispatch.  These tests pin the fixed sizing (two waves, ceiling
+division) and that auto-chunking never dispatches more IPC rounds than
+``chunk_size=1`` would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.executor import (
+    _CHUNK_CAP,
+    _auto_chunk_size,
+    run_supervised,
+)
+from repro.obs.sinks import MetricsRegistry
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestAutoChunkSize:
+    def test_bench_shape_is_not_degenerate(self):
+        # The regression: 16 trials on 4 jobs must NOT auto-size to 1.
+        assert _auto_chunk_size(16, 4) > 1
+
+    @pytest.mark.parametrize(
+        "num_trials,n_jobs,expected",
+        [
+            (16, 4, 2),  # two waves of 2 per worker
+            (10, 4, 2),  # ceil(10 / 8) = 2
+            (4, 4, 1),  # fewer trials than wave slots: singles
+            (100, 4, 13),  # ceil(100 / 8) = 13
+            (1000, 8, _CHUNK_CAP),  # capped
+            (1, 1, 1),
+        ],
+    )
+    def test_exact_values(self, num_trials, n_jobs, expected):
+        assert _auto_chunk_size(num_trials, n_jobs) == expected
+
+    def test_always_at_least_one(self):
+        for num_trials in (1, 2, 3, 7):
+            for n_jobs in (1, 2, 8, 64):
+                assert _auto_chunk_size(num_trials, n_jobs) >= 1
+
+    def test_never_exceeds_cap(self):
+        assert _auto_chunk_size(10_000, 1) == _CHUNK_CAP
+
+    def test_covers_all_trials_in_two_waves_per_worker(self):
+        # Below the cap, chunk * (2 waves) * workers must cover the queue
+        # (ceiling division cannot strand a remainder in a third wave).
+        for num_trials in range(1, 65):
+            for n_jobs in (1, 2, 4):
+                chunk = _auto_chunk_size(num_trials, n_jobs)
+                if chunk < _CHUNK_CAP:
+                    assert chunk * 2 * n_jobs >= num_trials
+
+
+class TestChunkedDispatch:
+    def test_auto_dispatches_fewer_ipc_rounds_than_singles(self):
+        payloads = {t: t for t in range(16)}
+        auto = MetricsRegistry()
+        run_supervised(_double, payloads, base_seed=0, n_jobs=2, metrics=auto)
+        singles = MetricsRegistry()
+        run_supervised(
+            _double, payloads, base_seed=0, n_jobs=2, metrics=singles, chunk_size=1
+        )
+        assert (
+            auto.counter("executor.chunks_dispatched")
+            < singles.counter("executor.chunks_dispatched")
+        )
+
+    def test_auto_and_singles_agree_on_results(self):
+        payloads = {t: t for t in range(16)}
+        auto_done, auto_failures = run_supervised(
+            _double, payloads, base_seed=0, n_jobs=2
+        )
+        one_done, one_failures = run_supervised(
+            _double, payloads, base_seed=0, n_jobs=2, chunk_size=1
+        )
+        assert auto_failures == one_failures == []
+        assert auto_done == one_done == {t: 2 * t for t in range(16)}
+
+    def test_all_trials_dispatched_exactly_once_without_faults(self):
+        payloads = {t: t for t in range(16)}
+        metrics = MetricsRegistry()
+        run_supervised(_double, payloads, base_seed=0, n_jobs=4, metrics=metrics)
+        assert metrics.counter("executor.trials_dispatched") == 16

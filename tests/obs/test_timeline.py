@@ -105,6 +105,29 @@ class TestTimelineRecorder:
         data = TimelineRecorder(1.0).to_dict()
         assert data["t"] == [] and data["num_nodes"] == 0
 
+    def test_capacity_bounds_the_ring_buffer(self):
+        rec = TimelineRecorder(1.0, capacity=5)
+        engine = _FakeEngine()
+        for tick in range(1, 50):
+            engine.now = float(tick)
+            rec.on_mapped(engine)
+        # Newest 5 samples survive; older ones were evicted.
+        assert len(rec) == 5
+        assert [s.t for s in rec.samples] == [45.0, 46.0, 47.0, 48.0, 49.0]
+
+    def test_capacity_validation(self):
+        for capacity in (0, -3):
+            with pytest.raises(ValueError):
+                TimelineRecorder(1.0, capacity=capacity)
+
+    def test_capped_recorder_serializes(self):
+        rec = TimelineRecorder(1.0, capacity=2)
+        engine = _FakeEngine()
+        engine.now = 3.0
+        rec.on_mapped(engine)
+        data = rec.to_dict()
+        assert data["t"] == [2.0, 3.0]
+
 
 class TestTimelineSample:
     def test_in_system_sums_nodes(self):

@@ -1,0 +1,51 @@
+"""Validation tests for ServiceConfig / ServiceResult (repro.service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import TRAFFIC_MODELS, ServiceConfig
+
+
+class TestServiceConfig:
+    def test_defaults_are_generative_and_need_a_bound(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            ServiceConfig()
+
+    def test_replay_needs_no_bound(self):
+        cfg = ServiceConfig(traffic="replay")
+        assert cfg.horizon is None and cfg.task_limit is None
+
+    @pytest.mark.parametrize("traffic", TRAFFIC_MODELS)
+    def test_every_model_accepts_a_horizon(self, traffic):
+        assert ServiceConfig(traffic=traffic, horizon=100.0).traffic == traffic
+
+    def test_rejects_unknown_traffic(self):
+        with pytest.raises(ValueError, match="unknown traffic model"):
+            ServiceConfig(traffic="bursty", horizon=1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_mult": 0.0},
+            {"rate_mult": -1.0},
+            {"swing": -0.1},
+            {"swing": 1.0},
+            {"phase_length": 0.0},
+            {"window": -5.0},
+            {"horizon": 0.0},
+            {"task_limit": 0},
+            {"budget_rate_mult": 0.0},
+            {"budget_cap_windows": 0.0},
+            {"budget_cap": 0.0},
+            {"planning_tasks": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(traffic="replay", **kwargs)
+
+    def test_is_frozen(self):
+        cfg = ServiceConfig(traffic="replay")
+        with pytest.raises(AttributeError):
+            cfg.traffic = "poisson"  # type: ignore[misc]

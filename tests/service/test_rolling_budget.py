@@ -1,0 +1,77 @@
+"""Unit and property tests for the token-bucket allowance (repro.sim.state)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.state import RollingEnergyBudget
+
+
+class TestRollingEnergyBudget:
+    def test_starts_full_by_default(self):
+        b = RollingEnergyBudget(rate=2.0, cap=10.0)
+        assert b.remaining == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingEnergyBudget(rate=-1.0, cap=10.0)
+        with pytest.raises(ValueError):
+            RollingEnergyBudget(rate=1.0, cap=0.0)
+        with pytest.raises(ValueError):
+            RollingEnergyBudget(rate=1.0, cap=10.0, initial=11.0)
+        with pytest.raises(ValueError):
+            RollingEnergyBudget(rate=1.0, cap=10.0, initial=-1.0)
+
+    def test_accrues_at_rate_up_to_cap(self):
+        b = RollingEnergyBudget(rate=2.0, cap=10.0, initial=0.0)
+        assert b.advance(3.0) == pytest.approx(6.0)
+        assert b.advance(10.0) == 10.0  # capped
+
+    def test_draw_clamps_at_zero_and_tracks_deficit(self):
+        b = RollingEnergyBudget(rate=1.0, cap=10.0)
+        assert b.draw(4.0) == pytest.approx(6.0)
+        assert b.deficit == 0.0
+        assert b.draw(9.0) == 0.0
+        assert b.deficit == pytest.approx(3.0)
+        assert b.drawn == pytest.approx(13.0)
+
+    def test_time_cannot_run_backwards(self):
+        b = RollingEnergyBudget(rate=1.0, cap=10.0)
+        b.advance(5.0)
+        with pytest.raises(ValueError):
+            b.advance(4.0)
+
+    def test_peek_is_read_only(self):
+        b = RollingEnergyBudget(rate=2.0, cap=100.0, initial=0.0)
+        assert b.peek(3.0) == pytest.approx(6.0)
+        assert b.remaining == 0.0  # unchanged
+        b.advance(1.0)
+        assert b.peek(0.5) == b.remaining  # the past reads the present
+
+    @settings(max_examples=50)
+    @given(
+        rate=st.floats(min_value=0.0, max_value=100.0),
+        cap=st.floats(min_value=0.1, max_value=1e6),
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),  # dt
+                st.floats(min_value=0.0, max_value=1e5),  # draw
+            ),
+            max_size=30,
+        ),
+    )
+    def test_level_invariant_under_any_schedule(self, rate, cap, steps):
+        b = RollingEnergyBudget(rate=rate, cap=cap)
+        t, drawn_total = 0.0, 0.0
+        for dt, joules in steps:
+            t += dt
+            level = b.advance(t)
+            assert 0.0 <= level <= cap
+            level = b.draw(joules)
+            drawn_total += joules
+            assert 0.0 <= level <= cap
+        assert b.drawn == pytest.approx(drawn_total)
+        assert b.deficit >= 0.0
+        assert b.time == t

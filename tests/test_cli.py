@@ -388,3 +388,59 @@ class TestInspectManifestMetrics:
                     "--metrics", str(bogus),
                 ]
             )
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.traffic == "poisson"
+        assert args.rate_mult == 1.0
+        assert args.horizon is None and args.task_limit is None
+        assert args.timeline_cap is None
+
+    def test_rejects_unknown_traffic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--traffic", "bursty"])
+
+    def test_unbounded_generative_traffic_exits(self):
+        with pytest.raises(SystemExit, match="unbounded"):
+            main(["serve", *TINY, "--traffic", "poisson"])
+
+    def test_poisson_run_prints_windows(self, capsys, tmp_path):
+        out = tmp_path / "w.jsonl"
+        code = main(
+            [
+                "serve", *TINY,
+                "--traffic", "poisson", "--task-limit", "80",
+                "--windows-out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "80 arrivals" in text
+        assert "allowance drawn" in text
+        assert f"wrote {out}" in text
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all(row["format"] == "repro.window/1" for row in rows)
+        assert sum(row["arrivals"] for row in rows) == 80
+
+    def test_replay_prints_batch_equivalent_score(self, capsys):
+        assert main(["serve", *TINY, "--traffic", "replay"]) == 0
+        text = capsys.readouterr().out
+        assert "batch-equivalent score" in text
+        assert "60 arrivals" in text
+
+    def test_ring_timeline_output(self, capsys, tmp_path):
+        out = tmp_path / "tl.json"
+        code = main(
+            [
+                "serve", *TINY,
+                "--traffic", "diurnal", "--task-limit", "60",
+                "--timeline-out", str(out), "--timeline-dt", "50",
+                "--timeline-cap", "7",
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        (stream,) = data["streams"]
+        assert len(stream["t"]) <= 7

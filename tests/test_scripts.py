@@ -162,3 +162,107 @@ class TestTraceCheck:
         assert proc.returncode == 0, proc.stderr
         check = self.run_check(prof)
         assert check.returncode == 0, check.stdout
+
+
+class TestServiceCheck:
+    SCRIPT = REPO / "scripts" / "service_check.py"
+
+    def run_check(self, *paths):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *[str(p) for p in paths]],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    @staticmethod
+    def row(index, start, end, **overrides):
+        row = {
+            "format": "repro.window/1",
+            "index": index,
+            "label": "LL/en+rob",
+            "seed": 0,
+            "traffic": "poisson",
+            "start": start,
+            "end": end,
+            "arrivals": 3,
+            "mapped": 2,
+            "discarded": 1,
+            "completed": 2,
+            "on_time": 1,
+            "late": 1,
+            "energy": 10.0,
+            "budget_remaining": 5.0,
+            "in_system_end": 1,
+        }
+        row.update(overrides)
+        return row
+
+    def write(self, tmp_path, name, rows):
+        path = tmp_path / name
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        return path
+
+    def test_valid_windows_pass(self, tmp_path):
+        good = self.write(
+            tmp_path,
+            "good.jsonl",
+            [self.row(0, 0.0, 5.0), self.row(1, 5.0, 10.0, budget_remaining=None)],
+        )
+        proc = self.run_check(good)
+        assert proc.returncode == 0, proc.stdout
+        assert proc.stdout.startswith("ok")
+
+    def test_gap_between_windows_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path, "gap.jsonl", [self.row(0, 0.0, 5.0), self.row(1, 6.0, 10.0)]
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "contiguity" in proc.stdout
+
+    def test_count_identity_fails(self, tmp_path):
+        bad = self.write(tmp_path, "sum.jsonl", [self.row(0, 0.0, 5.0, arrivals=99)])
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "mapped + discarded" in proc.stdout
+
+    def test_negative_budget_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path, "neg.jsonl", [self.row(0, 0.0, 5.0, budget_remaining=-1.0)]
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "budget_remaining" in proc.stdout
+
+    def test_out_of_order_index_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path, "idx.jsonl", [self.row(0, 0.0, 5.0), self.row(5, 5.0, 10.0)]
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "out of order" in proc.stdout
+
+    def test_empty_file_fails(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        proc = self.run_check(empty)
+        assert proc.returncode == 1
+        assert "no window rows" in proc.stdout
+
+    def test_real_serve_output_passes(self, tmp_path):
+        # End to end: `repro serve --windows-out` satisfies the validator.
+        out = tmp_path / "windows.jsonl"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--tasks", "60", "--seed", "5",
+                "--traffic", "poisson", "--task-limit", "120",
+                "--windows-out", str(out),
+            ],
+            capture_output=True, text=True, timeout=600,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        check = self.run_check(out)
+        assert check.returncode == 0, check.stdout

@@ -1,0 +1,249 @@
+"""Property tests for the lazy traffic generators (repro.workload.traffic).
+
+Each generator is a pure function of its rng, so every property below is
+deterministic per hypothesis example: statistical assertions use wide
+(5-sigma) tolerances on large samples, and reproducibility assertions
+demand exact float equality.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_mod
+from repro.config import WorkloadConfig
+from repro.workload.traffic import (
+    TaskFactory,
+    diurnal_times,
+    merge_times,
+    mmpp_times,
+    piecewise_times,
+    poisson_times,
+    replay_tasks,
+    splice_times,
+    trace_times,
+)
+from repro.workload.task import Task
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+rates = st.floats(min_value=0.01, max_value=100.0)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+class TestPoissonTimes:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates)
+    def test_interarrival_mean_approaches_inverse_rate(self, seed, rate):
+        n = 4000
+        times = take(poisson_times(rate, np.random.default_rng(seed)), n)
+        gaps = np.diff([0.0] + times)
+        # Mean of n iid Exp(rate) draws: sd of the mean = 1/(rate*sqrt(n)).
+        assert abs(gaps.mean() - 1.0 / rate) < 5.0 / (rate * math.sqrt(n))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates)
+    def test_same_seed_is_bitwise_reproducible(self, seed, rate):
+        a = take(poisson_times(rate, np.random.default_rng(seed)), 200)
+        b = take(poisson_times(rate, np.random.default_rng(seed)), 200)
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates, start=st.floats(min_value=0.0, max_value=1e6))
+    def test_monotone_and_after_start(self, seed, rate, start):
+        times = take(poisson_times(rate, np.random.default_rng(seed), start=start), 100)
+        assert all(t >= start for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            next(poisson_times(0.0, np.random.default_rng(0)))
+
+
+class TestPiecewiseTimes:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates)
+    def test_single_infinite_segment_is_poisson_bitwise(self, seed, rate):
+        # The documented reduction: one open-ended segment must reproduce
+        # the homogeneous generator bit for bit (same draws, same math).
+        pw = take(piecewise_times([(math.inf, rate)], np.random.default_rng(seed)), 200)
+        po = take(poisson_times(rate, np.random.default_rng(seed)), 200)
+        assert pw == po
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates, quiet=st.floats(min_value=1.0, max_value=1e4))
+    def test_zero_rate_segments_emit_nothing(self, seed, rate, quiet):
+        # busy / quiet / busy: no arrival may land inside the quiet hole.
+        busy = 50.0 / rate
+        schedule = [(busy, rate), (quiet, 0.0), (busy, rate)]
+        times = list(piecewise_times(schedule, np.random.default_rng(seed)))
+        hole = (busy, busy + quiet)
+        assert not any(hole[0] <= t < hole[1] for t in times)
+        assert all(0.0 <= t < 2 * busy + quiet for t in times)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates)
+    def test_non_cycled_schedule_is_finite_and_bounded(self, seed, rate):
+        dur = 20.0 / rate
+        times = list(piecewise_times([(dur, rate)], np.random.default_rng(seed)))
+        assert all(0.0 <= t < dur for t in times)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate=rates)
+    def test_cycled_schedule_is_monotone_unbounded(self, seed, rate):
+        schedule = [(5.0 / rate, 2.0 * rate), (5.0 / rate, 0.0)]
+        times = take(
+            piecewise_times(schedule, np.random.default_rng(seed), cycle=True), 300
+        )
+        assert len(times) == 300  # cycling never exhausts
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            piecewise_times([], rng)
+        with pytest.raises(ValueError):
+            piecewise_times([(0.0, 1.0)], rng)
+        with pytest.raises(ValueError):
+            piecewise_times([(1.0, -1.0)], rng)
+        with pytest.raises(ValueError):
+            piecewise_times([(math.inf, 1.0)], rng, cycle=True)
+        with pytest.raises(ValueError):
+            piecewise_times([(1.0, 0.0)], rng, cycle=True)
+
+
+class TestDiurnalTimes:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, swing=st.floats(min_value=0.0, max_value=0.95))
+    def test_long_run_mean_rate_is_preserved(self, seed, swing):
+        mean_rate, period = 1.0, 200.0
+        horizon = 40 * period
+        stream = diurnal_times(
+            mean_rate, np.random.default_rng(seed), period=period, swing=swing
+        )
+        count = sum(1 for _ in itertools.takewhile(lambda t: t < horizon, stream))
+        expected = mean_rate * horizon
+        assert abs(count - expected) < 5.0 * math.sqrt(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_zero_swing_is_poisson_like_schedule(self, seed):
+        # swing=0 makes both phases run at the mean rate; arrivals exist
+        # in every half-period.
+        stream = diurnal_times(2.0, np.random.default_rng(seed), period=100.0, swing=0.0)
+        times = take(stream, 500)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestMmppTimes:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, rate=st.floats(min_value=0.1, max_value=10.0))
+    def test_equal_rate_states_keep_the_mean(self, seed, rate):
+        # With every modulation state at the same rate the long-run mean
+        # interarrival must be 1/rate, whatever the dwell structure.
+        stream = mmpp_times([rate, rate], [50.0 / rate, 5.0 / rate],
+                            np.random.default_rng(seed))
+        n = 3000
+        times = take(stream, n)
+        gaps = np.diff([0.0] + times)
+        assert abs(gaps.mean() - 1.0 / rate) < 5.0 / (rate * math.sqrt(n))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_same_seed_is_bitwise_reproducible(self, seed):
+        a = take(mmpp_times([2.0, 0.1], [30.0, 30.0], np.random.default_rng(seed)), 200)
+        b = take(mmpp_times([2.0, 0.1], [30.0, 30.0], np.random.default_rng(seed)), 200)
+        assert a == b
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mmpp_times([], [], rng)
+        with pytest.raises(ValueError):
+            mmpp_times([1.0], [1.0, 2.0], rng)
+        with pytest.raises(ValueError):
+            mmpp_times([0.0, 0.0], [1.0, 1.0], rng)
+        with pytest.raises(ValueError):
+            mmpp_times([1.0], [0.0], rng)
+
+
+class TestCombinators:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rate_a=rates, rate_b=rates)
+    def test_merge_is_monotone(self, seed, rate_a, rate_b):
+        rng = np.random.default_rng(seed)
+        a = take(poisson_times(rate_a, rng), 100)
+        b = take(poisson_times(rate_b, rng), 100)
+        merged = take(merge_times(iter(a), iter(b)), 200)
+        assert merged == sorted(a + b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, at=st.floats(min_value=0.1, max_value=100.0))
+    def test_splice_respects_the_boundary(self, seed, at):
+        rng = np.random.default_rng(seed)
+        first = take(poisson_times(1.0, rng), 200)
+        second = take(poisson_times(1.0, rng), 200)
+        out = list(splice_times(iter(first), iter(second), at=at))
+        assert all(t < at for t in out if t in set(first))
+        head = [t for t in first if t < at]
+        tail = [t for t in second if t >= at]
+        assert out == head + tail
+        assert all(b >= a for a, b in zip(out, out[1:]))
+
+    def test_trace_times_validates_monotonicity(self):
+        assert list(trace_times([1.0, 2.0, 2.0, 5.0])) == [1.0, 2.0, 2.0, 5.0]
+        with pytest.raises(ValueError):
+            list(trace_times([1.0, 0.5]))
+
+
+class TestTaskFactory:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, start_id=st.integers(min_value=0, max_value=10_000))
+    def test_stream_stamps_ids_types_and_deadlines(self, seed, start_id):
+        cfg = WorkloadConfig()
+        means = np.linspace(10.0, 500.0, cfg.num_task_types)
+        factory = TaskFactory(cfg=cfg, mean_exec_per_type=means, t_avg=123.0)
+        times = take(poisson_times(0.5, np.random.default_rng(seed)), 50)
+        tasks = list(
+            factory.stream(
+                iter(times), rng_mod.stream(seed, "types"), start_id=start_id
+            )
+        )
+        load = cfg.load_factor_mult * 123.0
+        assert [t.task_id for t in tasks] == list(range(start_id, start_id + 50))
+        for task, arrival in zip(tasks, times):
+            assert task.arrival == arrival
+            assert 0 <= task.type_id < cfg.num_task_types
+            assert task.deadline == arrival + means[task.type_id] + load
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_same_seed_yields_identical_tasks(self, seed):
+        cfg = WorkloadConfig()
+        means = np.full(cfg.num_task_types, 42.0)
+        factory = TaskFactory(cfg=cfg, mean_exec_per_type=means, t_avg=10.0)
+
+        def build():
+            times = poisson_times(1.0, np.random.default_rng(seed))
+            return list(
+                itertools.islice(
+                    factory.stream(times, rng_mod.stream(seed, "types")), 64
+                )
+            )
+
+        assert build() == build()
+
+    def test_replay_tasks_round_trips(self):
+        tasks = [
+            Task(task_id=i, type_id=0, arrival=float(i), deadline=float(i + 10))
+            for i in range(5)
+        ]
+        assert list(replay_tasks(tasks)) == tasks
