@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Validate fault accounting in ``repro serve --windows-out`` JSONL (CI).
+
+Complements ``service_check.py`` (which checks the base window format):
+this script checks the fault-layer columns a degraded run adds, so a
+broken fault/shedding integration cannot ship windows that silently
+miscount casualties:
+
+* every window row carries the five fault-count fields (``shed``,
+  ``deferred``, ``orphaned``, ``remapped``, ``lost``) as non-negative
+  integers;
+* per row, ``remapped <= orphaned`` (a re-mapped task was orphaned
+  first);
+* ``arrivals == mapped + discarded + shed`` (deferred tasks are not
+  terminal and must not inflate arrivals);
+* with ``--expect-faults``, the file as a whole shows fault activity
+  (some orphaned, lost, or shed work) — the degraded-smoke guard
+  against a schedule that silently failed to inject;
+* an optional final ``repro.window_trailer/1`` truncation trailer is
+  validated (``truncated: true``, window count matches) and excluded
+  from the row checks.
+
+Exits 0 when every file is valid, 1 with diagnostics otherwise.  No
+repro imports — the script validates the *format*, so it must not share
+code with the writer it is checking.
+
+Usage:
+    python scripts/faults_check.py windows.jsonl [more.jsonl ...]
+    python scripts/faults_check.py --expect-faults degraded.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FORMAT = "repro.window/1"
+TRAILER_FORMAT = "repro.window_trailer/1"
+FAULT_FIELDS = ("shed", "deferred", "orphaned", "remapped", "lost")
+
+
+def check_faults(path: Path, *, expect_faults: bool = False) -> list[str]:
+    """Return a list of problems (empty when the file is valid)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not lines:
+        return ["no window rows at all"]
+
+    problems: list[str] = []
+    try:
+        last = json.loads(lines[-1])
+    except json.JSONDecodeError:
+        last = None
+    if isinstance(last, dict) and last.get("format") == TRAILER_FORMAT:
+        lines = lines[:-1]
+        if last.get("truncated") is not True:
+            problems.append("trailer: truncated is not true")
+        if last.get("windows") != len(lines):
+            problems.append(
+                f"trailer: windows {last.get('windows')!r} != {len(lines)} rows"
+            )
+        if not lines:
+            return problems + ["trailer with no window rows"]
+
+    activity = 0
+    for i, line in enumerate(lines):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i}: not JSON ({exc})")
+            continue
+        if not isinstance(row, dict):
+            problems.append(f"line {i}: not an object")
+            continue
+        if row.get("format") != FORMAT:
+            problems.append(f"line {i}: format {row.get('format')!r} != {FORMAT!r}")
+            continue
+
+        bad = False
+        for key in FAULT_FIELDS:
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(f"line {i}: {key} {value!r} is not a count")
+                bad = True
+        if bad:
+            continue
+        if row["remapped"] > row["orphaned"]:
+            problems.append(
+                f"line {i}: remapped {row['remapped']} > orphaned {row['orphaned']}"
+            )
+        counts = {k: row.get(k) for k in ("arrivals", "mapped", "discarded")}
+        if all(isinstance(v, int) and not isinstance(v, bool) for v in counts.values()):
+            if row["arrivals"] != row["mapped"] + row["discarded"] + row["shed"]:
+                problems.append(f"line {i}: arrivals != mapped + discarded + shed")
+        activity += row["orphaned"] + row["lost"] + row["shed"] + row["deferred"]
+
+    if expect_faults and activity == 0:
+        problems.append("no fault activity anywhere (schedule failed to inject?)")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("windows", nargs="+", help="repro serve --windows-out files")
+    parser.add_argument(
+        "--expect-faults",
+        action="store_true",
+        help="fail unless the file shows some orphaned/lost/shed activity",
+    )
+    args = parser.parse_args()
+    failed = False
+    for name in args.windows:
+        path = Path(name)
+        problems = check_faults(path, expect_faults=args.expect_faults)
+        if problems:
+            failed = True
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

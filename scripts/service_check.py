@@ -8,10 +8,13 @@ Checks the invariants any downstream window consumer relies on:
 * windows are contiguous (each ``start`` equals the previous ``end``)
   and non-degenerate (``end >= start``, the first ``start`` is 0);
 * counts are non-negative integers with ``arrivals == mapped +
-  discarded`` and ``completed == on_time + late``;
+  discarded + shed`` and ``completed == on_time + late`` (``shed``
+  defaults to 0 for pre-fault-layer writers);
 * ``energy`` is non-negative and finite; ``budget_remaining`` is
   either null (no rolling budget) or non-negative;
-* ``label``/``seed``/``traffic`` are constant across the file.
+* ``label``/``seed``/``traffic`` are constant across the file;
+* an optional final ``repro.window_trailer/1`` line (graceful-shutdown
+  truncation marker) is tolerated and excluded from the window checks.
 
 Exits 0 when every file is valid, 1 with diagnostics otherwise.  No
 repro imports — the script validates the *format*, so it must not share
@@ -30,6 +33,7 @@ import sys
 from pathlib import Path
 
 FORMAT = "repro.window/1"
+TRAILER_FORMAT = "repro.window_trailer/1"
 COUNT_FIELDS = ("arrivals", "mapped", "discarded", "completed", "on_time", "late",
                 "in_system_end")
 
@@ -44,6 +48,20 @@ def check_windows(path: Path) -> list[str]:
         return ["no window rows at all"]
 
     problems: list[str] = []
+    try:
+        last = json.loads(lines[-1])
+    except json.JSONDecodeError:
+        last = None
+    if isinstance(last, dict) and last.get("format") == TRAILER_FORMAT:
+        lines = lines[:-1]
+        if last.get("truncated") is not True:
+            problems.append("trailer: truncated is not true")
+        if last.get("windows") != len(lines):
+            problems.append(
+                f"trailer: windows {last.get('windows')!r} != {len(lines)} rows"
+            )
+        if not lines:
+            return problems + ["trailer with no window rows"]
     prev_end: float | None = None
     constants: dict[str, object] = {}
     for i, line in enumerate(lines):
@@ -91,8 +109,8 @@ def check_windows(path: Path) -> list[str]:
                 problems.append(f"line {i}: {key} {value!r} is not a count")
                 bad_count = True
         if not bad_count:
-            if row["arrivals"] != row["mapped"] + row["discarded"]:
-                problems.append(f"line {i}: arrivals != mapped + discarded")
+            if row["arrivals"] != row["mapped"] + row["discarded"] + row.get("shed", 0):
+                problems.append(f"line {i}: arrivals != mapped + discarded + shed")
             if row["completed"] != row["on_time"] + row["late"]:
                 problems.append(f"line {i}: completed != on_time + late")
 

@@ -3,6 +3,11 @@ breakdowns, event-trace summaries, span-profile reports, timeline
 charts and time-series views of finished trials."""
 
 from repro.analysis.boxplot import ascii_boxplot, ascii_boxplot_group
+from repro.analysis.faults_report import (
+    faults_report,
+    robustness_delta,
+    service_robustness_delta,
+)
 from repro.analysis.phases import PhaseBreakdown, phase_breakdown
 from repro.analysis.profile_report import (
     SpanStat,
@@ -50,4 +55,7 @@ __all__ = [
     "active_tasks_series",
     "completion_rate_series",
     "cumulative_energy_series",
+    "faults_report",
+    "robustness_delta",
+    "service_robustness_delta",
 ]

@@ -1,0 +1,134 @@
+"""Degraded-vs-clean robustness reporting for the fault layer.
+
+A fault study runs the same scenario at least twice — once clean, once
+with a :class:`~repro.faults.FaultSchedule` injected (and optionally a
+third time with recovery machinery disabled, the ablation) — and asks
+what fraction of the clean run's service the degraded run retained.
+This module computes that comparison from finished results; it never
+re-simulates.
+
+Batch comparisons work on :class:`~repro.sim.results.TrialResult`;
+service comparisons fold a :class:`~repro.service.ServiceResult`'s
+windows and also surface the fault-layer counters (orphaned, remapped,
+lost, shed) that batch scoring has no column for.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.tables import markdown_table
+from repro.service import ServiceResult
+from repro.sim.results import TrialResult
+
+__all__ = [
+    "robustness_delta",
+    "service_robustness_delta",
+    "faults_report",
+]
+
+
+def _retained(clean_completed: int, degraded_completed: int) -> float:
+    """Fraction of clean completions the degraded run kept (1.0 if both idle)."""
+    if clean_completed <= 0:
+        return 1.0 if degraded_completed <= 0 else float("inf")
+    return degraded_completed / clean_completed
+
+
+def robustness_delta(clean: TrialResult, degraded: TrialResult) -> dict[str, float]:
+    """Compare a degraded batch trial against its clean twin.
+
+    Both results should come from the same scenario and seed (the same
+    ``TrialSystem``), differing only in the injected fault layer —
+    otherwise the deltas mix workload noise into the fault effect.
+
+    Returns a flat dict: ``completed_clean``/``completed_degraded``,
+    ``retained`` (degraded completions over clean completions),
+    ``missed_delta``, ``discarded_delta`` and ``energy_delta`` (degraded
+    minus clean, joules).
+    """
+    if (clean.seed, clean.num_tasks) != (degraded.seed, degraded.num_tasks):
+        raise ValueError(
+            "robustness_delta compares twin runs; got "
+            f"seed/num_tasks {clean.seed}/{clean.num_tasks} vs "
+            f"{degraded.seed}/{degraded.num_tasks}"
+        )
+    return {
+        "completed_clean": float(clean.completed_within),
+        "completed_degraded": float(degraded.completed_within),
+        "retained": _retained(clean.completed_within, degraded.completed_within),
+        "missed_delta": float(degraded.missed - clean.missed),
+        "discarded_delta": float(degraded.discarded - clean.discarded),
+        "energy_delta": degraded.total_energy - clean.total_energy,
+    }
+
+
+def service_robustness_delta(
+    clean: ServiceResult, degraded: ServiceResult
+) -> dict[str, float]:
+    """Compare a degraded service run against its clean twin.
+
+    Works on the folded window totals, so it applies to generative
+    streams (no :class:`TrialResult` exists there).  On top of the
+    batch-style retention numbers it reports the degraded run's fault
+    accounting: ``orphaned``/``remapped``/``lost`` (outage casualties
+    and how many were saved) and ``shed``/``deferred`` (admission
+    control).
+    """
+    if clean.seed != degraded.seed:
+        raise ValueError(
+            f"service_robustness_delta compares twin runs; got seeds "
+            f"{clean.seed} vs {degraded.seed}"
+        )
+    ct, dt = clean.totals, degraded.totals
+    totals = degraded.fault_totals or {}
+    return {
+        "completed_clean": float(ct.completed),
+        "completed_degraded": float(dt.completed),
+        "retained": _retained(ct.completed, dt.completed),
+        "late_delta": float(dt.late - ct.late),
+        "energy_delta": degraded.total_energy - clean.total_energy,
+        "orphaned": float(totals.get("orphaned", dt.orphaned)),
+        "remapped": float(totals.get("remapped", dt.remapped)),
+        "lost": float(totals.get("lost", dt.lost)),
+        "shed": float(totals.get("shed", dt.shed)),
+        "deferred": float(totals.get("deferred", dt.deferred)),
+    }
+
+
+_REPORT_COLUMNS: Sequence[tuple[str, str]] = (
+    ("completed_degraded", "completed"),
+    ("retained", "retained"),
+    ("missed_delta", "missed Δ"),
+    ("late_delta", "late Δ"),
+    ("orphaned", "orphaned"),
+    ("remapped", "remapped"),
+    ("lost", "lost"),
+    ("shed", "shed"),
+)
+
+
+def faults_report(deltas: Mapping[str, Mapping[str, float]]) -> str:
+    """Render named robustness deltas as a markdown table.
+
+    ``deltas`` maps a row label (e.g. ``"remap+shed"``, ``"no
+    recovery"``) to the output of :func:`robustness_delta` or
+    :func:`service_robustness_delta`; columns a delta lacks render
+    as ``-``.  Row order follows the mapping's insertion order.
+    """
+    if not deltas:
+        raise ValueError("need at least one delta row")
+    headers = ["run"] + [title for _, title in _REPORT_COLUMNS]
+    rows = []
+    for label, delta in deltas.items():
+        row: list[object] = [label]
+        for key, _ in _REPORT_COLUMNS:
+            value = delta.get(key)
+            if value is None:
+                row.append("-")
+            elif key == "retained":
+                row.append(f"{value:.3f}")
+            else:
+                row.append(f"{value:g}")
+        rows.append(row)
+    return markdown_table(headers, rows)

@@ -51,6 +51,13 @@ from repro.experiments.runner import (
 from repro.experiments.runner import run_ensemble as _run_ensemble
 from repro.experiments.sweep import SweepResult
 from repro.experiments.sweep import budget_sweep as _budget_sweep
+from repro.faults import (
+    FaultEvent,
+    FaultPolicy,
+    FaultSchedule,
+    FaultStats,
+    SheddingConfig,
+)
 from repro.filters.chain import VARIANTS as FILTER_VARIANTS
 from repro.filters.chain import FilterChain, make_filter_chain
 from repro.heuristics.registry import HEURISTICS, make_heuristic
@@ -88,6 +95,12 @@ __all__ = [
     "ServiceResult",
     "WindowStats",
     "write_windows_jsonl",
+    # fault layer
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultPolicy",
+    "FaultStats",
+    "SheddingConfig",
     "observe_trial",
     "PerfConfig",
     "CacheStats",
@@ -185,6 +198,9 @@ def run_trial(
     timeline: TimelineRecorder | None = None,
     perf: PerfConfig | None = None,
     shared: TrialCache | None = None,
+    faults: FaultSchedule | None = None,
+    fault_policy: FaultPolicy | None = None,
+    shedding: SheddingConfig | None = None,
 ) -> TrialResult:
     """Run one trial of a scenario.
 
@@ -197,6 +213,12 @@ def run_trial(
     warmed.  Observability collectors, the ``perf`` knobs and
     ``shared`` are results-neutral: the returned :class:`TrialResult`
     is bitwise identical for any combination.
+
+    ``faults`` injects an in-simulation :class:`FaultSchedule` (node or
+    core outages, slowdowns) with recovery behavior set by
+    ``fault_policy``; ``shedding`` attaches the overload admission
+    controller.  All three default to ``None``: a fault-free run is
+    bitwise identical to one on a build without the fault layer.
     """
     if system is None:
         system = scenario.build_system()
@@ -210,6 +232,9 @@ def run_trial(
         timeline=timeline,
         perf=perf,
         shared=shared,
+        faults=faults,
+        fault_policy=fault_policy,
+        shedding=shedding,
     )
 
 

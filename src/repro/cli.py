@@ -6,6 +6,8 @@ Installed as the ``repro`` console script::
     repro trial -H LL -F en+rob         # one trial, one policy
     repro serve --traffic diurnal --horizon 3e5 --windows-out w.jsonl
                                         # continuous-service mode
+    repro serve --horizon 3e5 --fault-mtbf 6e4 --fault-mttr 6e3 \
+                --shed-queue-depth 8    # degraded service with shedding
     repro figure fig5 --trials 10       # one of the paper's figures
     repro grid --trials 50 -o grid.json # the full 16-variant evaluation
     repro sweep --multipliers 0.7 1.0 1.3  # budget-tightness sweep
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import signal
 import sys
 from dataclasses import replace
 from typing import Any, Sequence
@@ -47,7 +50,9 @@ from repro.experiments.runner import (
     run_ensemble,
     run_trial_variant,
 )
+from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
 from repro.heuristics.registry import HEURISTICS
+from repro.io.faults_io import load_faults, save_faults
 from repro.io.profile_io import (
     load_profile_events,
     load_timeline,
@@ -100,6 +105,167 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=2,
         help="retries per trial before it is quarantined as poison",
+    )
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    """In-simulation fault and shedding flags shared by trial and serve."""
+    group = parser.add_argument_group("faults / shedding")
+    group.add_argument(
+        "--faults", help="load a repro.faults/1 schedule JSON (vs. generating one)"
+    )
+    group.add_argument(
+        "--faults-out", help="save the (loaded or generated) fault schedule here"
+    )
+    group.add_argument(
+        "--fault-mtbf",
+        type=float,
+        default=None,
+        help="generate a schedule: mean up-time per target (simulated seconds)",
+    )
+    group.add_argument(
+        "--fault-mttr",
+        type=float,
+        default=None,
+        help="mean outage duration per target (simulated seconds)",
+    )
+    group.add_argument(
+        "--fault-horizon",
+        type=float,
+        default=None,
+        help="generate faults up to this time (serve defaults to --horizon)",
+    )
+    group.add_argument(
+        "--fault-scope",
+        default="node",
+        choices=("node", "core", "slowdown"),
+        help="what a generated fault takes down (slowdown caps P-states instead)",
+    )
+    group.add_argument(
+        "--fault-targets",
+        type=int,
+        default=None,
+        help="targets subject to faults (default: every node, or core)",
+    )
+    group.add_argument(
+        "--fault-pstate-floor",
+        type=int,
+        default=1,
+        help="forbid P-state indices below this during a slowdown (scope=slowdown)",
+    )
+    group.add_argument(
+        "--fault-running",
+        default="lost",
+        choices=("lost", "resume"),
+        help="running tasks caught by an outage are lost or resume-orphaned",
+    )
+    group.add_argument(
+        "--no-remap",
+        action="store_true",
+        help="disable orphan re-mapping (the no-recovery ablation)",
+    )
+    group.add_argument(
+        "--shed-queue-depth",
+        type=float,
+        default=None,
+        help="shed arrivals when avg queue depth exceeds this (tasks/core)",
+    )
+    group.add_argument(
+        "--shed-budget-frac",
+        type=float,
+        default=None,
+        help="shed arrivals when the energy allowance falls below this fraction",
+    )
+    group.add_argument(
+        "--shed-min-prob",
+        type=float,
+        default=None,
+        help="shed tasks whose chosen assignment's on-time probability is below this",
+    )
+    group.add_argument(
+        "--shed-defer",
+        type=float,
+        default=None,
+        help="retry tripped arrivals after this many simulated seconds (default: drop)",
+    )
+    group.add_argument(
+        "--shed-max-defers",
+        type=int,
+        default=3,
+        help="deferrals per task before it is shed for good",
+    )
+
+
+def _resolve_faults(
+    args: argparse.Namespace,
+    cluster_nodes: int,
+    cluster_cores: int,
+    *,
+    default_horizon: float | None = None,
+) -> tuple[FaultSchedule | None, FaultPolicy | None, SheddingConfig | None]:
+    """Turn the fault/shedding flags into engine inputs (or Nones)."""
+    if args.faults and args.fault_mtbf is not None:
+        raise SystemExit("pass either --faults FILE or --fault-mtbf, not both")
+    schedule: FaultSchedule | None = None
+    if args.faults:
+        schedule = load_faults(args.faults)
+    elif args.fault_mtbf is not None:
+        if args.fault_mttr is None:
+            raise SystemExit("generating a schedule needs --fault-mttr too")
+        horizon = args.fault_horizon if args.fault_horizon is not None else default_horizon
+        if horizon is None:
+            raise SystemExit("generating a schedule needs --fault-horizon (or --horizon)")
+        targets = args.fault_targets
+        if targets is None:
+            targets = cluster_cores if args.fault_scope == "core" else cluster_nodes
+        try:
+            schedule = FaultSchedule.generate(
+                num_targets=targets,
+                horizon=horizon,
+                mtbf=args.fault_mtbf,
+                mttr=args.fault_mttr,
+                seed=args.seed,
+                scope=args.fault_scope,
+                pstate_floor=args.fault_pstate_floor,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"fault schedule: {exc}")
+    if args.faults_out:
+        if schedule is None:
+            raise SystemExit("--faults-out needs a schedule (--faults or --fault-mtbf)")
+        save_faults(schedule, args.faults_out)
+        print(f"wrote {args.faults_out} ({len(schedule.events)} fault events)")
+    policy = None
+    if schedule is not None:
+        policy = FaultPolicy(running=args.fault_running, remap=not args.no_remap)
+    shedding = None
+    if (
+        args.shed_queue_depth is not None
+        or args.shed_budget_frac is not None
+        or args.shed_min_prob is not None
+    ):
+        try:
+            shedding = SheddingConfig(
+                queue_depth=args.shed_queue_depth,
+                budget_frac=args.shed_budget_frac,
+                min_prob=args.shed_min_prob,
+                defer=args.shed_defer,
+                max_defers=args.shed_max_defers,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"shedding: {exc}")
+    return schedule, policy, shedding
+
+
+def _print_fault_totals(totals: dict[str, int]) -> None:
+    """One-line fault/shedding summary (only when something happened)."""
+    if not any(totals.values()):
+        return
+    print(
+        f"faults: {totals['outages']} outages ({totals['recoveries']} recovered, "
+        f"{totals['slowdowns']} slowdowns), {totals['orphaned']} orphaned "
+        f"({totals['remapped']} re-mapped), {totals['lost']} lost, "
+        f"{totals['shed']} shed, {totals['deferred']} deferred"
     )
 
 
@@ -159,6 +325,9 @@ def cmd_trial(args: argparse.Namespace) -> int:
     """Run a single trial of one (heuristic, filters) policy."""
     system = build_trial_system(_config(args))
     spec = VariantSpec(args.heuristic, args.filters)
+    faults, fault_policy, shedding = _resolve_faults(
+        args, system.cluster.num_nodes, system.cluster.num_cores
+    )
     metrics = MetricsRegistry() if args.metrics_out else None
     trace_sink = JsonlSink(args.trace_out) if args.trace_out else None
     sinks = (trace_sink,) if trace_sink is not None else ()
@@ -181,10 +350,19 @@ def cmd_trial(args: argparse.Namespace) -> int:
             sinks=sinks,
             profile=recorder,
             timeline=timeline,
+            faults=faults,
+            fault_policy=fault_policy,
+            shedding=shedding,
         )
     finally:
         if trace_sink is not None:
             trace_sink.close()
+    if faults is not None:
+        print(
+            f"fault schedule: {len(faults.events)} events "
+            f"(policy: running {fault_policy.running}, "
+            f"remap {'on' if fault_policy.remap else 'off'})"
+        )
     print(
         f"{result.label}: missed {result.missed}/{result.num_tasks} "
         f"({result.late} late, {result.discarded} discarded, "
@@ -240,9 +418,21 @@ def _print_windows(result: ServiceResult, head: int = 10, tail: int = 10) -> Non
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the engine as a continuous service and summarize its windows."""
+    """Run the engine as a continuous service and summarize its windows.
+
+    SIGINT/SIGTERM trigger a graceful shutdown: the arrival stream is
+    cut, committed work drains, the final partial window is flushed
+    (``--windows-out`` then ends with a truncation trailer) and the
+    process exits 0.
+    """
     system = build_trial_system(_config(args))
     spec = VariantSpec(args.heuristic, args.filters)
+    faults, fault_policy, shedding = _resolve_faults(
+        args,
+        system.cluster.num_nodes,
+        system.cluster.num_cores,
+        default_horizon=args.horizon,
+    )
     try:
         service = ServiceConfig(
             traffic=args.traffic,
@@ -256,6 +446,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             budget_cap_windows=args.budget_cap_windows,
             budget_cap=args.budget_cap,
             planning_tasks=args.planning_tasks,
+            faults=faults,
+            fault_policy=fault_policy,
+            shedding=shedding,
         )
     except ValueError as exc:
         raise SystemExit(f"repro serve: {exc}")
@@ -266,14 +459,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.timeline_out
         else None
     )
-    result = serve_system(system, spec, service, timeline=timeline)
+    stop_requested = False
+
+    def _request_stop(signum: int, frame: Any) -> None:
+        nonlocal stop_requested
+        stop_requested = True
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        result = serve_system(
+            system, spec, service, timeline=timeline, stop=lambda: stop_requested
+        )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     totals = result.totals
+    if result.truncated:
+        print("stop requested: stream cut, committed work drained")
     print(
         f"{result.label} [{result.traffic}]: {totals.arrivals} arrivals "
         f"({totals.mapped} mapped, {totals.discarded} discarded), "
         f"{totals.completed} completed ({totals.late} late), "
         f"makespan {result.makespan:.0f}"
     )
+    if result.fault_totals is not None:
+        _print_fault_totals(result.fault_totals)
     print(
         f"energy {result.total_energy / 1e6:.2f} MJ over {len(result.windows)} "
         f"windows of {result.window:.0f} s"
@@ -546,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
     )
+    _add_faults(p)
     p.set_defaults(func=cmd_trial)
 
     p = sub.add_parser("serve", help="run the engine as a continuous service")
@@ -637,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="keep only the newest N timeline samples (ring buffer)",
     )
+    _add_faults(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figure", help="rerun one of the paper's figures", parents=[obs])

@@ -1,0 +1,79 @@
+"""Live availability state of a cluster under in-simulation faults.
+
+:class:`AvailabilityState` tracks which cores can accept work and which
+P-states they may run at while a :class:`~repro.faults.FaultSchedule`
+plays out.  Overlapping episodes are handled by *counting*: a core is
+down while any outage covering it is active, and a slowdown's P-state
+floor is the maximum over its active caps — so fail/recover edges may
+interleave in any order without corrupting state.
+
+The class maintains a flat ``(num_cores * num_pstates,)`` boolean mask
+in candidate order (core-major, then P-state — the same layout as
+:class:`~repro.heuristics.base.CandidateSet`), so the engine degrades
+the mapper's view with a single vectorized AND per arrival.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults import FaultTransition
+
+__all__ = ["AvailabilityState"]
+
+
+class AvailabilityState:
+    """Mutable per-core availability and P-state caps during one run."""
+
+    __slots__ = ("num_cores", "num_pstates", "_down", "_floors", "_mask")
+
+    def __init__(self, num_cores: int, num_pstates: int) -> None:
+        if num_cores < 1 or num_pstates < 1:
+            raise ValueError("cluster must have at least one core and one P-state")
+        self.num_cores = num_cores
+        self.num_pstates = num_pstates
+        self._down = [0] * num_cores  # active outages covering each core
+        self._floors: list[list[int]] = [[] for _ in range(num_cores)]  # active caps
+        self._mask = np.ones(num_cores * num_pstates, dtype=bool)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Feasibility of every (core, P-state) candidate; do not mutate."""
+        return self._mask
+
+    def is_up(self, core_id: int) -> bool:
+        """Whether the core can currently accept or execute work."""
+        return self._down[core_id] == 0
+
+    @property
+    def cores_up(self) -> int:
+        """How many cores are currently serving."""
+        return sum(1 for d in self._down if d == 0)
+
+    def apply(self, transition: FaultTransition) -> None:
+        """Fold one fail/recover edge into the state and refresh the mask."""
+        sign = 1 if transition.action == "fail" else -1
+        floor = transition.event.pstate_floor
+        outage = transition.is_outage
+        for core_id in transition.core_ids:
+            if outage:
+                self._down[core_id] += sign
+                if self._down[core_id] < 0:
+                    raise RuntimeError(f"unbalanced recovery for core {core_id}")
+            elif sign > 0:
+                self._floors[core_id].append(floor)
+            else:
+                self._floors[core_id].remove(floor)
+            self._refresh(core_id)
+
+    def _refresh(self, core_id: int) -> None:
+        P = self.num_pstates
+        lo = core_id * P
+        if self._down[core_id] > 0:
+            self._mask[lo : lo + P] = False
+            return
+        floors = self._floors[core_id]
+        floor = max(floors) if floors else 0
+        # P-state index 0 is the fastest: a floor forbids indices below it.
+        self._mask[lo : lo + floor] = False
+        self._mask[lo + floor : lo + P] = True

@@ -48,6 +48,7 @@ from repro.experiments.executor import (
     load_checkpoint,
     run_supervised,
 )
+from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
 from repro.filters.chain import make_filter_chain
 from repro.heuristics.registry import make_heuristic
 from repro.obs.events import CheckpointWritten, Event
@@ -111,6 +112,9 @@ def run_trial_variant(
     timeline: TimelineRecorder | None = None,
     perf: PerfConfig | None = None,
     shared: TrialCache | None = None,
+    faults: FaultSchedule | None = None,
+    fault_policy: FaultPolicy | None = None,
+    shedding: SheddingConfig | None = None,
 ) -> TrialResult:
     """Run one spec against a prebuilt trial system.
 
@@ -124,7 +128,10 @@ def run_trial_variant(
     are results-neutral too; ``None`` means everything on.  ``shared``
     carries the warm cross-spec caches of the trial
     (:class:`~repro.perf.TrialCache`); pass the same handle for every
-    spec run against the same ``system``.
+    spec run against the same ``system``.  ``faults``/``fault_policy``/
+    ``shedding`` thread the in-simulation fault layer
+    (:mod:`repro.faults`) into the engine; all three default to ``None``
+    (fault-free, bitwise identical to earlier releases).
     """
     heuristic, chain = policy_for(system, spec)
     if metrics is not None or sinks or profile is not None or timeline is not None:
@@ -138,9 +145,21 @@ def run_trial_variant(
             timeline=timeline,
             perf=perf,
             shared=shared,
+            faults=faults,
+            fault_policy=fault_policy,
+            shedding=shedding,
         )
     else:
-        result = run_trial(system, heuristic, chain, perf=perf, shared=shared)
+        result = run_trial(
+            system,
+            heuristic,
+            chain,
+            perf=perf,
+            shared=shared,
+            faults=faults,
+            fault_policy=fault_policy,
+            shedding=shedding,
+        )
     if not keep_outcomes:
         result = replace(result, outcomes=())
     return result

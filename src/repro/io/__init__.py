@@ -13,10 +13,13 @@ re-reported without re-simulation:
 * :mod:`repro.io.trace_io` — JSONL event traces written by
   :class:`repro.obs.sinks.JsonlSink`, read back as typed events;
 * :mod:`repro.io.profile_io` — span profiles as Chrome trace-event
-  JSON (Perfetto-loadable) and sampled state timelines.
+  JSON (Perfetto-loadable) and sampled state timelines;
+* :mod:`repro.io.faults_io` — fault schedules, so a degraded run's
+  outage/recovery sequence can be replayed exactly.
 """
 
 from repro.io.cluster_io import cluster_from_dict, cluster_to_dict
+from repro.io.faults_io import load_faults, save_faults
 from repro.io.profile_io import (
     load_profile_events,
     load_timeline,
@@ -52,4 +55,6 @@ __all__ = [
     "load_timeline",
     "save_profile",
     "save_timeline",
+    "load_faults",
+    "save_faults",
 ]

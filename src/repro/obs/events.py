@@ -29,6 +29,9 @@ __all__ = [
     "TrialRetried",
     "TrialQuarantined",
     "CheckpointWritten",
+    "FaultInjected",
+    "TaskOrphaned",
+    "TaskShed",
     "EVENT_KINDS",
     "event_to_dict",
     "event_from_dict",
@@ -174,6 +177,61 @@ class CheckpointWritten:
     records: int
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected:
+    """An in-simulation fault transition fired (fail or recover).
+
+    ``fault`` is the :class:`~repro.faults.FaultEvent` kind
+    (``node_outage``/``core_outage``/``node_slowdown``), ``action`` is
+    ``"fail"`` or ``"recover"``, ``target`` the node index or flat core
+    id, and ``cores`` how many cores the transition covers.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    t: float
+    fault: str
+    action: str
+    target: int
+    cores: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskOrphaned:
+    """An outage hit a task on ``core_id``.
+
+    ``disposition`` is ``"remapped"`` (displaced, re-placed on a
+    surviving core), ``"lost"`` (displaced, nowhere to go) or
+    ``"killed"`` (running task terminated under the ``"lost"`` policy).
+    """
+
+    kind: ClassVar[str] = "task_orphaned"
+
+    t: float
+    task_id: int
+    type_id: int
+    core_id: int
+    disposition: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskShed:
+    """The admission controller deferred or dropped an arrival.
+
+    ``cause`` is the tripped threshold (``queue_depth``/``budget``/
+    ``min_prob``); ``deferred`` is true for a retry-later push (the
+    task is not yet terminal) and false for a terminal drop.
+    """
+
+    kind: ClassVar[str] = "task_shed"
+
+    t: float
+    task_id: int
+    type_id: int
+    cause: str
+    deferred: bool
+
+
 Event = Union[
     TrialStarted,
     TaskMapped,
@@ -184,6 +242,9 @@ Event = Union[
     TrialRetried,
     TrialQuarantined,
     CheckpointWritten,
+    FaultInjected,
+    TaskOrphaned,
+    TaskShed,
 ]
 
 #: kind string -> event class, for deserialization.
@@ -199,6 +260,9 @@ EVENT_KINDS: dict[str, type] = {
         TrialRetried,
         TrialQuarantined,
         CheckpointWritten,
+        FaultInjected,
+        TaskOrphaned,
+        TaskShed,
     )
 }
 

@@ -29,12 +29,16 @@ from typing import Sequence
 
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import CandidateSet, Heuristic, MappingContext
+from repro.faults import FaultPolicy, FaultSchedule, FaultTransition, SheddingConfig
 from repro.obs.events import (
     EnergyExhausted,
     Event,
+    FaultInjected,
     TaskCompleted,
     TaskDiscarded,
     TaskMapped,
+    TaskOrphaned,
+    TaskShed,
     TrialFinished,
     TrialStarted,
 )
@@ -134,6 +138,48 @@ class ObservingHooks:
             self.metrics.inc("tasks_completed")
         if self.timeline is not None:
             self.timeline.on_completion(engine)
+
+    # -- fault-layer hooks (only called when faults/shedding are active) --
+
+    def on_fault(self, engine: "Engine", transition: FaultTransition) -> None:
+        event = transition.event
+        self._emit(
+            FaultInjected(
+                t=engine.now,
+                fault=event.kind,
+                action=transition.action,
+                target=event.target,
+                cores=len(transition.core_ids),
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.inc(f"faults.{transition.action}.{event.kind}")
+
+    def on_orphaned(self, engine: "Engine", task: Task, core_id: int, disposition: str) -> None:
+        self._emit(
+            TaskOrphaned(
+                t=engine.now,
+                task_id=task.task_id,
+                type_id=task.type_id,
+                core_id=core_id,
+                disposition=disposition,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.inc(f"tasks_orphaned.{disposition}")
+
+    def on_shed(self, engine: "Engine", task: Task, cause: str, deferred: bool) -> None:
+        self._emit(
+            TaskShed(
+                t=engine.now,
+                task_id=task.task_id,
+                type_id=task.type_id,
+                cause=cause,
+                deferred=deferred,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.inc("tasks_deferred" if deferred else f"tasks_shed.{cause}")
 
     # -- trial lifecycle (called by observe_trial) ----------------------
 
@@ -258,6 +304,9 @@ def observe_trial(
     timeline: TimelineRecorder | None = None,
     perf: PerfConfig | None = None,
     shared: TrialCache | None = None,
+    faults: FaultSchedule | None = None,
+    fault_policy: FaultPolicy | None = None,
+    shedding: SheddingConfig | None = None,
 ) -> TrialResult:
     """Run one trial with observability attached.
 
@@ -279,6 +328,13 @@ def observe_trial(
     additionally land under per-spec keys
     ``perf.cache.<counter>.<heuristic>/<variant>`` so a merged ensemble
     registry stays attributable.
+
+    ``faults``/``fault_policy``/``shedding`` thread the in-simulation
+    fault layer (see :mod:`repro.faults`) through to the engine; the
+    attached hooks then also emit ``FaultInjected``/``TaskOrphaned``/
+    ``TaskShed`` events and the matching ``faults.*``/``tasks_*``
+    counters.  Left at ``None``, the run is bitwise identical to a
+    fault-free trial.
     """
     hooks = ObservingHooks(sinks, metrics=metrics, timeline=timeline)
     engine_heuristic: Heuristic = heuristic
@@ -300,6 +356,9 @@ def observe_trial(
             tracer=profile,
             perf=perf,
             shared=shared,
+            faults=faults,
+            fault_policy=fault_policy,
+            shedding=shedding,
         )
         if profile is not None:
             with profile.span(f"trial.run.{heuristic.name}/{filter_chain.label}"):

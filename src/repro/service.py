@@ -34,11 +34,12 @@ import itertools
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Any, Iterator
+from typing import IO, Any, Callable, Iterator
 
 from repro import rng as rng_mod
 from repro.cluster.energy import EnergyLedger, StreamingEnergyMeter
 from repro.experiments.runner import VariantSpec, policy_for
+from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
 from repro.obs.timeline import TimelineRecorder
 from repro.sim.engine import Engine
 from repro.sim.metrics import WindowAccumulator, WindowStats
@@ -59,6 +60,7 @@ from repro.workload.traffic import (
 __all__ = [
     "TRAFFIC_MODELS",
     "WINDOW_FORMAT",
+    "TRAILER_FORMAT",
     "ServiceConfig",
     "ServiceResult",
     "serve_system",
@@ -71,6 +73,9 @@ TRAFFIC_MODELS = ("poisson", "diurnal", "mmpp", "burst", "replay")
 
 #: Format tag of one JSONL window-summary row.
 WINDOW_FORMAT = "repro.window/1"
+
+#: Format tag of the trailer row marking a truncated (interrupted) run.
+TRAILER_FORMAT = "repro.window_trailer/1"
 
 # Matches TaskOutcome.on_time: completion <= deadline + 1e-9 is on time.
 _LATE_TOL = 1e-9
@@ -121,6 +126,16 @@ class ServiceConfig:
         The energy filter's fair-share divisor (batch mode uses "tasks
         left in the trial", meaningless for a stream).  Default: the
         expected arrivals in one window.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` of in-simulation
+        outages/slowdowns injected into the run.
+    fault_policy:
+        :class:`~repro.faults.FaultPolicy` for work caught by outages
+        (``None`` uses the engine default: running lost, orphans
+        re-mapped).
+    shedding:
+        Optional :class:`~repro.faults.SheddingConfig` enabling the
+        admission controller (overload protection).
     """
 
     traffic: str = "poisson"
@@ -134,6 +149,9 @@ class ServiceConfig:
     budget_cap_windows: float = 4.0
     budget_cap: float | None = None
     planning_tasks: int | None = None
+    faults: FaultSchedule | None = None
+    fault_policy: FaultPolicy | None = None
+    shedding: SheddingConfig | None = None
 
     def __post_init__(self) -> None:
         if self.traffic not in TRAFFIC_MODELS:
@@ -171,6 +189,11 @@ class ServiceResult:
     ``windows`` are contiguous :class:`WindowStats`; ``totals`` is their
     monoid fold (the whole run as one window).  ``trial_result`` is the
     batch-identical scored result in replay mode, ``None`` otherwise.
+    ``truncated`` marks a run stopped early (graceful shutdown): the
+    stream was cut but committed work drained and the final partial
+    window was flushed.  ``fault_totals`` snapshots the engine's
+    :class:`~repro.faults.FaultStats` when a fault schedule or shedding
+    config was active, ``None`` otherwise.
     """
 
     label: str
@@ -183,6 +206,8 @@ class ServiceResult:
     budget_drawn: float = 0.0
     budget_deficit: float = 0.0
     trial_result: TrialResult | None = None
+    truncated: bool = False
+    fault_totals: dict[str, int] | None = None
 
     @property
     def totals(self) -> WindowStats:
@@ -255,6 +280,16 @@ class _ServiceHooks:
         if self.timeline is not None:
             self.timeline.on_completion(engine)
 
+    # -- fault-layer hooks (only called when faults/shedding are on) ----
+
+    def on_shed(self, engine: Engine, task: Task, cause: str, deferred: bool) -> None:
+        self.acc.on_shed(engine.now, engine.in_system, deferred=deferred)
+
+    def on_orphaned(
+        self, engine: Engine, task: Task, core_id: int, disposition: str
+    ) -> None:
+        self.acc.on_orphaned(engine.now, engine.in_system, disposition=disposition)
+
 
 def _bound(tasks: Iterator[Task], service: ServiceConfig) -> Iterator[Task]:
     """Apply the configured task-limit / horizon bounds to a task stream."""
@@ -264,6 +299,22 @@ def _bound(tasks: Iterator[Task], service: ServiceConfig) -> Iterator[Task]:
         horizon = service.horizon
         tasks = itertools.takewhile(lambda task: task.arrival <= horizon, tasks)
     return tasks
+
+
+def _stoppable(
+    tasks: Iterator[Task], stop: Callable[[], bool], state: dict[str, bool]
+) -> Iterator[Task]:
+    """Cut the stream when ``stop()`` turns true; note it in ``state``.
+
+    The check runs between arrivals, so a triggered stop never abandons
+    a task already admitted — committed work drains normally and the
+    run merely stops taking new arrivals (graceful shutdown).
+    """
+    for task in tasks:
+        if stop():
+            state["truncated"] = True
+            return
+        yield task
 
 
 def _arrival_stream(
@@ -300,12 +351,19 @@ def serve_system(
     service: ServiceConfig,
     *,
     timeline: TimelineRecorder | None = None,
+    stop: Callable[[], bool] | None = None,
 ) -> ServiceResult:
     """Run one spec as a continuous service against a built trial system.
 
     Replay mode scores a :class:`TrialResult` exactly as the batch path
     would; generative modes run unbounded-safe (windowed accounting,
     streaming energy meter, rolling budget, no per-task state).
+
+    ``stop`` is the graceful-shutdown probe: checked between arrivals,
+    and once it returns true the stream is cut, committed work drains,
+    the trailing partial window is flushed, and the result is marked
+    :attr:`ServiceResult.truncated` (the CLI wires SIGINT/SIGTERM to
+    it).
     """
     eq_rate = system.workload.rates.eq
     mean_rate = service.rate_mult * eq_rate
@@ -315,22 +373,47 @@ def serve_system(
     )
     seed = system.config.seed
     heuristic, chain = policy_for(system, spec)
+    stop_state = {"truncated": False}
+    fault_layer = service.faults is not None or service.shedding is not None
 
     if service.traffic == "replay":
         ledger = EnergyLedger(system.cluster, system.config.energy.idle_power_mode)
         acc = WindowAccumulator(window, energy_at=ledger.cumulative_energy_at)
         hooks = _ServiceHooks(acc, timeline)
-        engine = Engine(system, heuristic, chain, hooks=hooks, ledger=ledger)
+        engine = Engine(
+            system,
+            heuristic,
+            chain,
+            hooks=hooks,
+            ledger=ledger,
+            faults=service.faults,
+            fault_policy=service.fault_policy,
+            shedding=service.shedding,
+        )
         trial: TrialResult | None = None
         if service.task_limit is None and service.horizon is None:
-            # Full replay: score exactly as the batch path does.  The
-            # parity test pins this result bitwise against run_trial.
-            trial = engine.run()
-            makespan = trial.makespan
+            if stop is None:
+                # Full replay: score exactly as the batch path does.  The
+                # parity test pins this result bitwise against run_trial.
+                trial = engine.run()
+                makespan = trial.makespan
+            else:
+                # Stop-guarded full replay: drain the stoppable stream,
+                # and score only if the whole workload was offered — a
+                # truncated replay saw a different stream than the batch
+                # run and must not claim batch equivalence.
+                tasks = _stoppable(
+                    replay_tasks(system.workload.tasks), stop, stop_state
+                )
+                makespan = engine.serve(tasks)
+                if not stop_state["truncated"]:
+                    trial = engine.score(makespan)
         else:
-            # Truncated replay drains unscored (scoring assumes the
+            # Bounded replay drains unscored (scoring assumes the
             # whole workload was offered).
             tasks = _bound(replay_tasks(system.workload.tasks), service)
+            if stop is not None:
+                tasks = _stoppable(tasks, stop, stop_state)
             makespan = engine.serve(tasks)
         windows = tuple(acc.flush(makespan))
         return ServiceResult(
@@ -342,6 +425,8 @@ def serve_system(
             makespan=makespan,
             total_energy=ledger.total_energy(),
             trial_result=trial,
+            truncated=stop_state["truncated"],
+            fault_totals=engine.fault_stats.to_dict() if fault_layer else None,
         )
 
     meter = StreamingEnergyMeter(system.cluster, system.config.energy.idle_power_mode)
@@ -369,6 +454,9 @@ def serve_system(
         tasks_left=planning,
         luck=_LuckSource(seed),
         track_outcomes=False,
+        faults=service.faults,
+        fault_policy=service.fault_policy,
+        shedding=service.shedding,
     )
     factory = TaskFactory.for_table(system.config.workload, system.table)
     tasks = _bound(
@@ -378,6 +466,8 @@ def serve_system(
         ),
         service,
     )
+    if stop is not None:
+        tasks = _stoppable(tasks, stop, stop_state)
     makespan = engine.serve(tasks)
     windows = tuple(acc.flush(makespan))
     return ServiceResult(
@@ -390,6 +480,8 @@ def serve_system(
         total_energy=meter.total_energy(),
         budget_drawn=budget.drawn,
         budget_deficit=budget.deficit,
+        truncated=stop_state["truncated"],
+        fault_totals=engine.fault_stats.to_dict() if fault_layer else None,
     )
 
 
@@ -408,8 +500,23 @@ def window_rows(result: ServiceResult) -> Iterator[dict[str, Any]]:
 
 
 def write_windows_jsonl(result: ServiceResult, out: str | Path | IO[str]) -> int:
-    """Write one JSON line per window; returns the row count."""
+    """Write one JSON line per window; returns the window-row count.
+
+    A truncated run (graceful shutdown) appends one trailer row tagged
+    :data:`TRAILER_FORMAT` after the windows, so downstream consumers
+    can tell a cleanly-stopped partial run from a complete one.
+    Untruncated output is byte-identical to the pre-trailer format.
+    """
     rows = list(window_rows(result))
+    if result.truncated:
+        rows.append(
+            {
+                "format": TRAILER_FORMAT,
+                "truncated": True,
+                "windows": len(rows),
+                "makespan": result.makespan,
+            }
+        )
     if hasattr(out, "write"):
         for row in rows:
             out.write(json.dumps(row, sort_keys=True) + "\n")
@@ -417,4 +524,4 @@ def write_windows_jsonl(result: ServiceResult, out: str | Path | IO[str]) -> int
         with open(out, "w", encoding="utf-8") as fh:
             for row in rows:
                 fh.write(json.dumps(row, sort_keys=True) + "\n")
-    return len(rows)
+    return len(rows) - (1 if result.truncated else 0)

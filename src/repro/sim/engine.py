@@ -36,7 +36,19 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Protocol
 
+import numpy as np
+
+from repro.cluster.availability import AvailabilityState
 from repro.cluster.energy import IDLE_PSTATE, EnergyLedger, StreamingEnergyMeter
+from repro.faults import (
+    SHED_MIN_PROB,
+    AdmissionController,
+    FaultPolicy,
+    FaultSchedule,
+    FaultStats,
+    FaultTransition,
+    SheddingConfig,
+)
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import Heuristic, MappingContext
 from repro.perf.kernel_cache import CacheStats, PerfConfig
@@ -51,9 +63,16 @@ from repro.workload.task import Task
 
 __all__ = ["Engine", "EngineHooks", "Tracer", "run_trial"]
 
-# Event kinds; completions sort before arrivals at equal times.
+# Event kinds.  At one instant: completions first (a just-freed core is
+# visible to the mapper), then fault transitions (an outage at t sees
+# work that finished at t as done, and an arrival at t sees the degraded
+# cluster), then stream arrivals, then deferred re-arrivals.  The
+# relative order of completions and arrivals is unchanged from the
+# pre-fault two-kind scheme, so zero-fault runs replay bit for bit.
 _COMPLETION = 0
-_ARRIVAL = 1
+_FAULT = 1
+_ARRIVAL = 2
+_REARRIVAL = 3
 
 
 class EngineHooks(Protocol):
@@ -72,6 +91,17 @@ class EngineHooks(Protocol):
 
     def on_completion(self, engine: "Engine", core_id: int, task: Task, t_now: float) -> None:
         """Called after a task finishes and before the next one starts."""
+
+    # Fault-layer callbacks are *optional*: the engine resolves them
+    # with getattr at construction, so hook implementations written
+    # before the fault model keep working unchanged.
+    #
+    #   on_fault(engine, transition: FaultTransition)
+    #   on_orphaned(engine, task, core_id, disposition)
+    #       disposition: "remapped" (displaced, re-placed), "lost"
+    #       (displaced, no surviving placement), "killed" (running task
+    #       terminated under the "lost" policy)
+    #   on_shed(engine, task, cause, deferred: bool)
 
 
 class Tracer(Protocol):
@@ -150,8 +180,27 @@ class Engine:
         Service mode turns it off so memory stays bounded; lateness is
         then classified at completion time by hooks.
 
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` of in-simulation
+        node/core outages and slowdowns.  Fault transitions become heap
+        events: on an outage the affected cores stop serving, their
+        running tasks are lost or orphaned per ``fault_policy``, queued
+        tasks are orphaned and re-mapped through the normal
+        heuristic/filter stack against the surviving cluster, and the
+        mapper's candidate mask excludes down capacity until recovery.
+    fault_policy:
+        :class:`~repro.faults.FaultPolicy` for work caught by outages
+        (default: running tasks lost, orphans re-mapped).
+    shedding:
+        Optional :class:`~repro.faults.SheddingConfig`; arrivals are
+        deferred or shed when its thresholds trip (overload protection).
+
     The five service parameters default to batch semantics; any engine
-    constructed without them behaves bit-for-bit as before.
+    constructed without them behaves bit-for-bit as before.  The same
+    holds for the fault layer: ``faults=None`` (or an empty schedule)
+    and ``shedding=None`` (or one with every check disabled) leave the
+    event trajectory bitwise identical to the pre-fault engine — the
+    zero-fault parity suite pins this.
     """
 
     def __init__(
@@ -170,6 +219,9 @@ class Engine:
         tasks_left: int | None = None,
         luck: Callable[[int], float] | None = None,
         track_outcomes: bool = True,
+        faults: FaultSchedule | None = None,
+        fault_policy: FaultPolicy | None = None,
+        shedding: SheddingConfig | None = None,
     ) -> None:
         self.system = system
         self.heuristic = heuristic
@@ -212,9 +264,35 @@ class Engine:
         self._luck = luck
         self._track_outcomes = track_outcomes
         self._in_system = 0
-        # Heap payloads: the arriving Task, or the completing core id.
-        # ``seq`` is unique, so payloads are never compared.
-        self._heap: list[tuple[float, int, int, Task | int]] = []
+
+        self.fault_stats = FaultStats()
+        self._fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
+        if faults is not None and faults.events:
+            self._fault_transitions: tuple[FaultTransition, ...] = faults.transitions(
+                cluster
+            )
+            self._availability: AvailabilityState | None = AvailabilityState(
+                cluster.num_cores, cluster.num_pstates
+            )
+        else:
+            self._fault_transitions = ()
+            self._availability = None
+        self._fault_next = 0
+        self._shedder = (
+            AdmissionController(shedding)
+            if shedding is not None and shedding.enabled
+            else None
+        )
+        # Optional fault-layer hooks, resolved once so pre-fault hook
+        # implementations (which lack these methods) keep working.
+        self._on_fault = getattr(hooks, "on_fault", None)
+        self._on_orphaned = getattr(hooks, "on_orphaned", None)
+        self._on_shed = getattr(hooks, "on_shed", None)
+
+        # Heap payloads: the arriving Task, a completing (core id,
+        # epoch) pair, or a FaultTransition.  ``seq`` is unique, so
+        # payloads are never compared.
+        self._heap: list[tuple[float, int, int, object]] = []
         self._seq = 0
         self._outcomes: dict[int, _PendingOutcome | None] = {}
         self._now = 0.0
@@ -312,7 +390,7 @@ class Engine:
     # Event helpers
     # ------------------------------------------------------------------
 
-    def _push(self, time: float, kind: int, payload: Task | int) -> None:
+    def _push(self, time: float, kind: int, payload: object) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (time, kind, self._seq, payload))
 
@@ -340,15 +418,48 @@ class Engine:
             assert pending is not None
             pending.start = t_now
             pending.completion = completion
-        self._push(completion, _COMPLETION, core.core_id)
+        # The epoch invalidates this completion if an outage interrupts
+        # the task before it finishes (the stale event is then skipped).
+        self._push(completion, _COMPLETION, (core.core_id, core.epoch))
 
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
 
+    def _budget_frac(self) -> float | None:
+        """Remaining energy allowance as a fraction of its cap (or budget)."""
+        if self.rolling_budget is not None:
+            return self.rolling_budget.remaining / self.rolling_budget.cap
+        budget = self.system.budget
+        if budget <= 0.0:
+            return None
+        return max(0.0, self.energy_estimate / budget)
+
+    def _shed(self, task: Task, t_now: float, cause: str) -> None:
+        """Terminally drop an arrival under overload (not a discard)."""
+        self._shedder.settle(task.task_id)
+        self.fault_stats.shed += 1
+        if self._track_outcomes:
+            self._outcomes[task.task_id] = None
+        if self._on_shed is not None:
+            self._on_shed(self, task, cause, False)
+
     def _handle_arrival(self, task: Task, t_now: float) -> None:
         if self.rolling_budget is not None:
             self.energy_estimate = self.rolling_budget.advance(t_now)
+        if self._shedder is not None:
+            action, cause = self._shedder.admit(
+                task.task_id, self.avg_queue_depth, self._budget_frac()
+            )
+            if action == "defer":
+                self.fault_stats.deferred += 1
+                self._push(t_now + self._shedder.config.defer, _REARRIVAL, task)
+                if self._on_shed is not None:
+                    self._on_shed(self, task, cause, True)
+                return
+            if action == "shed":
+                self._shed(task, t_now, cause)
+                return
         if self._tasks_left_override is None:
             tasks_left = self.system.num_tasks - task.task_id - 1
         else:
@@ -364,8 +475,25 @@ class Engine:
             cands = self._builder.build(task, t_now)
         else:
             cands = build_candidate_set(task, self.cores, self.system.table, t_now)
+        if self._availability is not None:
+            np.logical_and(cands.mask, self._availability.mask, out=cands.mask)
         self.filter_chain.apply(cands, ctx)
         index = self.heuristic.select(cands, ctx)
+
+        if (
+            index is not None
+            and self._shedder is not None
+            and self._shedder.below_prob_floor(float(cands.prob_on_time[index]))
+        ):
+            # Probabilistic pruning: the best surviving assignment is
+            # still too unlikely to finish on time to be worth its
+            # energy.  Recorded as a shed, not a discard.
+            if self.collector is not None:
+                self.collector.record_mapping(
+                    t_now, ctx.avg_queue_depth, self.energy_estimate, -1, cands.num_feasible
+                )
+            self._shed(task, t_now, SHED_MIN_PROB)
+            return
 
         if index is None:
             if self._track_outcomes:
@@ -411,8 +539,13 @@ class Engine:
         if self.hooks is not None:
             self.hooks.on_mapped(self, task, assignment.core_id, assignment.pstate)
 
-    def _handle_completion(self, core_id: int, t_now: float) -> None:
+    def _handle_completion(self, payload: tuple[int, int], t_now: float) -> bool:
+        core_id, epoch = payload
         core = self.cores[core_id]
+        if core.epoch != epoch:
+            # Stale event: the task this completion was scheduled for
+            # was interrupted by an outage before it could finish.
+            return False
         running = core.running
         assert running is not None, "completion event for an idle core"
         core.clear_running()
@@ -420,12 +553,139 @@ class Engine:
         if self.hooks is not None:
             self.hooks.on_completion(self, core_id, running.task, t_now)
         if core.running is not None:
-            return  # a hook (e.g. work stealing) already started new work
+            return True  # a hook (e.g. work stealing) already started new work
         nxt = core.pop_next()
         if nxt is not None:
             self._start_task(core, nxt, t_now)
         else:
             self.ledger.record(core_id, t_now, IDLE_PSTATE)
+        return True
+
+    def _handle_fault(self, transition: FaultTransition, t_now: float) -> None:
+        """Fold one fail/recover edge into cluster state and recover work."""
+        stats = self.fault_stats
+        self._availability.apply(transition)
+        if transition.action == "recover":
+            # Capacity rejoins: the refreshed mask is all the mapper
+            # needs; down cores were drained when they failed.
+            if transition.is_outage:
+                stats.recoveries += 1
+            if self._on_fault is not None:
+                self._on_fault(self, transition)
+            return
+        if not transition.is_outage:
+            # Slowdown: committed work keeps its P-state (assignments
+            # are final, Section III-B); only future mappings are capped.
+            stats.slowdowns += 1
+            if self._on_fault is not None:
+                self._on_fault(self, transition)
+            return
+
+        stats.outages += 1
+        policy = self._fault_policy
+        orphans: list[tuple[Task, int]] = []
+        for core_id in transition.core_ids:
+            core = self.cores[core_id]
+            if core.running is not None:
+                running = core.interrupt()
+                self._in_system -= 1
+                self.ledger.record(core_id, t_now, IDLE_PSTATE)
+                if policy.running == "resume":
+                    orphans.append((running.task, core_id))
+                else:
+                    stats.lost += 1
+                    if self._track_outcomes:
+                        self._outcomes[running.task.task_id] = None
+                    if self._on_orphaned is not None:
+                        self._on_orphaned(self, running.task, core_id, "killed")
+            for entry in core.drain_queue():
+                self._in_system -= 1
+                orphans.append((entry.task, core_id))
+        if self._on_fault is not None:
+            self._on_fault(self, transition)
+        # Re-map displaced work in task order through the normal stack
+        # against the surviving cluster; failures become losses.
+        orphans.sort(key=lambda pair: pair[0].task_id)
+        for task, core_id in orphans:
+            stats.orphaned += 1
+            if policy.remap and self._remap_orphan(task, t_now):
+                stats.remapped += 1
+                if self._on_orphaned is not None:
+                    self._on_orphaned(self, task, core_id, "remapped")
+            else:
+                stats.lost += 1
+                if self._track_outcomes:
+                    self._outcomes[task.task_id] = None
+                if self._on_orphaned is not None:
+                    self._on_orphaned(self, task, core_id, "lost")
+
+    def _remap_orphan(self, task: Task, t_now: float) -> bool:
+        """Map a displaced task as if it arrived now; True on success.
+
+        The orphan goes through the same candidate/filter/select path
+        as a fresh arrival — ``prob_on_time`` is evaluated against its
+        *original* deadline at the current time, and the re-map's EEC
+        is charged to the energy estimate (re-execution costs real
+        joules).  It keeps its original luck quantile, so the re-run is
+        deterministic.
+        """
+        if self.rolling_budget is not None:
+            self.energy_estimate = self.rolling_budget.advance(t_now)
+        if self._tasks_left_override is None:
+            tasks_left = self.system.num_tasks - task.task_id - 1
+        else:
+            tasks_left = self._tasks_left_override
+        ctx = MappingContext(
+            t_now=t_now,
+            task=task,
+            energy_estimate=self.energy_estimate,
+            tasks_left=tasks_left,
+            avg_queue_depth=self.avg_queue_depth,
+        )
+        if self._builder is not None:
+            cands = self._builder.build(task, t_now)
+        else:
+            cands = build_candidate_set(task, self.cores, self.system.table, t_now)
+        np.logical_and(cands.mask, self._availability.mask, out=cands.mask)
+        self.filter_chain.apply(cands, ctx)
+        index = self.heuristic.select(cands, ctx)
+        if index is None:
+            if self.collector is not None:
+                self.collector.record_mapping(
+                    t_now, ctx.avg_queue_depth, self.energy_estimate, -1, cands.num_feasible
+                )
+            return False
+        assignment = cands.assignment(index)
+        eec = float(cands.eec[index])
+        if self.rolling_budget is not None:
+            self.energy_estimate = self.rolling_budget.draw(eec)
+        else:
+            self.energy_estimate -= eec
+        core = self.cores[assignment.core_id]
+        exec_pmf = self.system.table.pmf(task.type_id, core.node_index, assignment.pstate)
+        entry = QueuedTask(task=task, pstate=assignment.pstate, exec_pmf=exec_pmf)
+        if self._track_outcomes:
+            self._outcomes[task.task_id] = _PendingOutcome(
+                core_id=assignment.core_id,
+                pstate=assignment.pstate,
+                start=float("nan"),
+                completion=float("nan"),
+            )
+        self._in_system += 1
+        if core.running is None:
+            self._start_task(core, entry, t_now)
+        else:
+            core.enqueue(entry)
+        if self.collector is not None:
+            self.collector.record_mapping(
+                t_now,
+                ctx.avg_queue_depth,
+                self.energy_estimate,
+                assignment.pstate,
+                cands.num_feasible,
+                chosen_prob=float(cands.prob_on_time[index]),
+            )
+        return True
 
     # ------------------------------------------------------------------
     # Main loop
@@ -500,35 +760,81 @@ class Engine:
         nxt = next(arrivals, None)
         if nxt is not None:
             self._push(nxt.arrival, _ARRIVAL, nxt)
+        # Fault transitions are pulled lazily like arrivals: one pending
+        # edge in the heap at a time.  Fault events never advance
+        # ``end_time`` (they do no work themselves), so a recovery
+        # scheduled past the last completion cannot inflate makespan.
+        transitions = self._fault_transitions
+        self._fault_next = 0
+        if transitions:
+            self._fault_next = 1
+            self._push(transitions[0].time, _FAULT, transitions[0])
         if tracer is None:
             # Bare loop: with no tracer, per-event cost is the handler alone.
             while self._heap:
                 time, kind, _seq, payload = heapq.heappop(self._heap)
                 self._now = time
-                end_time = max(end_time, time)
                 if kind == _COMPLETION:
-                    self._handle_completion(payload, time)
-                else:
+                    if self._handle_completion(payload, time):
+                        end_time = max(end_time, time)
+                elif kind == _FAULT:
+                    if self._fault_next < len(transitions):
+                        nxt_tr = transitions[self._fault_next]
+                        self._fault_next += 1
+                        self._push(nxt_tr.time, _FAULT, nxt_tr)
+                    self._handle_fault(payload, time)
+                elif kind == _ARRIVAL:
+                    end_time = max(end_time, time)
                     nxt = next(arrivals, None)
                     if nxt is not None:
                         self._push(nxt.arrival, _ARRIVAL, nxt)
+                    self._handle_arrival(payload, time)
+                else:  # _REARRIVAL: a deferred task retries, no stream pull
+                    end_time = max(end_time, time)
                     self._handle_arrival(payload, time)
             return end_time
 
         while self._heap:
             time, kind, _seq, payload = heapq.heappop(self._heap)
             self._now = time
-            end_time = max(end_time, time)
             if kind == _COMPLETION:
                 with tracer.span("engine.completion"):
-                    self._handle_completion(payload, time)
-            else:
+                    if self._handle_completion(payload, time):
+                        end_time = max(end_time, time)
+            elif kind == _FAULT:
+                if self._fault_next < len(transitions):
+                    nxt_tr = transitions[self._fault_next]
+                    self._fault_next += 1
+                    self._push(nxt_tr.time, _FAULT, nxt_tr)
+                with tracer.span("engine.fault"):
+                    self._handle_fault(payload, time)
+            elif kind == _ARRIVAL:
+                end_time = max(end_time, time)
                 nxt = next(arrivals, None)
                 if nxt is not None:
                     self._push(nxt.arrival, _ARRIVAL, nxt)
                 with tracer.span("engine.arrival"):
                     self._handle_arrival(payload, time)
+            else:  # _REARRIVAL
+                end_time = max(end_time, time)
+                with tracer.span("engine.arrival"):
+                    self._handle_arrival(payload, time)
         return end_time
+
+    def score(self, end_time: float) -> TrialResult:
+        """Score a finished :meth:`serve` run of the full workload.
+
+        Only valid after the engine drained a stream that offered every
+        workload task (a complete, untruncated replay): scoring walks
+        ``system.workload.tasks`` and treats anything unseen as missed.
+        Such a replay traverses exactly the trajectory of :meth:`run`,
+        so the result matches the batch score bit for bit.
+        """
+        if not self._track_outcomes:
+            raise RuntimeError("score() needs outcome tracking")
+        if not self._ran:
+            raise RuntimeError("score() comes after serve()")
+        return self._score(end_time)
 
     def _score(self, end_time: float) -> TrialResult:
         system = self.system
@@ -600,6 +906,9 @@ def run_trial(
     tracer: Tracer | None = None,
     perf: PerfConfig | None = None,
     shared: TrialCache | None = None,
+    faults: FaultSchedule | None = None,
+    fault_policy: FaultPolicy | None = None,
+    shedding: SheddingConfig | None = None,
 ) -> TrialResult:
     """Convenience wrapper: construct an :class:`Engine` and run it."""
     return Engine(
@@ -611,4 +920,7 @@ def run_trial(
         tracer=tracer,
         perf=perf,
         shared=shared,
+        faults=faults,
+        fault_policy=fault_policy,
+        shedding=shedding,
     ).run()

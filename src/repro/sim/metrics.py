@@ -117,6 +117,15 @@ class WindowStats:
     ``energy`` is the cluster energy consumed within the window;
     ``budget_remaining`` is the rolling allowance at the window's end
     (``nan`` when no rolling budget is configured).
+
+    The fault-layer fields (``shed``, ``deferred``, ``orphaned``,
+    ``remapped``, ``lost``) stay zero unless a fault schedule or
+    shedding config is active: ``shed`` arrivals were dropped by the
+    admission controller, ``deferred`` counts retry pushes (not
+    terminal), ``orphaned`` tasks were displaced by an outage,
+    ``remapped`` is the subset successfully re-placed, and ``lost``
+    covers killed running tasks plus orphans no surviving core could
+    take.
     """
 
     start: float
@@ -129,11 +138,27 @@ class WindowStats:
     energy: float = 0.0
     budget_remaining: float = float("nan")
     in_system_end: int = 0
+    shed: int = 0
+    deferred: int = 0
+    orphaned: int = 0
+    remapped: int = 0
+    lost: int = 0
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError(f"window end {self.end} precedes start {self.start}")
-        for name in ("mapped", "discarded", "completed", "on_time", "late"):
+        for name in (
+            "mapped",
+            "discarded",
+            "completed",
+            "on_time",
+            "late",
+            "shed",
+            "deferred",
+            "orphaned",
+            "remapped",
+            "lost",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
         if self.completed != self.on_time + self.late:
@@ -141,8 +166,13 @@ class WindowStats:
 
     @property
     def arrivals(self) -> int:
-        """Tasks that arrived in the window (every arrival maps or discards)."""
-        return self.mapped + self.discarded
+        """Tasks whose admission was settled in the window.
+
+        Every arrival ends mapped, discarded, or shed; a *deferred*
+        arrival is still pending (it settles, and counts, in the window
+        of its final disposition).
+        """
+        return self.mapped + self.discarded + self.shed
 
     def merge(self, other: "WindowStats") -> "WindowStats":
         """Combine with the adjacent later window (``other.start == self.end``)."""
@@ -161,6 +191,11 @@ class WindowStats:
             energy=self.energy + other.energy,
             budget_remaining=other.budget_remaining,
             in_system_end=other.in_system_end,
+            shed=self.shed + other.shed,
+            deferred=self.deferred + other.deferred,
+            orphaned=self.orphaned + other.orphaned,
+            remapped=self.remapped + other.remapped,
+            lost=self.lost + other.lost,
         )
 
     @staticmethod
@@ -190,6 +225,11 @@ class WindowStats:
             "energy": self.energy,
             "budget_remaining": budget,
             "in_system_end": self.in_system_end,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "orphaned": self.orphaned,
+            "remapped": self.remapped,
+            "lost": self.lost,
         }
 
 
@@ -233,6 +273,11 @@ class WindowAccumulator:
         self._on_time = 0
         self._late = 0
         self._in_system = 0
+        self._shed = 0
+        self._deferred = 0
+        self._orphaned = 0
+        self._remapped = 0
+        self._lost = 0
 
     # -- event callbacks (driven by the service hooks) -------------------
 
@@ -256,6 +301,35 @@ class WindowAccumulator:
             self._late += 1
         else:
             self._on_time += 1
+        self._in_system = in_system
+
+    def on_shed(self, t: float, in_system: int, *, deferred: bool) -> None:
+        """An arrival was deferred (retry pending) or shed (dropped)."""
+        self._roll(t)
+        if deferred:
+            self._deferred += 1
+        else:
+            self._shed += 1
+        self._in_system = in_system
+
+    def on_orphaned(self, t: float, in_system: int, *, disposition: str) -> None:
+        """An outage hit a task: ``remapped``, ``lost``, or ``killed``.
+
+        ``remapped``/``lost`` tasks were displaced (and count as
+        orphaned); ``killed`` running tasks were terminated outright
+        under the ``"lost"`` policy and count only as lost.
+        """
+        self._roll(t)
+        if disposition == "remapped":
+            self._orphaned += 1
+            self._remapped += 1
+        elif disposition == "lost":
+            self._orphaned += 1
+            self._lost += 1
+        elif disposition == "killed":
+            self._lost += 1
+        else:
+            raise ValueError(f"unknown orphan disposition {disposition!r}")
         self._in_system = in_system
 
     # -- window management ----------------------------------------------
@@ -285,10 +359,17 @@ class WindowAccumulator:
                 energy=energy,
                 budget_remaining=remaining,
                 in_system_end=self._in_system,
+                shed=self._shed,
+                deferred=self._deferred,
+                orphaned=self._orphaned,
+                remapped=self._remapped,
+                lost=self._lost,
             )
         )
         self._mapped = self._discarded = 0
         self._completed = self._on_time = self._late = 0
+        self._shed = self._deferred = 0
+        self._orphaned = self._remapped = self._lost = 0
         self._start = end
         self._end = end + self.window
 

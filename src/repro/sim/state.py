@@ -63,6 +63,7 @@ class CoreState:
         "dt",
         "running",
         "queue",
+        "epoch",
         "_version",
         "_queue_conv",
         "_queue_maxlen",
@@ -77,6 +78,7 @@ class CoreState:
         self.dt = dt
         self.running: RunningTask | None = None
         self.queue: deque[QueuedTask] = deque()
+        self.epoch = 0
         self._version = 0
         self._queue_conv: PMF | None = None
         self._queue_maxlen = 0
@@ -141,6 +143,32 @@ class CoreState:
             raise RuntimeError("no running task to clear")
         self.running = None
         self._version += 1
+
+    def interrupt(self) -> RunningTask:
+        """Forcibly remove the running task (fault injection only).
+
+        Bumps :attr:`epoch`, invalidating the completion event the
+        engine scheduled for the interrupted task; the model's normal
+        run-to-completion guarantee (Section III-B) is suspended only
+        at fault transitions.  Returns the removed task.
+        """
+        running = self.running
+        if running is None:
+            raise RuntimeError("no running task to interrupt")
+        self.running = None
+        self.epoch += 1
+        self._version += 1
+        return running
+
+    def drain_queue(self) -> list[QueuedTask]:
+        """Remove and return every queued task (fault orphaning), FIFO order."""
+        if not self.queue:
+            return []
+        entries = list(self.queue)
+        self.queue.clear()
+        self._version += 1
+        self._queue_conv = None
+        return entries
 
     def pop_next(self) -> QueuedTask | None:
         """Remove and return the next queued task (FIFO), if any."""

@@ -1,0 +1,149 @@
+"""Admission-controller behavior: defer, shed, and the min-prob floor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.faults import (
+    SHED_BUDGET,
+    SHED_QUEUE_DEPTH,
+    AdmissionController,
+    FaultEvent,
+    FaultPolicy,
+    FaultSchedule,
+    SheddingConfig,
+)
+from repro.service import ServiceConfig
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def scenario() -> api.Scenario:
+    return api.Scenario("LL", "en+rob", config=tiny_config(seed=123))
+
+
+@pytest.fixture(scope="module")
+def system(scenario):
+    return scenario.build_system()
+
+
+class TestSheddingConfig:
+    def test_all_none_is_disabled(self):
+        assert not SheddingConfig().enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(queue_depth=-1.0),
+            dict(budget_frac=1.5),
+            dict(min_prob=-0.1),
+            dict(queue_depth=1.0, defer=0.0),
+            dict(queue_depth=1.0, max_defers=-1),
+        ],
+    )
+    def test_invalid_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SheddingConfig(**kwargs)
+
+    def test_any_threshold_enables(self):
+        assert SheddingConfig(queue_depth=2.0).enabled
+        assert SheddingConfig(budget_frac=0.1).enabled
+        assert SheddingConfig(min_prob=0.5).enabled
+
+
+class TestAdmissionController:
+    def test_admits_below_thresholds(self):
+        ctl = AdmissionController(SheddingConfig(queue_depth=2.0, budget_frac=0.25))
+        assert ctl.admit(0, 1.5, 0.5) == ("admit", "")
+
+    def test_sheds_on_queue_depth_without_defer(self):
+        ctl = AdmissionController(SheddingConfig(queue_depth=2.0))
+        assert ctl.admit(0, 2.5, None) == ("shed", SHED_QUEUE_DEPTH)
+
+    def test_sheds_on_budget_level(self):
+        ctl = AdmissionController(SheddingConfig(budget_frac=0.25))
+        assert ctl.admit(0, 0.0, 0.1) == ("shed", SHED_BUDGET)
+        # Unknown budget level (no rolling budget): check is skipped.
+        assert ctl.admit(1, 0.0, None) == ("admit", "")
+
+    def test_defers_then_sheds_after_max(self):
+        ctl = AdmissionController(
+            SheddingConfig(queue_depth=1.0, defer=10.0, max_defers=2)
+        )
+        assert ctl.admit(7, 5.0, None) == ("defer", SHED_QUEUE_DEPTH)
+        assert ctl.admit(7, 5.0, None) == ("defer", SHED_QUEUE_DEPTH)
+        assert ctl.admit(7, 5.0, None) == ("shed", SHED_QUEUE_DEPTH)
+
+    def test_admission_settles_defer_tracking(self):
+        ctl = AdmissionController(
+            SheddingConfig(queue_depth=1.0, defer=10.0, max_defers=1)
+        )
+        assert ctl.admit(3, 5.0, None)[0] == "defer"
+        assert ctl.admit(3, 0.0, None)[0] == "admit"
+        # Admission forgets the task; a fresh overload gets a fresh defer.
+        assert ctl.admit(3, 5.0, None)[0] == "defer"
+
+    def test_min_prob_floor(self):
+        ctl = AdmissionController(SheddingConfig(min_prob=0.4))
+        assert ctl.below_prob_floor(0.39)
+        assert not ctl.below_prob_floor(0.4)
+        disabled = AdmissionController(SheddingConfig(queue_depth=1.0))
+        assert not disabled.below_prob_floor(0.0)
+
+
+class TestEngineShedding:
+    """Shedding observed through continuous service under overload."""
+
+    OUTAGE = FaultSchedule((FaultEvent("node_outage", 0, 500.0, 2500.0),))
+    BASE = dict(traffic="poisson", rate_mult=2.5, task_limit=200)
+
+    def _serve(self, scenario, system, shedding=None):
+        return api.run_service(
+            scenario,
+            ServiceConfig(
+                **self.BASE,
+                faults=self.OUTAGE,
+                fault_policy=FaultPolicy(running="resume", remap=True),
+                shedding=shedding,
+            ),
+            system=system,
+        )
+
+    def test_queue_depth_shedding_protects_admitted_work(self, scenario, system):
+        # The acceptance demo's shedding half: under 2.5x overload plus a
+        # node outage, admitting everything makes a chunk of completions
+        # late; the queue-depth shedder keeps admitted work on time.
+        unprotected = self._serve(scenario, system)
+        protected = self._serve(scenario, system, SheddingConfig(queue_depth=1.0))
+        assert unprotected.totals.late > 0
+        assert protected.totals.late == 0
+        assert protected.fault_totals["shed"] > 0
+        # Shed arrivals are accounted, not lost: the window identity holds.
+        totals = protected.totals
+        assert totals.arrivals == self.BASE["task_limit"]
+        assert totals.arrivals == totals.mapped + totals.discarded + totals.shed
+
+    def test_deferral_retries_instead_of_dropping(self, scenario, system):
+        deferred = self._serve(
+            scenario,
+            system,
+            SheddingConfig(queue_depth=1.0, defer=120.0, max_defers=10),
+        )
+        assert deferred.fault_totals["deferred"] > 0
+        # A deferred arrival is not terminal: every arrival still ends
+        # mapped, discarded, or shed for good.
+        totals = deferred.totals
+        assert totals.arrivals == totals.mapped + totals.discarded + totals.shed
+
+    def test_min_prob_floor_sheds_hopeless_tasks(self, scenario, system):
+        protected = self._serve(scenario, system, SheddingConfig(min_prob=0.95))
+        assert protected.fault_totals["shed"] > 0
+
+    def test_shedding_is_deterministic(self, scenario, system):
+        first = self._serve(scenario, system, SheddingConfig(queue_depth=1.0))
+        second = self._serve(scenario, system, SheddingConfig(queue_depth=1.0))
+        assert [w.to_dict() for w in first.windows] == [
+            w.to_dict() for w in second.windows
+        ]
+        assert first.fault_totals == second.fault_totals

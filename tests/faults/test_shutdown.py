@@ -1,0 +1,119 @@
+"""Graceful shutdown: the stop signal drains work and marks truncation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.service import TRAILER_FORMAT, ServiceConfig, serve_system, write_windows_jsonl
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def scenario() -> api.Scenario:
+    return api.Scenario("LL", "en+rob", config=tiny_config(seed=123))
+
+
+@pytest.fixture(scope="module")
+def system(scenario):
+    return scenario.build_system()
+
+
+def _stop_after(n: int):
+    """A stop() callable that flips true after n polls (arrivals)."""
+    state = {"polls": 0}
+
+    def stop() -> bool:
+        state["polls"] += 1
+        return state["polls"] > n
+
+    return stop
+
+
+class TestGracefulStop:
+    def test_stop_cuts_stream_and_drains(self, scenario, system):
+        full = serve_system(
+            system,
+            scenario.spec,
+            ServiceConfig(traffic="poisson", task_limit=500),
+        )
+        stopped = serve_system(
+            system,
+            scenario.spec,
+            ServiceConfig(traffic="poisson", task_limit=500),
+            stop=_stop_after(40),
+        )
+        assert not full.truncated
+        assert stopped.truncated
+        totals = stopped.totals
+        # The stream was cut early but committed work drained: nothing
+        # stays in flight and far fewer arrivals were admitted.
+        assert totals.arrivals < full.totals.arrivals
+        assert totals.in_system_end == 0
+        assert totals.completed + totals.discarded == totals.arrivals
+
+    def test_stop_never_polled_true_is_not_truncated(self, scenario, system):
+        svc = serve_system(
+            system,
+            scenario.spec,
+            ServiceConfig(traffic="poisson", task_limit=30),
+            stop=lambda: False,
+        )
+        assert not svc.truncated
+
+    def test_untriggered_stop_still_scores_replay(self, scenario, system):
+        # The CLI always wires a stop probe for signal handling; a full
+        # replay where it never fires must still score like the batch
+        # path, bit for bit.
+        baseline = serve_system(system, scenario.spec, ServiceConfig(traffic="replay"))
+        guarded = serve_system(
+            system, scenario.spec, ServiceConfig(traffic="replay"), stop=lambda: False
+        )
+        assert not guarded.truncated
+        assert guarded.trial_result == baseline.trial_result
+
+    def test_replay_with_stop_drops_batch_scoring(self, scenario, system):
+        # A truncated replay saw a different stream than the batch run;
+        # it must not claim batch equivalence.
+        svc = serve_system(
+            system,
+            scenario.spec,
+            ServiceConfig(traffic="replay"),
+            stop=_stop_after(10),
+        )
+        assert svc.truncated
+        assert svc.trial_result is None
+
+
+class TestTruncationTrailer:
+    def test_truncated_run_writes_trailer(self, scenario, system, tmp_path):
+        stopped = serve_system(
+            system,
+            scenario.spec,
+            ServiceConfig(traffic="poisson", task_limit=200),
+            stop=_stop_after(25),
+        )
+        path = tmp_path / "windows.jsonl"
+        count = write_windows_jsonl(stopped, path)
+        lines = path.read_text().splitlines()
+        # The returned count excludes the trailer line.
+        assert len(lines) == count + 1
+        trailer = json.loads(lines[-1])
+        assert trailer["format"] == TRAILER_FORMAT
+        assert trailer["truncated"] is True
+        assert trailer["windows"] == count
+        assert trailer["makespan"] == stopped.makespan
+        for line in lines[:-1]:
+            assert json.loads(line)["format"] == "repro.window/1"
+
+    def test_clean_run_writes_no_trailer(self, scenario, system, tmp_path):
+        svc = serve_system(
+            system, scenario.spec, ServiceConfig(traffic="poisson", task_limit=30)
+        )
+        path = tmp_path / "windows.jsonl"
+        count = write_windows_jsonl(svc, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        assert all(json.loads(line)["format"] == "repro.window/1" for line in lines)

@@ -10,9 +10,12 @@ from repro.obs.events import (
     EVENT_KINDS,
     CheckpointWritten,
     EnergyExhausted,
+    FaultInjected,
     TaskCompleted,
     TaskDiscarded,
     TaskMapped,
+    TaskOrphaned,
+    TaskShed,
     TrialFinished,
     TrialQuarantined,
     TrialRetried,
@@ -37,6 +40,9 @@ SAMPLES = [
     TrialRetried(trial=2, attempt=1, fault="crash", delay=0.75),
     TrialQuarantined(trial=2, attempts=3, fault="timeout"),
     CheckpointWritten(trial=2, path="out/run.jsonl", records=3),
+    FaultInjected(t=12.0, fault="node_outage", action="fail", target=1, cores=4),
+    TaskOrphaned(t=12.0, task_id=5, type_id=2, core_id=6, disposition="remapped"),
+    TaskShed(t=14.0, task_id=9, type_id=0, cause="queue_depth", deferred=False),
 ]
 
 
@@ -52,7 +58,7 @@ class TestRoundTrip:
         assert data["kind"] in EVENT_KINDS
 
     def test_kinds_are_unique_and_registered(self):
-        assert len(EVENT_KINDS) == 9
+        assert len(EVENT_KINDS) == 12
         assert set(EVENT_KINDS) == {
             "trial_started",
             "task_mapped",
@@ -63,6 +69,9 @@ class TestRoundTrip:
             "trial_retried",
             "trial_quarantined",
             "checkpoint_written",
+            "fault_injected",
+            "task_orphaned",
+            "task_shed",
         }
 
 

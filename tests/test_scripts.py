@@ -266,3 +266,153 @@ class TestServiceCheck:
         assert proc.returncode == 0, proc.stderr
         check = self.run_check(out)
         assert check.returncode == 0, check.stdout
+
+    def test_truncation_trailer_is_tolerated(self, tmp_path):
+        rows = [self.row(0, 0.0, 5.0), self.row(1, 5.0, 10.0)]
+        trailer = {
+            "format": "repro.window_trailer/1",
+            "truncated": True,
+            "windows": 2,
+            "makespan": 10.0,
+        }
+        path = self.write(tmp_path, "trunc.jsonl", rows + [trailer])
+        proc = self.run_check(path)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_trailer_with_wrong_count_fails(self, tmp_path):
+        trailer = {
+            "format": "repro.window_trailer/1",
+            "truncated": True,
+            "windows": 5,
+            "makespan": 5.0,
+        }
+        path = self.write(tmp_path, "bad.jsonl", [self.row(0, 0.0, 5.0), trailer])
+        proc = self.run_check(path)
+        assert proc.returncode == 1
+        assert "trailer" in proc.stdout
+
+
+class TestFaultsCheck:
+    SCRIPT = REPO / "scripts" / "faults_check.py"
+
+    def run_check(self, *args):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *[str(a) for a in args]],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    @staticmethod
+    def row(index, start, end, **overrides):
+        row = {
+            "format": "repro.window/1",
+            "index": index,
+            "label": "LL/en+rob",
+            "seed": 0,
+            "traffic": "poisson",
+            "start": start,
+            "end": end,
+            "arrivals": 4,
+            "mapped": 2,
+            "discarded": 1,
+            "shed": 1,
+            "deferred": 0,
+            "orphaned": 2,
+            "remapped": 1,
+            "lost": 1,
+            "completed": 2,
+            "on_time": 1,
+            "late": 1,
+            "energy": 10.0,
+            "budget_remaining": 5.0,
+            "in_system_end": 1,
+        }
+        row.update(overrides)
+        return row
+
+    def write(self, tmp_path, name, rows):
+        path = tmp_path / name
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        return path
+
+    def test_valid_fault_columns_pass(self, tmp_path):
+        good = self.write(
+            tmp_path, "good.jsonl", [self.row(0, 0.0, 5.0), self.row(1, 5.0, 10.0)]
+        )
+        proc = self.run_check(good)
+        assert proc.returncode == 0, proc.stdout
+        assert proc.stdout.startswith("ok")
+
+    def test_missing_fault_field_fails(self, tmp_path):
+        row = self.row(0, 0.0, 5.0)
+        del row["orphaned"]
+        bad = self.write(tmp_path, "missing.jsonl", [row])
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "orphaned" in proc.stdout
+
+    def test_negative_count_fails(self, tmp_path):
+        bad = self.write(tmp_path, "neg.jsonl", [self.row(0, 0.0, 5.0, lost=-1)])
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "lost" in proc.stdout
+
+    def test_remapped_exceeding_orphaned_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path, "remap.jsonl", [self.row(0, 0.0, 5.0, remapped=3, orphaned=2)]
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "remapped" in proc.stdout
+
+    def test_shed_breaks_arrival_identity_fails(self, tmp_path):
+        # shed counts toward arrivals: dropping it from the sum must fail.
+        bad = self.write(tmp_path, "sum.jsonl", [self.row(0, 0.0, 5.0, shed=2)])
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "arrivals" in proc.stdout
+
+    def test_expect_faults_rejects_quiet_file(self, tmp_path):
+        quiet = self.write(
+            tmp_path,
+            "quiet.jsonl",
+            [self.row(0, 0.0, 5.0, arrivals=3, shed=0, deferred=0,
+                      orphaned=0, remapped=0, lost=0)],
+        )
+        assert self.run_check(quiet).returncode == 0
+        proc = self.run_check("--expect-faults", quiet)
+        assert proc.returncode == 1
+        assert "no fault activity" in proc.stdout
+
+    def test_trailer_is_tolerated(self, tmp_path):
+        trailer = {
+            "format": "repro.window_trailer/1",
+            "truncated": True,
+            "windows": 1,
+            "makespan": 5.0,
+        }
+        path = self.write(tmp_path, "trunc.jsonl", [self.row(0, 0.0, 5.0), trailer])
+        proc = self.run_check(path)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_real_degraded_serve_output_passes(self, tmp_path):
+        # End to end: a degraded `repro serve` run satisfies the
+        # validator including --expect-faults.
+        out = tmp_path / "windows.jsonl"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--tasks", "60", "--seed", "5",
+                "--traffic", "poisson", "--task-limit", "120",
+                "--fault-mtbf", "4000", "--fault-mttr", "1500",
+                "--fault-horizon", "20000", "--fault-scope", "node",
+                "--shed-queue-depth", "4",
+                "--windows-out", str(out),
+            ],
+            capture_output=True, text=True, timeout=600,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        check = self.run_check("--expect-faults", out)
+        assert check.returncode == 0, check.stdout + proc.stdout
