@@ -4,6 +4,10 @@
 Checks the invariants any downstream window consumer relies on:
 
 * every line is a JSON object tagged ``"format": "repro.window/1"``;
+* ``schema_version`` (when present — required from version 2 on) is a
+  positive integer, constant across the file; version >= 2 rows must
+  carry the fault columns (``shed``/``deferred``/``orphaned``/
+  ``remapped``/``lost``) as counts with ``remapped <= orphaned``;
 * ``index`` counts 0, 1, 2, ... in file order;
 * windows are contiguous (each ``start`` equals the previous ``end``)
   and non-degenerate (``end >= start``, the first ``start`` is 0);
@@ -36,6 +40,8 @@ FORMAT = "repro.window/1"
 TRAILER_FORMAT = "repro.window_trailer/1"
 COUNT_FIELDS = ("arrivals", "mapped", "discarded", "completed", "on_time", "late",
                 "in_system_end")
+# Required from schema_version 2 on (the PR 7 fault-layer columns).
+FAULT_FIELDS = ("shed", "deferred", "orphaned", "remapped", "lost")
 
 
 def check_windows(path: Path) -> list[str]:
@@ -78,7 +84,31 @@ def check_windows(path: Path) -> list[str]:
         if row.get("index") != i:
             problems.append(f"line {i}: index {row.get('index')!r} out of order")
 
-        for key in ("label", "seed", "traffic"):
+        version = row.get("schema_version")
+        if version is not None and (
+            not isinstance(version, int) or isinstance(version, bool) or version < 1
+        ):
+            problems.append(
+                f"line {i}: schema_version {version!r} is not a positive integer"
+            )
+            version = None
+        if isinstance(version, int) and version >= 2:
+            bad_fault = False
+            for key in FAULT_FIELDS:
+                value = row.get(key)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    problems.append(
+                        f"line {i}: schema v{version} requires count {key}, "
+                        f"got {value!r}"
+                    )
+                    bad_fault = True
+            if not bad_fault and row["remapped"] > row["orphaned"]:
+                problems.append(
+                    f"line {i}: remapped {row['remapped']} exceeds "
+                    f"orphaned {row['orphaned']}"
+                )
+
+        for key in ("label", "seed", "traffic", "schema_version"):
             value = row.get(key)
             if key not in constants:
                 constants[key] = value

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Validate a ``repro`` Prometheus telemetry scrape (CI telemetry job).
+
+Checks that a ``/metrics`` scrape (or a ``--telemetry-out`` file) is a
+well-formed text-exposition (0.0.4) document carrying the families the
+acceptance criteria name:
+
+* every non-comment line parses as ``name{labels} value`` with a valid
+  metric name and a float (or ``NaN``/``+Inf``/``-Inf``) value;
+* every sample's family has a ``# TYPE`` comment, and ``_total``
+  samples are typed ``counter``;
+* counters are non-negative, and the required families are present:
+  ``repro_windows_total``, ``repro_tasks_completed_total``,
+  quantile-labelled ``repro_completion_latency_seconds`` samples, the
+  ``repro_warmup_window_index`` steady-state gauge and
+  ``repro_steady_ci_half_width`` CI half-widths;
+* accounting holds: ``tasks_completed == tasks_on_time + tasks_late``.
+
+Exits 0 when every file is valid, 1 with diagnostics otherwise.  No
+repro imports — the script validates the *format*, so it must not share
+code with the renderer it is checking.
+
+Usage:
+    python scripts/telemetry_check.py scrape.prom [more.prom ...]
+    curl -s localhost:9464/metrics | python scripts/telemetry_check.py -
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+SAMPLE_RE = re.compile(
+    rf"^(?P<name>{NAME})(?:\{{(?P<labels>[^}}]*)\}})?\s+(?P<value>\S+)$"
+)
+LABEL_RE = re.compile(rf'^{NAME}="(?:[^"\\]|\\.)*"$')
+
+REQUIRED_FAMILIES = (
+    "repro_windows_total",
+    "repro_tasks_completed_total",
+    "repro_tasks_mapped_total",
+    "repro_completion_latency_seconds",
+    "repro_warmup_window_index",
+    "repro_steady_ci_half_width",
+    "repro_healthy",
+)
+
+#: Families that must expose at least one ``quantile``-labelled sample.
+QUANTILE_FAMILIES = ("repro_completion_latency_seconds",)
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _family_of(sample_name: str) -> str:
+    """Summary/histogram suffixes collapse onto their family name."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def check_scrape(text: str, origin: str) -> list[str]:
+    """Return a list of problems (empty when the document is valid)."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {lineno}: malformed TYPE comment")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            )
+            continue
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for pair in raw.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                if not LABEL_RE.match(pair):
+                    problems.append(f"line {lineno}: bad label {pair!r}")
+                    continue
+                key, _, quoted = pair.partition("=")
+                labels[key] = quoted[1:-1]
+        samples.setdefault(match.group("name"), []).append((labels, value))
+
+    for name, entries in samples.items():
+        family = _family_of(name)
+        if family not in types:
+            problems.append(f"{name}: no # TYPE comment for family {family}")
+        if name.endswith("_total"):
+            if types.get(name) != "counter":
+                problems.append(
+                    f"{name}: _total family typed {types.get(name)!r}, "
+                    "expected counter"
+                )
+            for labels, value in entries:
+                if value != value:  # NaN
+                    problems.append(f"{name}: counter value is NaN")
+                elif value < 0:
+                    problems.append(f"{name}: counter value {value} is negative")
+
+    for family in REQUIRED_FAMILIES:
+        if not any(_family_of(name) == family for name in samples):
+            problems.append(f"missing required family {family}")
+
+    for family in QUANTILE_FAMILIES:
+        quantiled = [
+            labels
+            for name, entries in samples.items()
+            if name == family
+            for labels, _ in entries
+            if "quantile" in labels
+        ]
+        if family in {_family_of(n) for n in samples} and not quantiled:
+            problems.append(f"{family}: no quantile-labelled samples")
+        for labels in quantiled:
+            try:
+                q = float(labels["quantile"])
+            except ValueError:
+                problems.append(f"{family}: quantile {labels['quantile']!r} not a float")
+                continue
+            if not (0.0 < q < 1.0):
+                problems.append(f"{family}: quantile {q} outside (0, 1)")
+
+    def _counter(name: str) -> float | None:
+        entries = samples.get(name)
+        return entries[0][1] if entries else None
+
+    completed = _counter("repro_tasks_completed_total")
+    on_time = _counter("repro_tasks_on_time_total")
+    late = _counter("repro_tasks_late_total")
+    if None not in (completed, on_time, late) and completed != on_time + late:
+        problems.append(
+            f"tasks_completed {completed} != on_time {on_time} + late {late}"
+        )
+    return [f"{origin}: {p}" for p in problems] if origin else problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "scrapes", nargs="+", help="Prometheus text files ('-' reads stdin)"
+    )
+    args = parser.parse_args()
+    failed = False
+    for name in args.scrapes:
+        if name == "-":
+            text, label = sys.stdin.read(), "<stdin>"
+        else:
+            try:
+                text, label = Path(name).read_text(encoding="utf-8"), name
+            except OSError as exc:
+                print(f"FAIL {name}\n  unreadable: {exc}")
+                failed = True
+                continue
+        problems = check_scrape(text, "")
+        if problems:
+            failed = True
+            print(f"FAIL {label}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok {label}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,14 @@ from repro.analysis.profile_report import (
     span_summary,
     timeline_table,
 )
+from repro.analysis.steady_state import (
+    SteadyStateSummary,
+    analyze_series,
+    analyze_windows,
+    batch_means_ci,
+    mser_truncation,
+    steady_state_table,
+)
 from repro.analysis.svg import (
     boxplot_svg,
     save_boxplot_svg,
@@ -58,4 +66,10 @@ __all__ = [
     "faults_report",
     "robustness_delta",
     "service_robustness_delta",
+    "SteadyStateSummary",
+    "analyze_series",
+    "analyze_windows",
+    "batch_means_ci",
+    "mser_truncation",
+    "steady_state_table",
 ]

@@ -183,12 +183,44 @@ def _executor_table(counters: Mapping[str, int]) -> str | None:
     return markdown_table(["executor", "value"], rows)
 
 
+#: Counter prefixes the fault/shedding table claims from the registry.
+_FAULT_PREFIXES = ("faults.", "tasks_orphaned.", "tasks_shed.", "tasks_deferred")
+
+
+def _faults_table(counters: Mapping[str, int]) -> str | None:
+    """Fault-layer counters (PR 7's ``faults.*``/``tasks_*`` families).
+
+    Rows are grouped: fault transitions (``faults.<action>.<kind>``),
+    then orphan dispositions, then shedding causes and deferrals.
+    Returns ``None`` when no fault-layer counter is present (the common
+    fault-free run).
+    """
+    items = {
+        k: v for k, v in counters.items() if k.startswith(_FAULT_PREFIXES)
+    }
+    if not items:
+        return None
+    rows: list[tuple[str, str, int]] = []
+    for key in sorted(items):
+        if key.startswith("faults."):
+            _, action, kind = (key.split(".", 2) + ["", ""])[:3]
+            rows.append(("fault", f"{action} {kind}".strip(), items[key]))
+        elif key.startswith("tasks_orphaned."):
+            rows.append(("orphaned", key.removeprefix("tasks_orphaned."), items[key]))
+        elif key.startswith("tasks_shed."):
+            rows.append(("shed", key.removeprefix("tasks_shed."), items[key]))
+        else:  # tasks_deferred (no sub-key)
+            rows.append(("deferred", "retry pushes", items[key]))
+    return markdown_table(["family", "detail", "count"], rows)
+
+
 def metrics_tables(data: Mapping[str, Any]) -> str:
     """Render a ``repro.metrics/1`` document as counter/histogram tables.
 
-    ``perf.cache.*`` and ``executor.*`` counters get dedicated derived
-    tables (per-spec cache hit rates; chunk-level dispatch stats) and
-    are omitted from the generic counter dump.
+    ``perf.cache.*``, ``executor.*`` and the fault-layer families
+    (``faults.*``, ``tasks_orphaned.*``, ``tasks_shed.*``,
+    ``tasks_deferred``) get dedicated derived tables and are omitted
+    from the generic counter dump.
     """
     if data.get("format") != "repro.metrics/1":
         raise ValueError("not a repro.metrics/1 document")
@@ -197,7 +229,7 @@ def metrics_tables(data: Mapping[str, Any]) -> str:
     generic = {
         k: v
         for k, v in counters.items()
-        if not k.startswith(("perf.cache.", "executor."))
+        if not k.startswith(("perf.cache.", "executor.", *_FAULT_PREFIXES))
     }
     if generic:
         parts.append("## Counters\n")
@@ -210,6 +242,10 @@ def metrics_tables(data: Mapping[str, Any]) -> str:
     if executor is not None:
         parts.append("\n## Executor\n")
         parts.append(executor)
+    faults = _faults_table(counters)
+    if faults is not None:
+        parts.append("\n## Faults / shedding\n")
+        parts.append(faults)
     histograms = data.get("histograms", {})
     if histograms:
         parts.append("\n## Histograms\n")

@@ -61,9 +61,21 @@ from repro.faults import (
 from repro.filters.chain import VARIANTS as FILTER_VARIANTS
 from repro.filters.chain import FilterChain, make_filter_chain
 from repro.heuristics.registry import HEURISTICS, make_heuristic
+from repro.analysis.steady_state import (
+    SteadyStateSummary,
+    analyze_windows,
+    steady_state_table,
+)
+from repro.obs.export import FileExporter, TelemetryServer
 from repro.obs.hooks import observe_trial
 from repro.obs.sinks import EventSink, JsonlSink, MetricsRegistry, RingBufferSink
 from repro.obs.spans import SpanProfile, SpanRecorder
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    AlertRule,
+    Telemetry,
+    parse_rule,
+)
 from repro.obs.timeline import TimelineRecorder, TimelineSet
 from repro.perf.kernel_cache import CacheStats, PerfConfig
 from repro.perf.trial_cache import TrialCache
@@ -95,6 +107,16 @@ __all__ = [
     "ServiceResult",
     "WindowStats",
     "write_windows_jsonl",
+    # live telemetry + steady state
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "AlertRule",
+    "parse_rule",
+    "FileExporter",
+    "TelemetryServer",
+    "SteadyStateSummary",
+    "analyze_windows",
+    "steady_state_table",
     # fault layer
     "FaultEvent",
     "FaultSchedule",
@@ -244,6 +266,7 @@ def run_service(
     *,
     system: TrialSystem | None = None,
     timeline: TimelineRecorder | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> ServiceResult:
     """Run one scenario in continuous-service mode.
 
@@ -258,12 +281,18 @@ def run_service(
 
     Replay mode's :attr:`ServiceResult.trial_result` is bitwise
     identical to what :func:`run_trial` returns for the same scenario.
+
+    ``telemetry`` attaches a live :class:`Telemetry` hub (streaming
+    quantiles, SLO rules, online steady-state detection); the inert
+    default keeps the run bitwise identical to an untelemetered one.
     """
     if service is None:
         service = ServiceConfig(traffic="replay")
     if system is None:
         system = scenario.build_system()
-    return _serve_system(system, scenario.spec, service, timeline=timeline)
+    return _serve_system(
+        system, scenario.spec, service, timeline=timeline, telemetry=telemetry
+    )
 
 
 def _common_config(scenarios: Sequence[Scenario]) -> SimulationConfig:

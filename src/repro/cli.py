@@ -8,6 +8,9 @@ Installed as the ``repro`` console script::
                                         # continuous-service mode
     repro serve --horizon 3e5 --fault-mtbf 6e4 --fault-mttr 6e3 \
                 --shed-queue-depth 8    # degraded service with shedding
+    repro serve --horizon 3e5 --telemetry-port 9464 \
+                --slo 'on_time_prob<0.9:3'  # live scrape + SLO health
+    repro monitor windows.jsonl --follow    # terminal dashboard
     repro figure fig5 --trials 10       # one of the paper's figures
     repro grid --trials 50 -o grid.json # the full 16-variant evaluation
     repro sweep --multipliers 0.7 1.0 1.3  # budget-tightness sweep
@@ -61,9 +64,12 @@ from repro.io.profile_io import (
 )
 from repro.io.results_io import ensemble_from_dict, ensemble_to_dict, load_json, save_json
 from repro.io.trace_io import load_trace
+from repro.obs.export import FileExporter, TelemetryServer
 from repro.obs.manifest import build_manifest, load_manifest, save_manifest, verify_ensemble
+from repro.obs.monitor import read_window_rows, render_monitor, scrape
 from repro.obs.sinks import JsonlSink, MetricsRegistry
 from repro.obs.spans import SpanProfile, SpanRecorder
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, parse_rule
 from repro.obs.timeline import TIMELINE_FORMAT, TimelineRecorder, TimelineSet
 from repro.service import TRAFFIC_MODELS, ServiceConfig, ServiceResult, serve_system
 from repro.service import write_windows_jsonl
@@ -417,6 +423,52 @@ def _print_windows(result: ServiceResult, head: int = 10, tail: int = 10) -> Non
         )
 
 
+def _resolve_telemetry(
+    args: argparse.Namespace,
+) -> tuple[Telemetry, TelemetryServer | None]:
+    """Build the serve command's telemetry hub (inert when unrequested)."""
+    wanted = (
+        args.telemetry_port is not None
+        or args.telemetry_out is not None
+        or bool(args.slo)
+    )
+    if not wanted:
+        return NULL_TELEMETRY, None
+    try:
+        telemetry = Telemetry(rules=[parse_rule(spec) for spec in args.slo or []])
+    except ValueError as exc:
+        raise SystemExit(f"--slo: {exc}")
+    if args.telemetry_out:
+        telemetry.exporters.append(FileExporter(args.telemetry_out, telemetry))
+    server = None
+    if args.telemetry_port is not None:
+        server = TelemetryServer(telemetry, port=args.telemetry_port)
+        port = server.start()
+        print(f"telemetry: scrape http://127.0.0.1:{port}/metrics "
+              f"(health: /health)")
+    return telemetry, server
+
+
+def _print_telemetry_summary(telemetry: Telemetry) -> None:
+    """Post-run SLO health + steady-state roll-up of a telemetered serve."""
+    health = telemetry.health()
+    verdict = "healthy" if health["healthy"] else "UNHEALTHY"
+    print(f"SLO health: {verdict} ({health['alerts']} alert transitions)")
+    for state in health["rules"]:
+        mark = "FIRING" if state["firing"] else "ok"
+        print(
+            f"  [{mark:>6}] {state['rule']}  "
+            f"breached {state['breached_windows']} windows, "
+            f"fired {state['fired_count']}x"
+        )
+    steady = telemetry.steady_state()
+    if steady:
+        from repro.analysis.steady_state import steady_state_table
+
+        print("steady state (MSER-5 warm-up, batch-means CI):")
+        print(steady_state_table(steady))
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the engine as a continuous service and summarize its windows.
 
@@ -459,6 +511,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.timeline_out
         else None
     )
+    telemetry, server = _resolve_telemetry(args)
     stop_requested = False
 
     def _request_stop(signum: int, frame: Any) -> None:
@@ -471,8 +524,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     }
     try:
         result = serve_system(
-            system, spec, service, timeline=timeline, stop=lambda: stop_requested
+            system,
+            spec,
+            service,
+            timeline=timeline,
+            stop=lambda: stop_requested,
+            telemetry=telemetry,
         )
+    except BaseException:
+        if server is not None:
+            server.stop()
+        raise
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
@@ -504,15 +566,94 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{batch.energy_cutoff} after budget exhaustion)"
         )
     _print_windows(result)
+    if telemetry.enabled:
+        _print_telemetry_summary(telemetry)
     if args.windows_out:
         count = write_windows_jsonl(result, args.windows_out)
         print(f"wrote {args.windows_out} ({count} windows)")
+    if args.telemetry_out and telemetry.enabled:
+        for exporter in telemetry.exporters:
+            exporter.export()
+        print(f"wrote {args.telemetry_out}")
     if timeline is not None:
         timeline_set = TimelineSet(args.timeline_dt)
         timeline_set.add(timeline)
         save_timeline(timeline_set, args.timeline_out)
         print(f"wrote {args.timeline_out} ({len(timeline)} samples)")
+    if server is not None:
+        if args.telemetry_linger > 0.0:
+            # Leave the endpoint scrapeable after the simulation ends so
+            # a collector (or the CI smoke job) can take a final sample.
+            import time
+
+            print(f"telemetry: lingering {args.telemetry_linger:.0f}s for scrapes")
+            try:
+                time.sleep(args.telemetry_linger)
+            except KeyboardInterrupt:
+                pass
+        server.stop()
     return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Tail window JSONL (or scrape a live endpoint) into a dashboard.
+
+    With a file source, ``--follow`` polls for newly appended rows and
+    re-renders until the truncation trailer lands or Ctrl-C.  With an
+    ``http(s)://`` source, each refresh prints the raw Prometheus
+    scrape (the serving process owns the rendering).
+    """
+    try:
+        rules = [parse_rule(spec) for spec in args.slo or []]
+    except ValueError as exc:
+        raise SystemExit(f"--slo: {exc}")
+    if args.source.startswith(("http://", "https://")):
+        import time
+
+        while True:
+            try:
+                print(scrape(args.source), end="")
+            except OSError as exc:
+                raise SystemExit(f"repro monitor: cannot scrape {args.source}: {exc}")
+            if not args.follow:
+                return 0
+            time.sleep(args.interval)
+            print()
+    import time
+
+    rows: list[dict[str, Any]] = []
+    trailer: dict[str, Any] | None = None
+    offset = 0
+    rendered_at = -1
+    while True:
+        try:
+            new_rows, new_trailer, offset = read_window_rows(
+                args.source, offset=offset
+            )
+        except OSError as exc:
+            raise SystemExit(f"repro monitor: cannot read {args.source}: {exc}")
+        rows.extend(new_rows)
+        trailer = new_trailer or trailer
+        if len(rows) != rendered_at or not args.follow:
+            if args.follow and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(
+                render_monitor(
+                    rows,
+                    rules=rules,
+                    tail=args.tail,
+                    budget_rate=args.budget_rate,
+                    trailer=trailer,
+                ),
+                end="",
+            )
+            rendered_at = len(rows)
+        if not args.follow or trailer is not None:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _print_ensemble(ensemble: EnsembleResult, tasks: int, svg_dir: str | None) -> None:
@@ -851,8 +992,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="keep only the newest N timeline samples (ring buffer)",
     )
+    tele = p.add_argument_group("telemetry")
+    tele.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        help="serve Prometheus /metrics and JSON /health on this port (0 = ephemeral)",
+    )
+    tele.add_argument(
+        "--telemetry-out",
+        help="atomically republish the Prometheus rendering to this file per window",
+    )
+    tele.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="SLO alert rule like 'on_time_prob<0.9:3' (repeatable); "
+        "metrics: on_time_prob, queue_depth, burn_rate, budget_remaining, shed, ...",
+    )
+    tele.add_argument(
+        "--telemetry-linger",
+        type=float,
+        default=0.0,
+        help="keep the scrape endpoint up this many wall seconds after the run",
+    )
     _add_faults(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "monitor", help="tail window JSONL or a telemetry endpoint into a dashboard"
+    )
+    p.add_argument(
+        "source", help="window JSONL path (from serve --windows-out) or http:// endpoint"
+    )
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new windows until the run truncates or Ctrl-C",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="poll interval in wall seconds (default: 2)",
+    )
+    p.add_argument(
+        "--tail", type=int, default=10, help="recent windows shown in the table"
+    )
+    p.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="SLO rule evaluated over the rows, e.g. 'on_time_prob<0.9:3' (repeatable)",
+    )
+    p.add_argument(
+        "--budget-rate",
+        type=float,
+        default=None,
+        help="allowance accrual (J/s) enabling the burn_rate column",
+    )
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("figure", help="rerun one of the paper's figures", parents=[obs])
     _add_common(p)

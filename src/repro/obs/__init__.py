@@ -27,7 +27,15 @@ inspectable without touching the engine's hot path:
   Chrome trace-event JSON (Perfetto-loadable);
 * :mod:`repro.obs.timeline` — system-state snapshots (queue depth,
   busy cores, energy estimate, completions/discards) sampled on a
-  uniform simulated-time grid.
+  uniform simulated-time grid;
+* :mod:`repro.obs.telemetry` — live service instruments (counters,
+  EWMA rates, P² streaming quantiles), SLO alert rules and online
+  steady-state estimates, inert by default (:data:`NULL_TELEMETRY`);
+* :mod:`repro.obs.export` — telemetry export surfaces: Prometheus text
+  rendering, an atomic file exporter, and a stdlib HTTP scrape
+  endpoint (:class:`TelemetryServer`);
+* :mod:`repro.obs.monitor` — the ``repro monitor`` dashboard: tail
+  window JSONL (or scrape a live endpoint) into a terminal view.
 
 Observability is strictly opt-in: ``run_trial`` with no hooks allocates
 no event objects, and :mod:`repro.sim.engine` never imports this
@@ -35,6 +43,8 @@ package.
 """
 
 from repro.obs.events import (
+    AlertFired,
+    AlertResolved,
     CheckpointWritten,
     EnergyExhausted,
     Event,
@@ -48,6 +58,7 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
+from repro.obs.export import FileExporter, TelemetryServer, to_prometheus
 from repro.obs.hooks import (
     ObservingHooks,
     TimedFilterChain,
@@ -67,9 +78,28 @@ from repro.obs.manifest import (
 )
 from repro.obs.sinks import JsonlSink, MetricsRegistry, RingBufferSink
 from repro.obs.spans import SpanProfile, SpanRecorder, recording, span, traced
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    AlertRule,
+    NullTelemetry,
+    P2Quantile,
+    Telemetry,
+    parse_rule,
+)
 from repro.obs.timeline import TimelineRecorder, TimelineSet
 
 __all__ = [
+    "AlertFired",
+    "AlertResolved",
+    "AlertRule",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "P2Quantile",
+    "Telemetry",
+    "parse_rule",
+    "FileExporter",
+    "TelemetryServer",
+    "to_prometheus",
     "CheckpointWritten",
     "EnergyExhausted",
     "Event",

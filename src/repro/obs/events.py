@@ -32,6 +32,8 @@ __all__ = [
     "FaultInjected",
     "TaskOrphaned",
     "TaskShed",
+    "AlertFired",
+    "AlertResolved",
     "EVENT_KINDS",
     "event_to_dict",
     "event_from_dict",
@@ -232,6 +234,39 @@ class TaskShed:
     deferred: bool
 
 
+@dataclass(frozen=True, slots=True)
+class AlertFired:
+    """An SLO rule breached for its required number of windows.
+
+    ``rule`` is the canonical rule spec (e.g. ``"on_time_prob<0.9:3"``),
+    ``value`` the metric value of the tripping window, ``window_index``
+    the 0-based index of that window, and ``streak`` how many
+    consecutive windows have breached.  Emitted by
+    :class:`repro.obs.telemetry.Telemetry` at window close.
+    """
+
+    kind: ClassVar[str] = "alert_fired"
+
+    t: float
+    rule: str
+    metric: str
+    value: float
+    window_index: int
+    streak: int
+
+
+@dataclass(frozen=True, slots=True)
+class AlertResolved:
+    """A previously firing SLO rule saw a non-breaching window."""
+
+    kind: ClassVar[str] = "alert_resolved"
+
+    t: float
+    rule: str
+    metric: str
+    window_index: int
+
+
 Event = Union[
     TrialStarted,
     TaskMapped,
@@ -245,6 +280,8 @@ Event = Union[
     FaultInjected,
     TaskOrphaned,
     TaskShed,
+    AlertFired,
+    AlertResolved,
 ]
 
 #: kind string -> event class, for deserialization.
@@ -263,6 +300,8 @@ EVENT_KINDS: dict[str, type] = {
         FaultInjected,
         TaskOrphaned,
         TaskShed,
+        AlertFired,
+        AlertResolved,
     )
 }
 

@@ -40,6 +40,7 @@ from repro import rng as rng_mod
 from repro.cluster.energy import EnergyLedger, StreamingEnergyMeter
 from repro.experiments.runner import VariantSpec, policy_for
 from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.timeline import TimelineRecorder
 from repro.sim.engine import Engine
 from repro.sim.metrics import WindowAccumulator, WindowStats
@@ -60,6 +61,7 @@ from repro.workload.traffic import (
 __all__ = [
     "TRAFFIC_MODELS",
     "WINDOW_FORMAT",
+    "WINDOW_SCHEMA_VERSION",
     "TRAILER_FORMAT",
     "ServiceConfig",
     "ServiceResult",
@@ -73,6 +75,13 @@ TRAFFIC_MODELS = ("poisson", "diurnal", "mmpp", "burst", "replay")
 
 #: Format tag of one JSONL window-summary row.
 WINDOW_FORMAT = "repro.window/1"
+
+#: Schema version stamped on every window row.  History: 1 — the PR 6
+#: columns (arrivals/mapped/discarded/completed/on_time/late/energy/...);
+#: 2 — adds the fault columns (shed/deferred/orphaned/remapped/lost)
+#: and this field itself.  Scrapers should accept any version >= the
+#: one they were written against.
+WINDOW_SCHEMA_VERSION = 2
 
 #: Format tag of the trailer row marking a truncated (interrupted) run.
 TRAILER_FORMAT = "repro.window_trailer/1"
@@ -208,6 +217,7 @@ class ServiceResult:
     trial_result: TrialResult | None = None
     truncated: bool = False
     fault_totals: dict[str, int] | None = None
+    budget_rate: float | None = None
 
     @property
     def totals(self) -> WindowStats:
@@ -218,6 +228,29 @@ class ServiceResult:
     def arrivals(self) -> int:
         """Tasks admitted over the run."""
         return self.totals.arrivals
+
+    def steady_state(
+        self,
+        metrics: tuple[str, ...] | None = None,
+        *,
+        level: float = 0.95,
+    ) -> dict[str, Any]:
+        """Steady-state summaries of this run's per-window metrics.
+
+        MSER-5 warm-up truncation plus batch-means confidence intervals
+        (see :mod:`repro.analysis.steady_state`) keyed by metric name.
+        ``budget_rate`` recorded at run time enables the ``burn_rate``
+        metric.
+        """
+        from repro.analysis.steady_state import DEFAULT_METRICS, analyze_windows
+
+        rows = [stats.to_dict() for stats in self.windows]
+        return analyze_windows(
+            rows,
+            metrics if metrics is not None else DEFAULT_METRICS,
+            budget_rate=self.budget_rate,
+            level=level,
+        )
 
 
 class _LuckSource:
@@ -252,25 +285,40 @@ class _LuckSource:
 
 
 class _ServiceHooks:
-    """EngineHooks adapter feeding the window accumulator (and timeline)."""
+    """EngineHooks adapter feeding the window accumulator (and timeline).
 
-    __slots__ = ("acc", "timeline")
+    The telemetry hub rides along: every feed is guarded by the hub's
+    class-level ``enabled`` flag, so with :data:`NULL_TELEMETRY` the
+    disabled path computes no derived values (no latency subtraction,
+    no ``avg_queue_depth`` read) — the zero-overhead discipline the
+    parity tests pin.
+    """
+
+    __slots__ = ("acc", "timeline", "tele")
 
     def __init__(
-        self, acc: WindowAccumulator, timeline: TimelineRecorder | None = None
+        self,
+        acc: WindowAccumulator,
+        timeline: TimelineRecorder | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.acc = acc
         self.timeline = timeline
+        self.tele = telemetry
 
     def on_mapped(self, engine: Engine, task: Task, core_id: int, pstate: int) -> None:
         self.acc.on_mapped(engine.now, engine.in_system)
         if self.timeline is not None:
             self.timeline.on_mapped(engine)
+        if self.tele.enabled:
+            self.tele.on_mapped(engine.now, engine.avg_queue_depth)
 
     def on_discarded(self, engine: Engine, task: Task) -> None:
         self.acc.on_discarded(engine.now, engine.in_system)
         if self.timeline is not None:
             self.timeline.on_discarded(engine)
+        if self.tele.enabled:
+            self.tele.on_discarded(engine.now)
 
     def on_completion(
         self, engine: Engine, core_id: int, task: Task, t_now: float
@@ -279,11 +327,15 @@ class _ServiceHooks:
         self.acc.on_completion(t_now, late, engine.in_system)
         if self.timeline is not None:
             self.timeline.on_completion(engine)
+        if self.tele.enabled:
+            self.tele.on_completion(t_now, t_now - task.arrival, not late)
 
     # -- fault-layer hooks (only called when faults/shedding are on) ----
 
     def on_shed(self, engine: Engine, task: Task, cause: str, deferred: bool) -> None:
         self.acc.on_shed(engine.now, engine.in_system, deferred=deferred)
+        if self.tele.enabled:
+            self.tele.on_shed(engine.now, deferred)
 
     def on_orphaned(
         self, engine: Engine, task: Task, core_id: int, disposition: str
@@ -352,6 +404,7 @@ def serve_system(
     *,
     timeline: TimelineRecorder | None = None,
     stop: Callable[[], bool] | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> ServiceResult:
     """Run one spec as a continuous service against a built trial system.
 
@@ -364,6 +417,11 @@ def serve_system(
     the trailing partial window is flushed, and the result is marked
     :attr:`ServiceResult.truncated` (the CLI wires SIGINT/SIGTERM to
     it).
+
+    ``telemetry`` is a live :class:`~repro.obs.telemetry.Telemetry` hub
+    fed per-event (latency, queue depth) and per-window (energy, SLO
+    rules, steady state).  The default :data:`NULL_TELEMETRY` is inert
+    and keeps results bitwise identical to a run without it.
     """
     eq_rate = system.workload.rates.eq
     mean_rate = service.rate_mult * eq_rate
@@ -375,11 +433,16 @@ def serve_system(
     heuristic, chain = policy_for(system, spec)
     stop_state = {"truncated": False}
     fault_layer = service.faults is not None or service.shedding is not None
+    on_close = telemetry.on_window if telemetry.enabled else None
 
     if service.traffic == "replay":
+        if telemetry.enabled:
+            telemetry.configure(window=window)
         ledger = EnergyLedger(system.cluster, system.config.energy.idle_power_mode)
-        acc = WindowAccumulator(window, energy_at=ledger.cumulative_energy_at)
-        hooks = _ServiceHooks(acc, timeline)
+        acc = WindowAccumulator(
+            window, energy_at=ledger.cumulative_energy_at, on_close=on_close
+        )
+        hooks = _ServiceHooks(acc, timeline, telemetry)
         engine = Engine(
             system,
             heuristic,
@@ -442,8 +505,12 @@ def serve_system(
         if service.planning_tasks is not None
         else max(1, round(mean_rate * window))
     )
-    acc = WindowAccumulator(window, energy_at=meter.consumed_at, budget=budget)
-    hooks = _ServiceHooks(acc, timeline)
+    if telemetry.enabled:
+        telemetry.configure(window=window, budget_rate=accrual)
+    acc = WindowAccumulator(
+        window, energy_at=meter.consumed_at, budget=budget, on_close=on_close
+    )
+    hooks = _ServiceHooks(acc, timeline, telemetry)
     engine = Engine(
         system,
         heuristic,
@@ -482,6 +549,7 @@ def serve_system(
         budget_deficit=budget.deficit,
         truncated=stop_state["truncated"],
         fault_totals=engine.fault_stats.to_dict() if fault_layer else None,
+        budget_rate=accrual,
     )
 
 
@@ -490,6 +558,7 @@ def window_rows(result: ServiceResult) -> Iterator[dict[str, Any]]:
     for index, stats in enumerate(result.windows):
         row: dict[str, Any] = {
             "format": WINDOW_FORMAT,
+            "schema_version": WINDOW_SCHEMA_VERSION,
             "index": index,
             "label": result.label,
             "seed": result.seed,

@@ -22,11 +22,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["TraceCollector", "WindowStats", "WindowAccumulator"]
+__all__ = [
+    "TraceCollector",
+    "WindowStats",
+    "WindowAccumulator",
+    "derived_window_metrics",
+]
 
 
 @dataclass
@@ -174,6 +179,11 @@ class WindowStats:
         """
         return self.mapped + self.discarded + self.shed
 
+    @property
+    def on_time_frac(self) -> float:
+        """On-time fraction of this window's completions (``nan`` if none)."""
+        return self.on_time / self.completed if self.completed else math.nan
+
     def merge(self, other: "WindowStats") -> "WindowStats":
         """Combine with the adjacent later window (``other.start == self.end``)."""
         if other.start != self.end:
@@ -233,6 +243,73 @@ class WindowStats:
         }
 
 
+def derived_window_metrics(
+    row: Mapping[str, Any], *, budget_rate: float | None = None
+) -> dict[str, float]:
+    """Operational metrics derived from one window row.
+
+    ``row`` is a :meth:`WindowStats.to_dict` mapping (or a parsed
+    ``repro.window/...`` JSONL row — the two share a schema).  The result
+    is the flat metric namespace the telemetry layer, the SLO rule
+    engine, steady-state analysis and ``repro monitor`` all evaluate
+    against: raw counts pass through as floats, plus
+
+    * ``duration`` — window length in simulated seconds;
+    * ``arrival_rate`` / ``throughput`` — arrivals and completions per
+      second;
+    * ``on_time_prob`` — on-time fraction of completions (``nan`` when
+      the window completed nothing);
+    * ``queue_depth`` — tasks in system at window end;
+    * ``power`` — mean consumed watts over the window;
+    * ``budget_remaining`` — rolling allowance at window end (``nan``
+      when no rolling budget is configured);
+    * ``burn_rate`` — consumed energy over accrued allowance for the
+      window (needs ``budget_rate`` in joules/second; ``nan`` otherwise).
+      1.0 burns exactly what accrues; sustained > 1.0 drains the pool.
+    """
+    start = float(row.get("start", 0.0))
+    end = float(row.get("end", start))
+    duration = end - start
+    completed = float(row.get("completed", 0))
+    on_time = float(row.get("on_time", 0))
+    energy = float(row.get("energy", 0.0))
+    budget = row.get("budget_remaining")
+    metrics: dict[str, float] = {
+        "start": start,
+        "end": end,
+        "duration": duration,
+        "on_time_prob": on_time / completed if completed else math.nan,
+        "queue_depth": float(row.get("in_system_end", 0)),
+        "budget_remaining": math.nan if budget is None else float(budget),
+    }
+    for key in (
+        "arrivals",
+        "mapped",
+        "discarded",
+        "completed",
+        "on_time",
+        "late",
+        "energy",
+        "shed",
+        "deferred",
+        "orphaned",
+        "remapped",
+        "lost",
+    ):
+        metrics[key] = float(row.get(key, 0))
+    if duration > 0.0:
+        metrics["arrival_rate"] = metrics["arrivals"] / duration
+        metrics["throughput"] = completed / duration
+        metrics["power"] = energy / duration
+    else:
+        metrics["arrival_rate"] = metrics["throughput"] = metrics["power"] = math.nan
+    if budget_rate is not None and budget_rate > 0.0 and duration > 0.0:
+        metrics["burn_rate"] = energy / (budget_rate * duration)
+    else:
+        metrics["burn_rate"] = math.nan
+    return metrics
+
+
 class WindowAccumulator:
     """Folds engine events into contiguous :class:`WindowStats` windows.
 
@@ -247,7 +324,9 @@ class WindowAccumulator:
     consecutive differences, so they telescope — merging every window
     reproduces the whole run's consumption exactly.  ``budget`` is an
     optional :class:`~repro.sim.state.RollingEnergyBudget` sampled at
-    each boundary.
+    each boundary.  ``on_close`` is called with each window as it
+    closes (the service layer feeds live telemetry through it); it
+    observes a finished value and must not mutate accumulator state.
     """
 
     def __init__(
@@ -257,11 +336,13 @@ class WindowAccumulator:
         start: float = 0.0,
         energy_at: Callable[[float], float] | None = None,
         budget: Any | None = None,
+        on_close: Callable[[WindowStats], None] | None = None,
     ) -> None:
         if not (window > 0.0):
             raise ValueError(f"window must be positive, got {window}")
         self.window = float(window)
         self.closed: list[WindowStats] = []
+        self._on_close = on_close
         self._start = float(start)
         self._end = self._start + self.window
         self._energy_at = energy_at
@@ -347,25 +428,26 @@ class WindowAccumulator:
         remaining = (
             self._budget.peek(end) if self._budget is not None else float("nan")
         )
-        self.closed.append(
-            WindowStats(
-                start=self._start,
-                end=end,
-                mapped=self._mapped,
-                discarded=self._discarded,
-                completed=self._completed,
-                on_time=self._on_time,
-                late=self._late,
-                energy=energy,
-                budget_remaining=remaining,
-                in_system_end=self._in_system,
-                shed=self._shed,
-                deferred=self._deferred,
-                orphaned=self._orphaned,
-                remapped=self._remapped,
-                lost=self._lost,
-            )
+        stats = WindowStats(
+            start=self._start,
+            end=end,
+            mapped=self._mapped,
+            discarded=self._discarded,
+            completed=self._completed,
+            on_time=self._on_time,
+            late=self._late,
+            energy=energy,
+            budget_remaining=remaining,
+            in_system_end=self._in_system,
+            shed=self._shed,
+            deferred=self._deferred,
+            orphaned=self._orphaned,
+            remapped=self._remapped,
+            lost=self._lost,
         )
+        self.closed.append(stats)
+        if self._on_close is not None:
+            self._on_close(stats)
         self._mapped = self._discarded = 0
         self._completed = self._on_time = self._late = 0
         self._shed = self._deferred = 0

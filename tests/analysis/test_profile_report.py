@@ -162,6 +162,37 @@ class TestMetricsTables:
         assert "trials requeued" in text
         assert "faults.crash" in text
 
+    def test_faults_table_groups_families(self):
+        reg = MetricsRegistry()
+        reg.inc("faults.fail.node_outage", 2)
+        reg.inc("faults.recover.node_outage", 2)
+        reg.inc("tasks_orphaned.remapped", 5)
+        reg.inc("tasks_orphaned.lost", 1)
+        reg.inc("tasks_shed.queue_depth", 7)
+        reg.inc("tasks_deferred", 3)
+        text = metrics_tables(reg.to_dict())
+        assert "## Faults / shedding" in text
+        assert "fail node_outage" in text
+        assert "remapped" in text and "| 5" in text
+        assert "queue_depth" in text and "| 7" in text
+        assert "retry pushes" in text and "| 3" in text
+        # Claimed by the derived table: kept out of the generic dump.
+        assert "## Counters" not in text
+
+    def test_fault_counters_excluded_from_generic_dump(self):
+        reg = MetricsRegistry()
+        reg.inc("trials_run", 4)
+        reg.inc("tasks_shed.queue_depth", 2)
+        text = metrics_tables(reg.to_dict())
+        counters_section = text.split("## Faults / shedding")[0]
+        assert "trials_run" in counters_section
+        assert "tasks_shed.queue_depth" not in counters_section
+
+    def test_no_fault_counters_no_fault_table(self):
+        reg = MetricsRegistry()
+        reg.inc("trials_run", 1)
+        assert "## Faults" not in metrics_tables(reg.to_dict())
+
     def test_rejects_wrong_format(self):
         with pytest.raises(ValueError):
             metrics_tables({"format": "repro.spans/1"})

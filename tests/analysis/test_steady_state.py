@@ -1,0 +1,175 @@
+"""Tests for warm-up truncation and batch-means CIs (analysis.steady_state)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.steady_state import (
+    DEFAULT_METRICS,
+    MSER_BATCH,
+    SteadyStateSummary,
+    analyze_series,
+    analyze_windows,
+    batch_means_ci,
+    mser_truncation,
+    steady_state_table,
+)
+
+
+def transient_series(seed: int = 0, *, warm: int = 30, steady: int = 120):
+    """A decaying transient followed by stationary noise around 1.0."""
+    rng = np.random.default_rng(seed)
+    head = 50.0 * np.exp(-np.arange(warm) / 5.0)
+    tail = rng.normal(1.0, 0.1, size=steady)
+    return np.concatenate([head, tail])
+
+
+class TestMserTruncation:
+    def test_too_short_to_batch_twice_returns_zero(self):
+        assert mser_truncation([1.0] * (2 * MSER_BATCH - 1)) == 0
+        assert mser_truncation([]) == 0
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            mser_truncation([1.0, 2.0], batch=0)
+
+    def test_detects_constructed_transient(self):
+        d = mser_truncation(transient_series())
+        assert d % MSER_BATCH == 0
+        assert 20 <= d <= 70
+
+    def test_flat_series_keeps_everything(self):
+        assert mser_truncation([3.0] * 100) == 0
+
+    def test_truncation_never_exceeds_half(self):
+        # A monotone ramp never settles; the bound must still hold.
+        d = mser_truncation(np.arange(100, dtype=float))
+        assert d <= (100 // MSER_BATCH // 2) * MSER_BATCH
+
+
+class TestBatchMeansCi:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="level"):
+            batch_means_ci([1.0, 2.0], level=1.0)
+        with pytest.raises(ValueError, match="num_batches"):
+            batch_means_ci([1.0, 2.0], num_batches=1)
+
+    def test_known_iid_case(self):
+        rng = np.random.default_rng(2011)
+        xs = rng.normal(10.0, 2.0, size=400)
+        mean, half, k, b = batch_means_ci(xs, num_batches=20, level=0.95)
+        assert mean == pytest.approx(10.0, abs=0.3)
+        assert k == 20 and b == 20
+        # For iid data the batch-means half-width approximates the
+        # classic t-interval: t_{.975,19} * (sigma/sqrt(n)).
+        classic = 2.093 * 2.0 / math.sqrt(400)
+        assert half == pytest.approx(classic, rel=0.5)
+        assert abs(mean - 10.0) <= 3.0 * half
+
+    def test_leftovers_dropped_from_the_front(self):
+        # 11 samples into 5 batches of 2 drops exactly the first sample.
+        xs = [1000.0] + [2.0] * 10
+        mean, half, k, b = batch_means_ci(xs, num_batches=5)
+        assert (k, b) == (5, 2)
+        assert not math.isnan(half)
+        # The spike sits in the dropped remainder: batch means are flat.
+        assert half == 0.0
+
+
+class TestAnalyzeSeries:
+    def test_summary_fields_on_transient_series(self):
+        s = analyze_series(transient_series(), metric="power")
+        assert isinstance(s, SteadyStateSummary)
+        assert s.metric == "power"
+        assert s.num_windows == 150
+        assert s.used_windows == 150
+        assert 20 <= s.warmup_windows <= 70
+        assert s.mean == pytest.approx(1.0, abs=0.1)
+        assert s.converged
+
+    def test_nan_windows_excluded_but_indexed(self):
+        # nans (windows with no completions) pad the front: the raw
+        # warm-up index must account for them via the kept-index map.
+        series = [math.nan] * 4 + list(transient_series())
+        s = analyze_series(series)
+        assert s.num_windows == 154
+        assert s.used_windows == 150
+        assert s.warmup_windows >= 24  # raw index: 4 nans + >= 20 kept
+
+    def test_all_nan_series_does_not_converge(self):
+        s = analyze_series([math.nan] * 40)
+        assert s.used_windows == 0
+        assert math.isnan(s.mean)
+        assert not s.converged
+
+    def test_short_series_does_not_converge(self):
+        s = analyze_series([1.0, 2.0, 1.5])
+        assert not s.converged
+        assert math.isnan(s.ci_half_width)
+
+    def test_never_settling_series_flagged_unconverged(self):
+        # A pure ramp drives MSER to its half-series bound.
+        s = analyze_series(np.arange(200, dtype=float))
+        assert not s.converged
+
+    def test_to_dict_encodes_nan_as_none(self):
+        doc = analyze_series([1.0, 2.0]).to_dict()
+        assert doc["ci_half_width"] is None
+        assert doc["converged"] is False
+
+
+class TestAnalyzeWindows:
+    @staticmethod
+    def rows(n: int = 40):
+        rng = np.random.default_rng(1)
+        rows = []
+        for i in range(n):
+            on_time = int(rng.integers(7, 10))
+            rows.append(
+                {
+                    "start": 10.0 * i,
+                    "end": 10.0 * (i + 1),
+                    "arrivals": 10,
+                    "mapped": 10,
+                    "discarded": 0,
+                    "completed": 10,
+                    "on_time": on_time,
+                    "late": 10 - on_time,
+                    "energy": 400.0 + float(rng.normal(0, 10)),
+                    "budget_remaining": None,
+                    "in_system_end": 2,
+                }
+            )
+        return rows
+
+    def test_default_metrics_covered(self):
+        summaries = analyze_windows(self.rows())
+        assert set(summaries) == set(DEFAULT_METRICS)
+        assert summaries["throughput"].mean == pytest.approx(1.0)
+        assert summaries["power"].mean == pytest.approx(40.0, rel=0.05)
+
+    def test_budget_rate_enables_burn_rate_metric(self):
+        summaries = analyze_windows(
+            self.rows(), metrics=("burn_rate",), budget_rate=80.0
+        )
+        # 400 J per 10 s window over an 800 J allowance is 0.5.
+        assert summaries["burn_rate"].mean == pytest.approx(0.5, rel=0.1)
+
+
+class TestSteadyStateTable:
+    def test_renders_every_metric_row(self):
+        summaries = analyze_windows(TestAnalyzeWindows.rows())
+        table = steady_state_table(summaries)
+        lines = table.splitlines()
+        assert "| metric" in lines[0]
+        for metric in DEFAULT_METRICS:
+            assert any(f"| {metric}" in line for line in lines)
+        assert "yes" in table or "no" in table
+
+    def test_unconverged_metric_shows_dashes(self):
+        table = steady_state_table({"x": analyze_series([1.0, 2.0], metric="x")})
+        assert "| -" in table
+        assert "| no" in table

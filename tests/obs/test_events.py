@@ -8,6 +8,8 @@ import pytest
 
 from repro.obs.events import (
     EVENT_KINDS,
+    AlertFired,
+    AlertResolved,
     CheckpointWritten,
     EnergyExhausted,
     FaultInjected,
@@ -43,6 +45,13 @@ SAMPLES = [
     FaultInjected(t=12.0, fault="node_outage", action="fail", target=1, cores=4),
     TaskOrphaned(t=12.0, task_id=5, type_id=2, core_id=6, disposition="remapped"),
     TaskShed(t=14.0, task_id=9, type_id=0, cause="queue_depth", deferred=False),
+    AlertFired(
+        t=20.0, rule="on_time_prob<0.9:3", metric="on_time_prob",
+        value=0.85, window_index=7, streak=3,
+    ),
+    AlertResolved(
+        t=30.0, rule="on_time_prob<0.9:3", metric="on_time_prob", window_index=9,
+    ),
 ]
 
 
@@ -58,7 +67,7 @@ class TestRoundTrip:
         assert data["kind"] in EVENT_KINDS
 
     def test_kinds_are_unique_and_registered(self):
-        assert len(EVENT_KINDS) == 12
+        assert len(EVENT_KINDS) == 14
         assert set(EVENT_KINDS) == {
             "trial_started",
             "task_mapped",
@@ -72,6 +81,8 @@ class TestRoundTrip:
             "fault_injected",
             "task_orphaned",
             "task_shed",
+            "alert_fired",
+            "alert_resolved",
         }
 
 

@@ -444,3 +444,96 @@ class TestServeCommand:
         data = json.loads(out.read_text())
         (stream,) = data["streams"]
         assert len(stream["t"]) <= 7
+
+
+class TestServeTelemetryFlags:
+    def test_parser_defaults_leave_telemetry_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.telemetry_port is None
+        assert args.telemetry_out is None
+        assert args.slo is None
+        assert args.telemetry_linger == 0.0
+
+    def test_bad_slo_spec_exits(self):
+        with pytest.raises(SystemExit, match="--slo"):
+            main(
+                [
+                    "serve", *TINY, "--traffic", "replay",
+                    "--slo", "on_time_prob",
+                ]
+            )
+
+    def test_telemetry_out_writes_scrape_and_summary(self, capsys, tmp_path):
+        out = tmp_path / "tele.prom"
+        code = main(
+            [
+                "serve", *TINY,
+                "--traffic", "poisson", "--task-limit", "80",
+                "--telemetry-out", str(out),
+                "--slo", "on_time_prob<0.5:3",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "SLO health:" in text
+        assert "on_time_prob<0.5:3" in text
+        assert f"wrote {out}" in text
+        scrape_text = out.read_text()
+        assert "repro_tasks_completed_total" in scrape_text
+        assert 'repro_completion_latency_seconds{quantile="0.5"}' in scrape_text
+
+    def test_telemetry_port_serves_scrapes(self, capsys):
+        # Ephemeral port; the endpoint lives only during the run, so the
+        # printed URL is the observable contract here.
+        code = main(
+            [
+                "serve", *TINY, "--traffic", "replay",
+                "--telemetry-port", "0",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "telemetry: scrape http://127.0.0.1:" in text
+        assert "steady state (MSER-5 warm-up, batch-means CI)" in text
+
+
+class TestMonitorCommand:
+    def test_single_shot_render(self, capsys, tmp_path):
+        windows = tmp_path / "w.jsonl"
+        code = main(
+            [
+                "serve", *TINY,
+                "--traffic", "poisson", "--task-limit", "120",
+                "--windows-out", str(windows),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["monitor", str(windows), "--tail", "4"]) == 0
+        text = capsys.readouterr().out
+        assert "LL/en+rob [poisson]" in text
+        assert "on-time" in text
+
+    def test_monitor_with_slo_rules(self, capsys, tmp_path):
+        windows = tmp_path / "w.jsonl"
+        main(
+            [
+                "serve", *TINY,
+                "--traffic", "poisson", "--task-limit", "80",
+                "--windows-out", str(windows),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["monitor", str(windows), "--slo", "queue_depth>1e9"]) == 0
+        text = capsys.readouterr().out
+        assert "SLO health: OK" in text
+
+    def test_missing_file_exits(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["monitor", "/nonexistent/windows.jsonl"])
+
+    def test_bad_rule_exits(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="--slo"):
+            main(["monitor", str(path), "--slo", "nonsense"])

@@ -250,6 +250,66 @@ class TestServiceCheck:
         assert proc.returncode == 1
         assert "no window rows" in proc.stdout
 
+    def test_v2_row_missing_fault_columns_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path, "v2.jsonl", [self.row(0, 0.0, 5.0, schema_version=2)]
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "schema v2 requires count shed" in proc.stdout
+
+    def test_v2_row_with_fault_columns_passes(self, tmp_path):
+        good = self.write(
+            tmp_path,
+            "v2.jsonl",
+            [
+                self.row(
+                    0, 0.0, 5.0, schema_version=2, arrivals=4,
+                    shed=1, deferred=0, orphaned=2, remapped=1, lost=1,
+                )
+            ],
+        )
+        proc = self.run_check(good)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_bad_schema_version_fails(self, tmp_path):
+        for version in (0, -1, "two", True):
+            bad = self.write(
+                tmp_path, "ver.jsonl", [self.row(0, 0.0, 5.0, schema_version=version)]
+            )
+            proc = self.run_check(bad)
+            assert proc.returncode == 1, version
+            assert "schema_version" in proc.stdout
+
+    def test_v2_remapped_exceeding_orphaned_fails(self, tmp_path):
+        bad = self.write(
+            tmp_path,
+            "remap.jsonl",
+            [
+                self.row(
+                    0, 0.0, 5.0, schema_version=2, arrivals=3,
+                    shed=0, deferred=0, orphaned=1, remapped=2, lost=0,
+                )
+            ],
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "remapped" in proc.stdout
+
+    def test_schema_version_must_be_constant(self, tmp_path):
+        fault_cols = dict(shed=0, deferred=0, orphaned=0, remapped=0, lost=0)
+        bad = self.write(
+            tmp_path,
+            "mixed.jsonl",
+            [
+                self.row(0, 0.0, 5.0, schema_version=2, **fault_cols),
+                self.row(1, 5.0, 10.0, schema_version=3, **fault_cols),
+            ],
+        )
+        proc = self.run_check(bad)
+        assert proc.returncode == 1
+        assert "schema_version" in proc.stdout
+
     def test_real_serve_output_passes(self, tmp_path):
         # End to end: `repro serve --windows-out` satisfies the validator.
         out = tmp_path / "windows.jsonl"
@@ -416,3 +476,116 @@ class TestFaultsCheck:
         assert proc.returncode == 0, proc.stderr
         check = self.run_check("--expect-faults", out)
         assert check.returncode == 0, check.stdout + proc.stdout
+
+
+class TestTelemetryCheck:
+    SCRIPT = REPO / "scripts" / "telemetry_check.py"
+
+    def run_check(self, *paths):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *[str(p) for p in paths]],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    @staticmethod
+    def real_scrape() -> str:
+        # A genuine rendering from a fed Telemetry hub, built in-process.
+        import sys as _sys
+
+        _sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.obs.telemetry import Telemetry
+            from repro.sim.metrics import WindowStats
+
+            tele = Telemetry(rules=["on_time_prob<0.5:3"])
+            tele.configure(window=10.0)
+            for i in range(12):
+                tele.on_mapped(10.0 * i + 0.5, queue_depth=1.0)
+                tele.on_completion(10.0 * i + 2.0, latency=1.5, on_time=True)
+                tele.on_window(
+                    WindowStats(
+                        start=10.0 * i, end=10.0 * (i + 1), mapped=1,
+                        completed=1, on_time=1, energy=100.0, in_system_end=0,
+                    )
+                )
+            return tele.render_prometheus()
+        finally:
+            _sys.path.pop(0)
+
+    def write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_real_rendering_passes(self, tmp_path):
+        proc = self.run_check(self.write(tmp_path, "good.prom", self.real_scrape()))
+        assert proc.returncode == 0, proc.stdout
+        assert proc.stdout.startswith("ok")
+
+    def test_missing_required_family_fails(self, tmp_path):
+        text = self.real_scrape().replace("repro_warmup_window_index", "repro_renamed")
+        proc = self.run_check(self.write(tmp_path, "missing.prom", text))
+        assert proc.returncode == 1
+        assert "repro_warmup_window_index" in proc.stdout
+
+    def test_negative_counter_fails(self, tmp_path):
+        text = self.real_scrape().replace(
+            "repro_tasks_discarded_total 0", "repro_tasks_discarded_total -3"
+        )
+        proc = self.run_check(self.write(tmp_path, "neg.prom", text))
+        assert proc.returncode == 1
+        assert "negative" in proc.stdout
+
+    def test_untyped_family_fails(self, tmp_path):
+        text = self.real_scrape().replace(
+            "# TYPE repro_windows_total counter\n", ""
+        )
+        proc = self.run_check(self.write(tmp_path, "untyped.prom", text))
+        assert proc.returncode == 1
+        assert "no # TYPE" in proc.stdout
+
+    def test_broken_accounting_fails(self, tmp_path):
+        text = self.real_scrape().replace(
+            "repro_tasks_on_time_total 12", "repro_tasks_on_time_total 11"
+        )
+        proc = self.run_check(self.write(tmp_path, "sum.prom", text))
+        assert proc.returncode == 1
+        assert "on_time" in proc.stdout
+
+    def test_garbage_line_fails(self, tmp_path):
+        proc = self.run_check(
+            self.write(tmp_path, "junk.prom", "!!! not a metric line\n")
+        )
+        assert proc.returncode == 1
+        assert "unparseable" in proc.stdout
+
+    def test_stdin_dash_input(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "-"],
+            input=self.real_scrape(),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stdout
+        assert "<stdin>" in proc.stdout
+
+    def test_real_serve_telemetry_out_passes(self, tmp_path):
+        # End to end: `repro serve --telemetry-out` satisfies the validator.
+        out = tmp_path / "tele.prom"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--tasks", "60", "--seed", "5",
+                "--traffic", "poisson", "--task-limit", "120",
+                "--telemetry-out", str(out),
+                "--slo", "on_time_prob<0.9:3",
+            ],
+            capture_output=True, text=True, timeout=600,
+            env={**__import__("os").environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        check = self.run_check(out)
+        assert check.returncode == 0, check.stdout
