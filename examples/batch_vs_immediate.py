@@ -16,7 +16,7 @@ import numpy as np
 
 from repro import SimulationConfig, build_trial_system
 from repro.extensions import run_batch_trial
-from repro.filters import make_filter_chain
+from repro.filters import build_filter_chain
 from repro.heuristics import LightestLoad, MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
 
@@ -37,17 +37,17 @@ def main() -> None:
         system = build_trial_system(config)
         rows["immediate MECT/en+rob"].append(
             run_trial(
-                system, MinimumExpectedCompletionTime(), make_filter_chain("en+rob")
+                system, MinimumExpectedCompletionTime(), build_filter_chain("en+rob")
             ).missed
         )
         rows["immediate LL/en+rob"].append(
-            run_trial(system, LightestLoad(), make_filter_chain("en+rob")).missed
+            run_trial(system, LightestLoad(), build_filter_chain("en+rob")).missed
         )
         rows["batch Min-Min/en+rob"].append(
-            run_batch_trial(system, "min-min", make_filter_chain("en+rob")).missed
+            run_batch_trial(system, "min-min", build_filter_chain("en+rob")).missed
         )
         rows["batch Max-Min/en+rob"].append(
-            run_batch_trial(system, "max-min", make_filter_chain("en+rob")).missed
+            run_batch_trial(system, "max-min", build_filter_chain("en+rob")).missed
         )
 
     print(f"{'policy':>24} {'median missed':>14}  (of {TASKS}, {TRIALS} trials)")

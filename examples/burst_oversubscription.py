@@ -15,7 +15,7 @@ import numpy as np
 
 from repro import SimulationConfig, build_trial_system, run_trial
 from repro.analysis.phases import phase_breakdown
-from repro.filters import make_filter_chain
+from repro.filters import build_filter_chain
 from repro.heuristics import MinimumExpectedCompletionTime
 from repro.sim.metrics import TraceCollector
 
@@ -41,7 +41,7 @@ def main() -> None:
         collector = TraceCollector()
         heuristic = MinimumExpectedCompletionTime()
         result = run_trial(
-            system, heuristic, make_filter_chain(variant), collector=collector
+            system, heuristic, build_filter_chain(variant), collector=collector
         )
         traces = collector.as_arrays()
         print(f"=== MECT/{variant} ===")

@@ -15,7 +15,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro import SimulationConfig, build_trial_system
-from repro.experiments.runner import VariantSpec, run_trial_variant
+from repro.experiments.runner import TrialPlan, VariantSpec
 from repro.heuristics.registry import HEURISTICS
 
 REGIMES = {
@@ -44,7 +44,9 @@ def main() -> None:
                     ),
                 )
                 system = build_trial_system(config)
-                result = run_trial_variant(system, VariantSpec(heuristic, "en+rob"))
+                result = TrialPlan(
+                    system=system, spec=VariantSpec(heuristic, "en+rob")
+                ).run()
                 misses.append(result.missed)
             row.append(f"{float(np.median(misses)):14.1f}")
         print(" ".join(row))

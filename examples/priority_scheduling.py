@@ -26,7 +26,7 @@ from repro.extensions import (
     weighted_missed,
     with_priorities,
 )
-from repro.filters import FilterChain, RobustnessFilter, make_filter_chain
+from repro.filters import FilterChain, RobustnessFilter, build_filter_chain
 from repro.heuristics import LightestLoad
 from repro.sim.engine import run_trial
 
@@ -49,7 +49,7 @@ def main() -> None:
         ]
     )
     runs = {
-        "LL (priority-blind)": (LightestLoad(), make_filter_chain("en+rob"), None),
+        "LL (priority-blind)": (LightestLoad(), build_filter_chain("en+rob"), None),
         "LL-prio": (PriorityLightestLoad(), prio_chain, None),
         "LL-prio + cancel": (
             PriorityLightestLoad(),

@@ -19,7 +19,7 @@ from dataclasses import replace
 
 from repro import SimulationConfig, build_trial_system
 from repro.experiments.calibrate import subscription_report
-from repro.experiments.runner import VariantSpec, run_trial_variant
+from repro.experiments.runner import TrialPlan, VariantSpec
 from repro.io.results_io import save_json
 from repro.obs.manifest import manifest_for_results, save_manifest
 from repro.obs.sinks import JsonlSink, MetricsRegistry
@@ -52,7 +52,9 @@ def main(seed: int = 2011, outdir: "str | None" = None, num_tasks: int = 500) ->
     results = {}
     for variant in ("none", "en+rob"):
         spec = VariantSpec("LL", variant)
-        result = run_trial_variant(system, spec, metrics=metrics, sinks=sinks)
+        result = TrialPlan(
+            system=system, spec=spec, metrics=metrics, sinks=sinks
+        ).run()
         results[spec.label] = [result]
         print(
             f"LL/{variant:>6}: missed {result.missed:4d} / {result.num_tasks} "

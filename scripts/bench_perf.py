@@ -36,9 +36,9 @@ import numpy as np
 from repro import rng as rng_mod
 from repro._version import __version__
 from repro.api import Scenario
-from repro.experiments.runner import VariantSpec, run_trial_variant
-from repro.filters.chain import make_filter_chain
-from repro.heuristics.registry import make_heuristic
+from repro.experiments.runner import TrialPlan, VariantSpec
+from repro.filters.chain import build_filter_chain
+from repro.heuristics.registry import build_heuristic
 from repro.perf.kernel_cache import KernelCache, PerfConfig
 from repro.sim.engine import Engine
 from repro.sim.mapper import CandidateBuilder, build_candidate_set
@@ -125,8 +125,8 @@ def _cache_stats(system, spec: VariantSpec) -> dict:
     rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
     engine = Engine(
         system,
-        make_heuristic(spec.heuristic, rng),
-        make_filter_chain(spec.variant, system.config.filters),
+        build_heuristic(spec.heuristic, rng),
+        build_filter_chain(spec.variant, system.config.filters),
     )
     engine.run()
     stats = engine.kernel_cache_stats()
@@ -144,10 +144,12 @@ def bench_trials(system, heuristics, variant: str, reps: int) -> dict:
         result_off = result_on = None
         for _ in range(reps):
             t0 = time.perf_counter()
-            result_off = run_trial_variant(system, spec, perf=PerfConfig.disabled())
+            result_off = TrialPlan(
+                system=system, spec=spec, perf=PerfConfig.disabled()
+            ).run()
             off = min(off, time.perf_counter() - t0)
             t0 = time.perf_counter()
-            result_on = run_trial_variant(system, spec, perf=PerfConfig())
+            result_on = TrialPlan(system=system, spec=spec, perf=PerfConfig()).run()
             on = min(on, time.perf_counter() - t0)
             identical = identical and result_off == result_on
         assert result_off is not None and result_on is not None

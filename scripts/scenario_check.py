@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Validate scenario files (CI scenarios job).
+
+For every file given (or every ``.toml``/``.json`` under a directory):
+
+* it loads through :meth:`repro.scenario.Scenario.from_file` — schema,
+  unknown-key and value validation included;
+* its policy names resolve against the plugin registries (a scenario
+  naming an unregistered heuristic fails here, not mid-run);
+* it survives a dict round trip (``from_dict(to_dict(s)) == s``) and a
+  file round trip in *both* formats (TOML and JSON), with the digest
+  unchanged — the serialization invariant the property suite pins,
+  re-checked against the committed files;
+* mode-specific sanity: service scenarios with generative traffic must
+  be bounded (``ServiceConfig`` enforces it; re-surfaced here with the
+  file name attached).
+
+Exits 0 when every file is valid, 1 with per-file diagnostics.
+
+Usage:
+    PYTHONPATH=src python scripts/scenario_check.py examples/scenarios
+    PYTHONPATH=src python scripts/scenario_check.py one.toml two.json
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+from repro.scenario import Scenario, ScenarioError
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """All problems with one scenario file (empty list = valid)."""
+    try:
+        scenario = Scenario.from_file(path)
+    except (OSError, ScenarioError) as exc:
+        return [str(exc)]
+    problems: list[str] = []
+    digest = scenario.digest()
+
+    try:
+        if Scenario.from_dict(scenario.to_dict()) != scenario:
+            problems.append("dict round trip does not reproduce the scenario")
+    except ScenarioError as exc:
+        problems.append(f"to_dict() is not loadable: {exc}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for suffix in (".toml", ".json"):
+            copy = pathlib.Path(tmp) / f"roundtrip{suffix}"
+            try:
+                again = Scenario.from_file(scenario.to_file(copy))
+            except ScenarioError as exc:
+                problems.append(f"{suffix} round trip failed to load: {exc}")
+                continue
+            if again != scenario:
+                problems.append(f"{suffix} round trip changed the scenario")
+            elif again.digest() != digest:
+                problems.append(f"{suffix} round trip changed the digest")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    files: list[pathlib.Path] = []
+    for name in argv:
+        path = pathlib.Path(name)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.toml")) + sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("no scenario files found")
+        return 1
+    code = 0
+    for path in files:
+        problems = check_file(path)
+        if problems:
+            code = 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            scenario = Scenario.from_file(path)
+            print(
+                f"{path}: ok ({scenario.label}, mode {scenario.mode}, "
+                f"digest {scenario.digest()[:12]})"
+            )
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,12 +11,17 @@ Quickstart
 ----------
 >>> from repro import SimulationConfig, build_trial_system, run_trial
 >>> from repro.heuristics import LightestLoad
->>> from repro.filters import make_filter_chain
+>>> from repro.filters import build_filter_chain
 >>> cfg = SimulationConfig(seed=42).with_updates(workload={"num_tasks": 100})
 >>> system = build_trial_system(cfg)
->>> result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+>>> result = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
 >>> 0 <= result.missed <= 100
 True
+
+Scenario files (one TOML per experiment) are the declarative front
+door; :mod:`repro.scenario` parses them and :func:`repro.api.run_scenario`
+executes them.  Policies resolve by name through :mod:`repro.registry`,
+which third-party packages can extend.
 
 Subpackages
 -----------

@@ -10,16 +10,25 @@ re-exporting them):
 >>> 0 <= result.missed <= 100
 True
 
-The facade groups four things:
+The facade groups five things:
 
 * **Describing an experiment** — :class:`Scenario` names a policy
-  (heuristic + filter variant) and the workload scale/seed; the
-  :data:`HEURISTICS` and :data:`FILTER_VARIANTS` registries enumerate
-  the valid names.
-* **Running it** — :func:`run_trial` (one trial), :func:`run_ensemble`
-  (paired trials, optionally fanned out over processes), and
-  :func:`budget_sweep` (the energy-tightness sweep).  All accept the
-  observability collectors (:class:`MetricsRegistry`,
+  (heuristic + filter variant), the workload scale/seed, and the run
+  shape (trial / ensemble / service).  The same object round-trips
+  through one TOML or JSON file (:meth:`Scenario.from_file` /
+  :meth:`Scenario.to_file`, :mod:`repro.scenario`).
+* **Extending it** — every policy-shaped family (heuristics, filters,
+  traffic models, admission policies) is a plugin registry
+  (:mod:`repro.registry`): ``@register_heuristic("mine")`` — or an
+  ``entry_points(group="repro.plugins")`` hook in a third-party
+  package — makes a name constructible from the CLI and from scenario
+  files; :func:`describe_plugins` renders the catalog.
+* **Running it** — :func:`run_scenario` (a scenario object or file,
+  dispatched on its mode), :func:`run_trial` (one trial, built on
+  :class:`TrialPlan`), :func:`run_ensemble` (paired trials, optionally
+  fanned out over processes), :func:`run_service` (continuous-service
+  mode) and :func:`budget_sweep` (the energy-tightness sweep).  All
+  accept the observability collectors (:class:`MetricsRegistry`,
   :class:`SpanProfile`, :class:`TimelineSet`, event sinks) and the
   results-neutral :class:`PerfConfig` performance knobs.
 * **Inspecting results** — :class:`TrialResult`,
@@ -28,8 +37,11 @@ The facade groups four things:
   :class:`SimulationConfig`, for scripts that construct custom
   workloads or distributions.
 
-Deprecated pre-facade entry points (kept as warning shims for one
-release): ``repro.sim.mapper.build_candidates`` (use
+Deprecated entry points (kept as warning shims for one release):
+``make_heuristic`` / ``make_filter_chain`` (use :func:`build_heuristic`
+/ :func:`build_filter_chain` or the registries),
+``repro.experiments.runner.run_trial_variant`` (build a
+:class:`TrialPlan`), ``repro.sim.mapper.build_candidates`` (use
 :func:`repro.sim.mapper.build_candidate_set`) and
 ``repro.obs.hooks.run_observed_trial`` (use
 :func:`repro.obs.hooks.observe_trial`).
@@ -37,7 +49,6 @@ release): ``repro.sim.mapper.build_candidates`` (use
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Sequence
 
@@ -45,8 +56,8 @@ from repro.config import SimulationConfig
 from repro.experiments.runner import (
     EnsembleResult,
     PartialEnsembleResult,
+    TrialPlan,
     VariantSpec,
-    run_trial_variant,
 )
 from repro.experiments.runner import run_ensemble as _run_ensemble
 from repro.experiments.sweep import SweepResult
@@ -59,8 +70,35 @@ from repro.faults import (
     SheddingConfig,
 )
 from repro.filters.chain import VARIANTS as FILTER_VARIANTS
-from repro.filters.chain import FilterChain, make_filter_chain
-from repro.heuristics.registry import HEURISTICS, make_heuristic
+from repro.filters.chain import (
+    FilterChain,
+    build_filter_chain,
+    canonical_variant,
+    make_filter_chain,
+)
+from repro.heuristics.registry import HEURISTICS, build_heuristic, make_heuristic
+from repro.registry import (
+    ADMISSION_PLUGINS,
+    FILTER_PLUGINS,
+    HEURISTIC_PLUGINS,
+    TRAFFIC_PLUGINS,
+    PluginRegistry,
+    UnknownPluginError,
+    describe_plugins,
+    load_entry_point_plugins,
+    register_admission,
+    register_filter,
+    register_heuristic,
+    register_traffic,
+)
+from repro.scenario import (
+    MODES,
+    SCENARIO_FORMAT,
+    EnsembleSettings,
+    FaultSettings,
+    Scenario,
+    ScenarioError,
+)
 from repro.analysis.steady_state import (
     SteadyStateSummary,
     analyze_windows,
@@ -89,17 +127,40 @@ from repro.stoch.pmf import PMF
 __all__ = [
     # describing an experiment
     "Scenario",
+    "ScenarioError",
+    "EnsembleSettings",
+    "FaultSettings",
+    "MODES",
+    "SCENARIO_FORMAT",
     "VariantSpec",
     "HEURISTICS",
     "FILTER_VARIANTS",
+    "build_heuristic",
+    "build_filter_chain",
+    "canonical_variant",
     "make_heuristic",
     "make_filter_chain",
     "FilterChain",
     "SimulationConfig",
     "build_trial_system",
     "TrialSystem",
+    # the plugin registries
+    "PluginRegistry",
+    "UnknownPluginError",
+    "HEURISTIC_PLUGINS",
+    "FILTER_PLUGINS",
+    "TRAFFIC_PLUGINS",
+    "ADMISSION_PLUGINS",
+    "register_heuristic",
+    "register_filter",
+    "register_traffic",
+    "register_admission",
+    "describe_plugins",
+    "load_entry_point_plugins",
     # running it
+    "run_scenario",
     "run_trial",
+    "TrialPlan",
     "run_ensemble",
     "budget_sweep",
     "run_service",
@@ -145,70 +206,6 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Scenario:
-    """One named experiment: a policy plus the workload it runs against.
-
-    Attributes
-    ----------
-    heuristic:
-        One of :data:`HEURISTICS` (``"SQ"``, ``"MECT"``, ``"LL"``,
-        ``"Random"``).
-    filters:
-        One of :data:`FILTER_VARIANTS` (``"none"``, ``"en"``, ``"rob"``,
-        ``"en+rob"``).
-    seed:
-        Master seed; ``None`` keeps the seed of ``config`` (or the
-        default configuration's seed).
-    num_tasks:
-        Tasks per trial; ``None`` keeps the configured workload size.
-    config:
-        Optional base :class:`SimulationConfig`; ``seed`` and
-        ``num_tasks`` override it when given.  ``None`` starts from the
-        paper's Section VI defaults.
-    """
-
-    heuristic: str = "LL"
-    filters: str = "en+rob"
-    seed: int | None = None
-    num_tasks: int | None = None
-    config: SimulationConfig | None = None
-
-    def __post_init__(self) -> None:
-        if self.heuristic not in HEURISTICS:
-            raise ValueError(
-                f"unknown heuristic {self.heuristic!r}; known: {', '.join(HEURISTICS)}"
-            )
-        if self.filters not in FILTER_VARIANTS:
-            raise ValueError(
-                f"unknown filter variant {self.filters!r}; "
-                f"known: {', '.join(FILTER_VARIANTS)}"
-            )
-
-    @property
-    def spec(self) -> VariantSpec:
-        """The (heuristic, variant) grid cell this scenario names."""
-        return VariantSpec(self.heuristic, self.filters)
-
-    @property
-    def label(self) -> str:
-        """Display label, e.g. ``"LL/en+rob"``."""
-        return self.spec.label
-
-    def resolved_config(self) -> SimulationConfig:
-        """The full simulation configuration with overrides applied."""
-        config = self.config if self.config is not None else SimulationConfig()
-        if self.seed is not None:
-            config = config.with_seed(self.seed)
-        if self.num_tasks is not None and config.workload.num_tasks != self.num_tasks:
-            config = replace(config, workload=config.workload.with_num_tasks(self.num_tasks))
-        return config
-
-    def build_system(self) -> TrialSystem:
-        """Generate the trial environment this scenario describes."""
-        return build_trial_system(self.resolved_config())
-
-
 def run_trial(
     scenario: Scenario,
     *,
@@ -242,11 +239,9 @@ def run_trial(
     controller.  All three default to ``None``: a fault-free run is
     bitwise identical to one on a build without the fault layer.
     """
-    if system is None:
-        system = scenario.build_system()
-    return run_trial_variant(
-        system,
-        scenario.spec,
+    return TrialPlan.from_scenario(
+        scenario,
+        system=system,
         keep_outcomes=keep_outcomes,
         metrics=metrics,
         sinks=sinks,
@@ -257,7 +252,7 @@ def run_trial(
         faults=faults,
         fault_policy=fault_policy,
         shedding=shedding,
-    )
+    ).run()
 
 
 def run_service(
@@ -293,6 +288,51 @@ def run_service(
     return _serve_system(
         system, scenario.spec, service, timeline=timeline, telemetry=telemetry
     )
+
+
+def run_scenario(
+    scenario: Scenario | str | Path,
+    **options: object,
+):
+    """Run a scenario — an object or a ``.toml`` / ``.json`` file path.
+
+    Dispatches on :attr:`Scenario.mode`:
+
+    * ``"trial"`` — one :class:`TrialPlan` run, returning a
+      :class:`TrialResult`.  Scenario-level ``[faults]`` / ``[shedding]``
+      sections are resolved and injected.
+    * ``"ensemble"`` — paired trials per the scenario's ``[ensemble]``
+      settings, returning an :class:`EnsembleResult`; bitwise identical
+      to :func:`run_ensemble` with the same arguments.
+    * ``"service"`` — continuous-service mode per the scenario's
+      ``[service]`` settings (batch-equivalent replay when omitted),
+      returning a :class:`ServiceResult`.
+
+    Extra keyword ``options`` forward to the mode's runner (collectors,
+    ``n_jobs``, ``perf``, ...), so a scenario file pins the experiment
+    while the call site adds observability.
+    """
+    if isinstance(scenario, (str, Path)):
+        scenario = Scenario.from_file(scenario)
+    if scenario.mode == "trial":
+        faults, fault_policy = scenario.resolved_faults()
+        return run_trial(
+            scenario,
+            faults=faults,
+            fault_policy=fault_policy,
+            shedding=scenario.shedding,
+            **options,  # type: ignore[arg-type]
+        )
+    if scenario.mode == "ensemble":
+        settings = scenario.resolved_ensemble()
+        options.setdefault("n_jobs", settings.n_jobs)
+        return run_ensemble(
+            scenario,
+            settings.num_trials,
+            base_seed=settings.base_seed,
+            **options,  # type: ignore[arg-type]
+        )
+    return run_service(scenario, scenario.resolved_service(), **options)  # type: ignore[arg-type]
 
 
 def _common_config(scenarios: Sequence[Scenario]) -> SimulationConfig:

@@ -49,12 +49,21 @@ from repro.experiments.report import best_variant_table, figure_table, summary_t
 from repro.experiments.runner import (
     EnsembleResult,
     PartialEnsembleResult,
+    TrialPlan,
     VariantSpec,
     run_ensemble,
-    run_trial_variant,
 )
 from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
+from repro.filters.chain import VARIANTS, canonical_variant
 from repro.heuristics.registry import HEURISTICS
+from repro.registry import (
+    HEURISTIC_PLUGINS,
+    TRAFFIC_PLUGINS,
+    UnknownPluginError,
+    describe_plugins,
+    plugin_table,
+)
+from repro.scenario import Scenario, ScenarioError
 from repro.io.faults_io import load_faults, save_faults
 from repro.io.profile_io import (
     load_profile_events,
@@ -87,6 +96,26 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tasks", type=int, default=1000, help="tasks per trial")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+
+def _add_policy(parser: argparse.ArgumentParser) -> None:
+    """The -H/-F policy flags, resolved case-insensitively via the registries."""
+    parser.add_argument(
+        "-H",
+        "--heuristic",
+        default="LL",
+        type=_heuristic_name,
+        help="allocation heuristic, any registered plugin "
+        f"(builtin: {', '.join(HEURISTICS)}; case-insensitive)",
+    )
+    parser.add_argument(
+        "-F",
+        "--filters",
+        default="en+rob",
+        type=_variant_name,
+        help="filter variant: 'none' or '+'-joined registered filter names "
+        f"(builtin: {', '.join(VARIANTS)}; case-insensitive)",
+    )
 
 
 def _add_resilience(parser: argparse.ArgumentParser) -> None:
@@ -316,6 +345,36 @@ def _parse_spec(label: str) -> VariantSpec:
     return VariantSpec(heuristic, variant)
 
 
+def _heuristic_name(value: str) -> str:
+    """argparse type: canonicalize a heuristic name via the plugin registry.
+
+    Accepts any case ("mect" == "MECT") and any registered third-party
+    heuristic, unlike a static ``choices=`` list.
+    """
+    try:
+        return HEURISTIC_PLUGINS.canonical(value)
+    except UnknownPluginError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _variant_name(value: str) -> str:
+    """argparse type: canonicalize a filter-variant label ("EN+ROB" -> "en+rob")."""
+    try:
+        return canonical_variant(value)
+    except UnknownPluginError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(str(exc.args[0]))
+
+
+def _traffic_name(value: str) -> str:
+    """argparse type: canonicalize a traffic-model name via the registry."""
+    try:
+        return TRAFFIC_PLUGINS.canonical(value)
+    except UnknownPluginError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -325,6 +384,20 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     """Print Section VI subscription/budget diagnostics."""
     print(calibration_summary(_config(args)))
     return 0
+
+
+def _print_trial_result(result: Any) -> None:
+    """The two-line score summary of one trial result."""
+    print(
+        f"{result.label}: missed {result.missed}/{result.num_tasks} "
+        f"({result.late} late, {result.discarded} discarded, "
+        f"{result.energy_cutoff} after budget exhaustion)"
+    )
+    print(
+        f"energy {result.total_energy / 1e6:.2f} MJ of "
+        f"{result.budget / 1e6:.2f} MJ budget "
+        f"({100 * result.energy_utilization():.1f}%), makespan {result.makespan:.0f}"
+    )
 
 
 def cmd_trial(args: argparse.Namespace) -> int:
@@ -348,9 +421,9 @@ def cmd_trial(args: argparse.Namespace) -> int:
         else None
     )
     try:
-        result = run_trial_variant(
-            system,
-            spec,
+        result = TrialPlan(
+            system=system,
+            spec=spec,
             keep_outcomes=False,
             metrics=metrics,
             sinks=sinks,
@@ -359,7 +432,7 @@ def cmd_trial(args: argparse.Namespace) -> int:
             faults=faults,
             fault_policy=fault_policy,
             shedding=shedding,
-        )
+        ).run()
     finally:
         if trace_sink is not None:
             trace_sink.close()
@@ -369,16 +442,7 @@ def cmd_trial(args: argparse.Namespace) -> int:
             f"(policy: running {fault_policy.running}, "
             f"remap {'on' if fault_policy.remap else 'off'})"
         )
-    print(
-        f"{result.label}: missed {result.missed}/{result.num_tasks} "
-        f"({result.late} late, {result.discarded} discarded, "
-        f"{result.energy_cutoff} after budget exhaustion)"
-    )
-    print(
-        f"energy {result.total_energy / 1e6:.2f} MJ of "
-        f"{result.budget / 1e6:.2f} MJ budget "
-        f"({100 * result.energy_utilization():.1f}%), makespan {result.makespan:.0f}"
-    )
+    _print_trial_result(result)
     if trace_sink is not None:
         print(f"wrote {args.trace_out} ({trace_sink.count} events)")
     if metrics is not None:
@@ -469,6 +533,38 @@ def _print_telemetry_summary(telemetry: Telemetry) -> None:
         print(steady_state_table(steady))
 
 
+def _print_service_summary(result: ServiceResult) -> None:
+    """The roll-up a service run prints: totals, faults, budget, windows."""
+    totals = result.totals
+    if result.truncated:
+        print("stop requested: stream cut, committed work drained")
+    print(
+        f"{result.label} [{result.traffic}]: {totals.arrivals} arrivals "
+        f"({totals.mapped} mapped, {totals.discarded} discarded), "
+        f"{totals.completed} completed ({totals.late} late), "
+        f"makespan {result.makespan:.0f}"
+    )
+    if result.fault_totals is not None:
+        _print_fault_totals(result.fault_totals)
+    print(
+        f"energy {result.total_energy / 1e6:.2f} MJ over {len(result.windows)} "
+        f"windows of {result.window:.0f} s"
+    )
+    if result.trial_result is None and result.traffic != "replay":
+        print(
+            f"allowance drawn {result.budget_drawn / 1e6:.2f} MJ "
+            f"(deficit {result.budget_deficit / 1e6:.2f} MJ)"
+        )
+    if result.trial_result is not None:
+        batch = result.trial_result
+        print(
+            f"batch-equivalent score: missed {batch.missed}/{batch.num_tasks} "
+            f"({batch.late} late, {batch.discarded} discarded, "
+            f"{batch.energy_cutoff} after budget exhaustion)"
+        )
+    _print_windows(result)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the engine as a continuous service and summarize its windows.
 
@@ -538,34 +634,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-    totals = result.totals
-    if result.truncated:
-        print("stop requested: stream cut, committed work drained")
-    print(
-        f"{result.label} [{result.traffic}]: {totals.arrivals} arrivals "
-        f"({totals.mapped} mapped, {totals.discarded} discarded), "
-        f"{totals.completed} completed ({totals.late} late), "
-        f"makespan {result.makespan:.0f}"
-    )
-    if result.fault_totals is not None:
-        _print_fault_totals(result.fault_totals)
-    print(
-        f"energy {result.total_energy / 1e6:.2f} MJ over {len(result.windows)} "
-        f"windows of {result.window:.0f} s"
-    )
-    if result.trial_result is None and result.traffic != "replay":
-        print(
-            f"allowance drawn {result.budget_drawn / 1e6:.2f} MJ "
-            f"(deficit {result.budget_deficit / 1e6:.2f} MJ)"
-        )
-    if result.trial_result is not None:
-        batch = result.trial_result
-        print(
-            f"batch-equivalent score: missed {batch.missed}/{batch.num_tasks} "
-            f"({batch.late} late, {batch.discarded} discarded, "
-            f"{batch.energy_cutoff} after budget exhaustion)"
-        )
-    _print_windows(result)
+    _print_service_summary(result)
     if telemetry.enabled:
         _print_telemetry_summary(telemetry)
     if args.windows_out:
@@ -657,7 +726,15 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _print_ensemble(ensemble: EnsembleResult, tasks: int, svg_dir: str | None) -> None:
-    heuristics = sorted({s.heuristic for s in ensemble.specs}, key=HEURISTICS.index)
+    heuristics = sorted(
+        {s.heuristic for s in ensemble.specs},
+        # Paper heuristics keep the figures' order; third-party plugin
+        # names sort alphabetically after them.
+        key=lambda h: (
+            HEURISTICS.index(h) if h in HEURISTICS else len(HEURISTICS),
+            h,
+        ),
+    )
     for heuristic in heuristics:
         print(figure_table(ensemble, heuristic, tasks))
         print()
@@ -866,6 +943,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a scenario file end to end, printing the mode's summary."""
+    from repro.api import run_scenario
+
+    try:
+        scenario = Scenario.from_file(args.scenario)
+    except (OSError, ScenarioError) as exc:
+        raise SystemExit(f"repro run: {exc}")
+    shown = scenario.name or pathlib.Path(args.scenario).stem
+    print(f"scenario {shown}: {scenario.label}, mode {scenario.mode} "
+          f"(digest {scenario.digest()[:12]})")
+    try:
+        result = run_scenario(scenario)
+    except ValueError as exc:
+        raise SystemExit(f"repro run: {exc}")
+    if scenario.mode == "trial":
+        _print_trial_result(result)
+    elif scenario.mode == "ensemble":
+        _report_partial(result)
+        tasks = scenario.resolved_config().workload.num_tasks
+        _print_ensemble(result, tasks, None)
+    else:
+        _print_service_summary(result)
+    return 0
+
+
+def _iter_scenario_files(root: pathlib.Path) -> list[pathlib.Path]:
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for pattern in ("*.toml", "*.json")
+        for path in root.glob(pattern)
+    )
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """The scenario toolbox: list / validate / show files, plugin catalog."""
+    if args.action == "plugins":
+        try:
+            rows = describe_plugins(args.kind)
+        except KeyError as exc:
+            raise SystemExit(f"repro scenarios plugins: {exc}")
+        print(plugin_table(rows))
+        return 0
+
+    if args.action == "list":
+        root = pathlib.Path(args.dir)
+        files = _iter_scenario_files(root)
+        if not files:
+            print(f"no scenario files under {root}")
+            return 0
+        code = 0
+        for path in files:
+            try:
+                scenario = Scenario.from_file(path)
+            except (OSError, ScenarioError) as exc:
+                print(f"{path.name}: INVALID ({exc})")
+                code = 1
+                continue
+            shown = scenario.name or path.stem
+            print(
+                f"{path.name}: {shown} — {scenario.label}, mode "
+                f"{scenario.mode}, digest {scenario.digest()[:12]}"
+            )
+        return code
+
+    if args.action == "validate":
+        code = 0
+        for name in args.files:
+            try:
+                scenario = Scenario.from_file(name)
+            except (OSError, ScenarioError) as exc:
+                print(f"{name}: INVALID\n  {exc}")
+                code = 1
+                continue
+            print(f"{name}: ok ({scenario.label}, mode {scenario.mode}, "
+                  f"digest {scenario.digest()[:12]})")
+        return code
+
+    # show: the canonical rendering after validation + canonicalization
+    try:
+        scenario = Scenario.from_file(args.file)
+    except (OSError, ScenarioError) as exc:
+        raise SystemExit(f"repro scenarios show: {exc}")
+    print(scenario.to_toml(), end="")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """Paired significance test between two saved specs."""
     ensemble = ensemble_from_dict(load_json(args.results))
@@ -896,24 +1062,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trial", help="run a single trial of one policy", parents=[obs])
     _add_common(p)
-    p.add_argument("-H", "--heuristic", default="LL", choices=HEURISTICS)
-    p.add_argument(
-        "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
-    )
+    _add_policy(p)
     _add_faults(p)
     p.set_defaults(func=cmd_trial)
 
     p = sub.add_parser("serve", help="run the engine as a continuous service")
     _add_common(p)
-    p.add_argument("-H", "--heuristic", default="LL", choices=HEURISTICS)
-    p.add_argument(
-        "-F", "--filters", default="en+rob", choices=("none", "en", "rob", "en+rob")
-    )
+    _add_policy(p)
     p.add_argument(
         "--traffic",
         default="poisson",
-        choices=TRAFFIC_MODELS,
-        help="arrival model ('replay' streams the batch workload's own tasks)",
+        type=_traffic_name,
+        help="arrival model, any registered traffic plugin "
+        f"(builtin: {', '.join(TRAFFIC_MODELS)}; 'replay' streams the "
+        "batch workload's own tasks)",
     )
     p.add_argument(
         "--rate-mult",
@@ -1019,6 +1181,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_faults(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "run", help="run a declarative scenario file (TOML or JSON)"
+    )
+    p.add_argument(
+        "--scenario",
+        required=True,
+        metavar="FILE",
+        help="scenario .toml/.json (see docs/scenarios.md and examples/scenarios/)",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "scenarios", help="list/validate/show scenario files; plugin catalog"
+    )
+    scen = p.add_subparsers(dest="action", required=True)
+    sp = scen.add_parser("list", help="summarize every scenario file in a directory")
+    sp.add_argument(
+        "dir",
+        nargs="?",
+        default="examples/scenarios",
+        help="directory of .toml/.json scenario files (default: examples/scenarios)",
+    )
+    sp = scen.add_parser("validate", help="validate scenario files; exit 1 on errors")
+    sp.add_argument("files", nargs="+", help="scenario files to check")
+    sp = scen.add_parser("show", help="print a scenario's canonical TOML form")
+    sp.add_argument("file", help="scenario file to render")
+    sp = scen.add_parser("plugins", help="print the plugin catalog")
+    sp.add_argument(
+        "--kind",
+        default=None,
+        choices=("heuristic", "filter", "traffic", "admission"),
+        help="restrict the catalog to one plugin family",
+    )
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser(
         "monitor", help="tail window JSONL or a telemetry endpoint into a dashboard"

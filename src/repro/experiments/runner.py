@@ -32,6 +32,7 @@ Metrics describe the run; they never steer it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Sequence
@@ -49,8 +50,8 @@ from repro.experiments.executor import (
     run_supervised,
 )
 from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
-from repro.filters.chain import make_filter_chain
-from repro.heuristics.registry import make_heuristic
+from repro.filters.chain import build_filter_chain
+from repro.heuristics.registry import build_heuristic
 from repro.obs.events import CheckpointWritten, Event
 from repro.obs.hooks import observe_trial
 from repro.obs.manifest import config_digest
@@ -65,6 +66,7 @@ from repro.sim.system import TrialSystem, build_trial_system
 
 __all__ = [
     "VariantSpec",
+    "TrialPlan",
     "EnsembleResult",
     "PartialEnsembleResult",
     "policy_for",
@@ -96,9 +98,105 @@ def policy_for(system: TrialSystem, spec: VariantSpec):
     starts from the identical policy state as its batch counterpart.
     """
     rng = rng_mod.stream(system.config.seed, "heuristic", spec.label)
-    heuristic = make_heuristic(spec.heuristic, rng)
-    chain = make_filter_chain(spec.variant, system.config.filters)
+    heuristic = build_heuristic(spec.heuristic, rng)
+    chain = build_filter_chain(spec.variant, system.config.filters)
     return heuristic, chain
+
+
+@dataclass
+class TrialPlan:
+    """One fully-specified trial run: system, policy spec, and ride-alongs.
+
+    ``TrialPlan`` is the single entry point behind what used to be three
+    near-duplicate call shapes (``run_trial`` on a bare engine,
+    ``observe_trial`` for the observed path, ``run_trial_variant``
+    choosing between them): build a plan, then :meth:`run` it.  The plan
+    picks the observed path exactly when an observability collector
+    (``metrics`` / ``sinks`` / ``profile`` / ``timeline``) is attached;
+    the simulated decisions — and therefore the result — are bitwise
+    identical either way.
+
+    ``perf`` selects the hot-path performance knobs (:mod:`repro.perf`),
+    results-neutral; ``None`` means everything on.  ``shared`` carries
+    the warm cross-spec caches of the trial
+    (:class:`~repro.perf.TrialCache`); reuse one handle for every spec
+    run against the same ``system``.  ``faults`` / ``fault_policy`` /
+    ``shedding`` thread the in-simulation fault layer
+    (:mod:`repro.faults`) into the engine; all three default to ``None``
+    (fault-free, bitwise identical to earlier releases).
+    """
+
+    system: TrialSystem
+    spec: VariantSpec
+    keep_outcomes: bool = False
+    metrics: MetricsRegistry | None = None
+    sinks: Sequence[EventSink] = ()
+    profile: SpanRecorder | None = None
+    timeline: TimelineRecorder | None = None
+    perf: PerfConfig | None = None
+    shared: TrialCache | None = None
+    faults: FaultSchedule | None = None
+    fault_policy: FaultPolicy | None = None
+    shedding: SheddingConfig | None = None
+
+    @classmethod
+    def from_scenario(cls, scenario: Any, *, system: TrialSystem | None = None, **options: Any) -> "TrialPlan":
+        """Build a plan from a scenario-shaped object.
+
+        ``scenario`` is duck-typed: anything with a ``spec`` attribute
+        (a :class:`VariantSpec`) and, when ``system`` is not given, a
+        ``build_system()`` method.  Keyword ``options`` are the plan's
+        remaining fields (``keep_outcomes``, ``metrics``, ``faults``,
+        ...).  Fault/shedding settings carried by the scenario itself
+        are resolved by the caller (:func:`repro.api.run_scenario`), not
+        here — the runner stays ignorant of the scenario schema.
+        """
+        if system is None:
+            system = scenario.build_system()
+        return cls(system=system, spec=scenario.spec, **options)
+
+    @property
+    def observed(self) -> bool:
+        """Whether :meth:`run` takes the observed (instrumented) path."""
+        return (
+            self.metrics is not None
+            or bool(self.sinks)
+            or self.profile is not None
+            or self.timeline is not None
+        )
+
+    def run(self) -> TrialResult:
+        """Execute the plan and return its trial result."""
+        heuristic, chain = policy_for(self.system, self.spec)
+        if self.observed:
+            result = observe_trial(
+                self.system,
+                heuristic,
+                chain,
+                sinks=self.sinks,
+                metrics=self.metrics,
+                profile=self.profile,
+                timeline=self.timeline,
+                perf=self.perf,
+                shared=self.shared,
+                faults=self.faults,
+                fault_policy=self.fault_policy,
+                shedding=self.shedding,
+            )
+        else:
+            result = run_trial(
+                self.system,
+                heuristic,
+                chain,
+                perf=self.perf,
+                shared=self.shared,
+                faults=self.faults,
+                fault_policy=self.fault_policy,
+                shedding=self.shedding,
+            )
+        if not self.keep_outcomes:
+            result = replace(result, outcomes=())
+        return result
 
 
 def run_trial_variant(
@@ -116,53 +214,33 @@ def run_trial_variant(
     fault_policy: FaultPolicy | None = None,
     shedding: SheddingConfig | None = None,
 ) -> TrialResult:
-    """Run one spec against a prebuilt trial system.
+    """Deprecated shim for :class:`TrialPlan`.
 
-    The Random heuristic's generator derives from the trial seed and the
-    spec label, so it is reproducible and independent across variants.
-    When ``metrics``, ``sinks``, ``profile`` or ``timeline`` are given
-    the trial runs observed (structured events, counters, decision
-    timing, spans, state snapshots); the simulated decisions — and
-    therefore the result — are bitwise identical either way.  ``perf``
-    selects the hot-path performance knobs (:mod:`repro.perf`), which
-    are results-neutral too; ``None`` means everything on.  ``shared``
-    carries the warm cross-spec caches of the trial
-    (:class:`~repro.perf.TrialCache`); pass the same handle for every
-    spec run against the same ``system``.  ``faults``/``fault_policy``/
-    ``shedding`` thread the in-simulation fault layer
-    (:mod:`repro.faults`) into the engine; all three default to ``None``
-    (fault-free, bitwise identical to earlier releases).
+    .. deprecated::
+        Build a :class:`TrialPlan` and call :meth:`TrialPlan.run`
+        instead.  This wrapper forwards verbatim and stays bitwise
+        identical; it only adds a :class:`DeprecationWarning`.
     """
-    heuristic, chain = policy_for(system, spec)
-    if metrics is not None or sinks or profile is not None or timeline is not None:
-        result = observe_trial(
-            system,
-            heuristic,
-            chain,
-            sinks=sinks,
-            metrics=metrics,
-            profile=profile,
-            timeline=timeline,
-            perf=perf,
-            shared=shared,
-            faults=faults,
-            fault_policy=fault_policy,
-            shedding=shedding,
-        )
-    else:
-        result = run_trial(
-            system,
-            heuristic,
-            chain,
-            perf=perf,
-            shared=shared,
-            faults=faults,
-            fault_policy=fault_policy,
-            shedding=shedding,
-        )
-    if not keep_outcomes:
-        result = replace(result, outcomes=())
-    return result
+    warnings.warn(
+        "repro.experiments.runner.run_trial_variant is deprecated; "
+        "build a TrialPlan and call .run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return TrialPlan(
+        system=system,
+        spec=spec,
+        keep_outcomes=keep_outcomes,
+        metrics=metrics,
+        sinks=sinks,
+        profile=profile,
+        timeline=timeline,
+        perf=perf,
+        shared=shared,
+        faults=faults,
+        fault_policy=fault_policy,
+        shedding=shedding,
+    ).run()
 
 
 #: What one trial sends back to the parent: per-spec results, then the
@@ -238,16 +316,16 @@ def _run_one_trial(
             else None
         )
         results.append(
-            run_trial_variant(
-                system,
-                spec,
+            TrialPlan(
+                system=system,
+                spec=spec,
                 keep_outcomes=keep_outcomes,
                 metrics=registry,
                 profile=recorder,
                 timeline=tl,
                 perf=perf,
                 shared=shared,
-            )
+            ).run()
         )
         if tl is not None and timelines is not None:
             timelines.append(tl.to_dict())

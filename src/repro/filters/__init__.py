@@ -18,7 +18,13 @@ task is discarded (it counts as a missed deadline).
 from repro.filters.base import AssignmentFilter
 from repro.filters.energy_filter import EnergyFilter
 from repro.filters.robustness_filter import RobustnessFilter
-from repro.filters.chain import FilterChain, VARIANTS, make_filter_chain
+from repro.filters.chain import (
+    FilterChain,
+    VARIANTS,
+    build_filter_chain,
+    canonical_variant,
+    make_filter_chain,
+)
 
 __all__ = [
     "AssignmentFilter",
@@ -26,5 +32,7 @@ __all__ = [
     "RobustnessFilter",
     "FilterChain",
     "VARIANTS",
+    "build_filter_chain",
+    "canonical_variant",
     "make_filter_chain",
 ]

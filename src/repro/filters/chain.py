@@ -1,7 +1,15 @@
-"""Filter composition and the paper's variant labels."""
+"""Filter composition and the paper's variant labels.
+
+The two paper filters register as plugins
+(:func:`repro.registry.register_filter`); a variant label like
+``"en+rob"`` is parsed into an ordered chain of registered filter
+names, so a third-party filter registered as ``"prune"`` immediately
+composes as ``"en+prune"`` in the CLI and in scenario files.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 from repro.config import FilterConfig
@@ -9,11 +17,28 @@ from repro.filters.base import AssignmentFilter
 from repro.filters.energy_filter import EnergyFilter
 from repro.filters.robustness_filter import RobustnessFilter
 from repro.heuristics.base import CandidateSet, MappingContext
+from repro.registry import FILTER_PLUGINS, UnknownPluginError, register_filter
 
-__all__ = ["FilterChain", "VARIANTS", "make_filter_chain"]
+__all__ = [
+    "FilterChain",
+    "VARIANTS",
+    "build_filter_chain",
+    "canonical_variant",
+    "make_filter_chain",
+]
 
 #: The four filtering variants, in the order the paper's figures use.
 VARIANTS: tuple[str, ...] = ("none", "en", "rob", "en+rob")
+
+
+@register_filter("en", summary="Energy filter: fair-share EEC cap (paper §V-F)")
+def _make_energy(config: FilterConfig) -> AssignmentFilter:
+    return EnergyFilter(config)
+
+
+@register_filter("rob", summary="Robustness filter: on-time probability floor")
+def _make_robustness(config: FilterConfig) -> AssignmentFilter:
+    return RobustnessFilter(config)
 
 
 class FilterChain:
@@ -50,24 +75,58 @@ class FilterChain:
         return f"FilterChain({self.label!r})"
 
 
-def make_filter_chain(variant: str, config: FilterConfig | None = None) -> FilterChain:
-    """Build the chain for a paper variant label.
-
-    Accepts "none", "en", "rob", "en+rob" (also "rob+en"), case-insensitive.
-    """
-    cfg = config if config is not None else FilterConfig()
+def _variant_parts(variant: str) -> tuple[str, ...]:
+    """Split a variant label into lower-cased, order-preserved filter names."""
     key = variant.strip().lower()
     if key == "none":
-        return FilterChain()
-    parts = key.split("+")
-    if not parts or len(set(parts)) != len(parts):
+        return ()
+    parts = tuple(part.strip() for part in key.split("+"))
+    if not all(parts) or len(set(parts)) != len(parts):
         raise KeyError(f"bad filter variant {variant!r}")
-    filters: list[AssignmentFilter] = []
-    for part in parts:
-        if part == "en":
-            filters.append(EnergyFilter(cfg))
-        elif part == "rob":
-            filters.append(RobustnessFilter(cfg))
-        else:
-            raise KeyError(f"unknown filter {part!r} in variant {variant!r}")
-    return FilterChain(filters)
+    return parts
+
+
+def canonical_variant(variant: str) -> str:
+    """Normalize a variant label against the filter registry.
+
+    ``"EN+ROB"`` -> ``"en+rob"``; order is preserved (``"rob+en"`` stays
+    ``"rob+en"`` — chains intersect, so order only affects the label).
+    Unknown parts raise :class:`~repro.registry.UnknownPluginError` with
+    a did-you-mean suggestion.
+    """
+    parts = _variant_parts(variant)
+    if not parts:
+        return "none"
+    return "+".join(FILTER_PLUGINS.canonical(part) for part in parts)
+
+
+def build_filter_chain(variant: str, config: FilterConfig | None = None) -> FilterChain:
+    """Build the chain for a variant label from registered filter plugins.
+
+    Accepts "none" or any "+"-joined combination of registered filter
+    names ("en", "rob", "en+rob", also "rob+en"), case-insensitive.
+    """
+    cfg = config if config is not None else FilterConfig()
+    try:
+        parts = _variant_parts(variant)
+        return FilterChain(FILTER_PLUGINS.create(part, cfg) for part in parts)
+    except UnknownPluginError as exc:
+        raise UnknownPluginError(
+            "filter", f"{exc.name} (in variant {variant!r})", FILTER_PLUGINS.names()
+        ) from None
+
+
+def make_filter_chain(variant: str, config: FilterConfig | None = None) -> FilterChain:
+    """Deprecated pre-registry constructor; use :func:`build_filter_chain`.
+
+    Kept (one release) for scripts written against the hand-wired
+    constructor; the registry path builds the identical chain, so
+    results are bitwise unchanged.
+    """
+    warnings.warn(
+        "repro.filters.chain.make_filter_chain is deprecated; use "
+        "build_filter_chain (or repro.registry.FILTER_PLUGINS)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_filter_chain(variant, config)

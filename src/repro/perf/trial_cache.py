@@ -12,7 +12,7 @@ the shared execution-time table — so one spec's warm state is a valid
 (and bitwise-identical) answer for the next.
 
 :class:`TrialCache` is the handle the runner creates once per trial and
-threads through every ``run_trial_variant`` call.  The engine *reuses*
+threads through every ``TrialPlan.run()`` call.  The engine *reuses*
 the installed kernel cache instead of replacing it (nesting preserved by
 ``set_kernel_cache``'s return-previous protocol) and snapshots the
 counters at run start, so :meth:`Engine.kernel_cache_stats` and the

@@ -42,21 +42,14 @@ from repro.experiments.runner import VariantSpec, policy_for
 from repro.faults import FaultPolicy, FaultSchedule, SheddingConfig
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.timeline import TimelineRecorder
+from repro.registry import TRAFFIC_PLUGINS, TrafficContext
 from repro.sim.engine import Engine
 from repro.sim.metrics import WindowAccumulator, WindowStats
 from repro.sim.results import TrialResult
 from repro.sim.state import RollingEnergyBudget
 from repro.sim.system import TrialSystem
-from repro.workload.arrivals import burst_schedule
 from repro.workload.task import Task
-from repro.workload.traffic import (
-    TaskFactory,
-    diurnal_times,
-    mmpp_times,
-    piecewise_times,
-    poisson_times,
-    replay_tasks,
-)
+from repro.workload.traffic import TaskFactory, replay_tasks
 
 __all__ = [
     "TRAFFIC_MODELS",
@@ -70,7 +63,9 @@ __all__ = [
     "write_windows_jsonl",
 ]
 
-#: Valid ``ServiceConfig.traffic`` names.
+#: The builtin ``ServiceConfig.traffic`` names.  Validation goes through
+#: :data:`repro.registry.TRAFFIC_PLUGINS`, so models registered later
+#: (third-party entry points, ``@register_traffic``) are accepted too.
 TRAFFIC_MODELS = ("poisson", "diurnal", "mmpp", "burst", "replay")
 
 #: Format tag of one JSONL window-summary row.
@@ -163,10 +158,13 @@ class ServiceConfig:
     shedding: SheddingConfig | None = None
 
     def __post_init__(self) -> None:
-        if self.traffic not in TRAFFIC_MODELS:
+        if self.traffic not in TRAFFIC_PLUGINS:
             raise ValueError(
-                f"unknown traffic model {self.traffic!r}; known: {', '.join(TRAFFIC_MODELS)}"
+                f"unknown traffic model {self.traffic!r}; "
+                f"known: {', '.join(TRAFFIC_PLUGINS.names())}"
             )
+        # Canonicalize case so "Replay" and "replay" name the same regime.
+        object.__setattr__(self, "traffic", TRAFFIC_PLUGINS.canonical(self.traffic))
         if not (self.rate_mult > 0.0):
             raise ValueError(f"rate_mult must be positive, got {self.rate_mult}")
         if not (0.0 <= self.swing < 1.0):
@@ -372,29 +370,23 @@ def _stoppable(
 def _arrival_stream(
     system: TrialSystem, service: ServiceConfig, mean_rate: float, phase_length: float
 ) -> Iterator[float]:
-    """The resolved arrival-time stream of a generative traffic model."""
-    rng = rng_mod.stream(system.config.seed, "service", "arrivals")
-    if service.traffic == "poisson":
-        return poisson_times(mean_rate, rng)
-    if service.traffic == "diurnal":
-        return diurnal_times(
-            mean_rate, rng, period=2.0 * phase_length, swing=service.swing
-        )
-    if service.traffic == "mmpp":
-        hi = mean_rate * (1.0 + service.swing)
-        lo = mean_rate * (1.0 - service.swing)
-        return mmpp_times([hi, lo], [phase_length, phase_length], rng)
-    if service.traffic == "burst":
-        # The paper's fast/slow/fast cadence, cycled forever and scaled
-        # so its mean rate matches the configured one.
-        schedule = [
-            (dur, rate * service.rate_mult)
-            for dur, rate in burst_schedule(
-                system.config.workload, system.workload.rates
-            )
-        ]
-        return piecewise_times(schedule, rng, cycle=True)
-    raise ValueError(f"not a generative traffic model: {service.traffic!r}")
+    """The resolved arrival-time stream of a generative traffic model.
+
+    Construction is delegated to the traffic plugin registered under
+    ``service.traffic`` (builtins in :mod:`repro.workload.traffic`);
+    every plugin receives the same seeded context, so a model's stream
+    is identical however the config was built.
+    """
+    ctx = TrafficContext(
+        rng=rng_mod.stream(system.config.seed, "service", "arrivals"),
+        mean_rate=mean_rate,
+        phase_length=phase_length,
+        swing=service.swing,
+        rate_mult=service.rate_mult,
+        workload=system.config.workload,
+        rates=system.workload.rates,
+    )
+    return TRAFFIC_PLUGINS.create(service.traffic, ctx)
 
 
 def serve_system(

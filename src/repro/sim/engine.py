@@ -42,12 +42,12 @@ from repro.cluster.availability import AvailabilityState
 from repro.cluster.energy import IDLE_PSTATE, EnergyLedger, StreamingEnergyMeter
 from repro.faults import (
     SHED_MIN_PROB,
-    AdmissionController,
     FaultPolicy,
     FaultSchedule,
     FaultStats,
     FaultTransition,
     SheddingConfig,
+    make_admission,
 )
 from repro.filters.chain import FilterChain
 from repro.heuristics.base import Heuristic, MappingContext
@@ -279,7 +279,7 @@ class Engine:
             self._availability = None
         self._fault_next = 0
         self._shedder = (
-            AdmissionController(shedding)
+            make_admission(shedding)
             if shedding is not None and shedding.enabled
             else None
         )

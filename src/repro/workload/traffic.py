@@ -49,10 +49,12 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.config import WorkloadConfig
+from repro.registry import TrafficContext, register_traffic
 from repro.workload.pmf_table import ExecutionTimeTable
 from repro.workload.task import Task
 
 __all__ = [
+    "TrafficContext",
     "poisson_times",
     "piecewise_times",
     "diurnal_times",
@@ -327,3 +329,53 @@ class TaskFactory:
 def replay_tasks(tasks: Iterable[Task]) -> Iterator[Task]:
     """A finite stream replaying prebuilt tasks (batch-equivalent)."""
     return iter(tasks)
+
+
+# ----------------------------------------------------------------------
+# Traffic plugins: the service layer's arrival-stream construction
+# ----------------------------------------------------------------------
+#
+# Each factory takes a :class:`repro.registry.TrafficContext` and returns
+# the absolute arrival-time iterator :func:`repro.service.serve_system`
+# drives the engine from.  Registering here (rather than in the service
+# module) keeps stream construction next to the generators it composes;
+# a third-party model registered under the same group is selectable as
+# ``ServiceConfig(traffic="<name>")`` with no service-layer changes.
+
+
+@register_traffic("poisson", summary="Open-loop Poisson arrivals at the mean rate")
+def _poisson_stream(ctx: TrafficContext) -> Iterator[float]:
+    return poisson_times(ctx.mean_rate, ctx.rng)
+
+
+@register_traffic("diurnal", summary="Sinusoidal NHPP; period = 2 phase lengths")
+def _diurnal_stream(ctx: TrafficContext) -> Iterator[float]:
+    return diurnal_times(
+        ctx.mean_rate, ctx.rng, period=2.0 * ctx.phase_length, swing=ctx.swing
+    )
+
+
+@register_traffic("mmpp", summary="Two-state MMPP at (1 ± swing) x mean rate")
+def _mmpp_stream(ctx: TrafficContext) -> Iterator[float]:
+    hi = ctx.mean_rate * (1.0 + ctx.swing)
+    lo = ctx.mean_rate * (1.0 - ctx.swing)
+    return mmpp_times([hi, lo], [ctx.phase_length, ctx.phase_length], ctx.rng)
+
+
+@register_traffic("burst", summary="The paper's fast/slow/fast cadence, cycled")
+def _burst_stream(ctx: TrafficContext) -> Iterator[float]:
+    from repro.workload.arrivals import burst_schedule
+
+    schedule = [
+        (dur, rate * ctx.rate_mult)
+        for dur, rate in burst_schedule(ctx.workload, ctx.rates)
+    ]
+    return piecewise_times(schedule, ctx.rng, cycle=True)
+
+
+@register_traffic("replay", summary="The batch workload's own tasks (finite, scored)")
+def _replay_stream(ctx: TrafficContext) -> Iterator[float]:
+    # Replay streams *tasks*, not arrival times; serve_system handles it
+    # before stream construction.  Registered so catalogs and scenario
+    # validation see the full traffic namespace.
+    raise ValueError("not a generative traffic model: 'replay'")

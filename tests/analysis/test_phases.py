@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.phases import phase_breakdown
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
 
@@ -13,7 +13,7 @@ from repro.sim.engine import run_trial
 @pytest.fixture(scope="module")
 def trial(small_system):
     result = run_trial(
-        small_system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+        small_system, MinimumExpectedCompletionTime(), build_filter_chain("none")
     )
     return small_system, result
 

@@ -10,14 +10,14 @@ from repro.analysis.timeseries import (
     completion_rate_series,
     cumulative_energy_series,
 )
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.shortest_queue import ShortestQueue
 from repro.sim.engine import Engine
 
 
 @pytest.fixture(scope="module")
 def run(tiny_system):
-    engine = Engine(tiny_system, ShortestQueue(), make_filter_chain("none"))
+    engine = Engine(tiny_system, ShortestQueue(), build_filter_chain("none"))
     result = engine.run()
     return engine, result
 

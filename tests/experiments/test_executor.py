@@ -16,7 +16,7 @@ from repro.experiments.executor import (
     load_checkpoint,
     run_supervised,
 )
-from repro.experiments.runner import VariantSpec, run_trial_variant
+from repro.experiments.runner import TrialPlan, VariantSpec
 from repro.obs.events import TrialQuarantined, TrialRetried
 from repro.obs.manifest import config_digest
 from repro.obs.sinks import MetricsRegistry
@@ -179,7 +179,7 @@ def shard(tmp_path):
     for trial in (0, 1):
         seed = rng_mod.spawn_trial_seed(9, trial)
         system = build_trial_system(config.with_seed(seed))
-        results[trial] = [run_trial_variant(system, specs[0])]
+        results[trial] = [TrialPlan(system=system, spec=specs[0]).run()]
         writer.write(trial, results[trial], None)
     writer.close()
     return {

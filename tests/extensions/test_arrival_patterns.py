@@ -123,7 +123,7 @@ class TestWorkloadWithArrivals:
     def test_runs_through_engine(self, tiny_system, rng):
         from dataclasses import replace
 
-        from repro.filters.chain import make_filter_chain
+        from repro.filters.chain import build_filter_chain
         from repro.heuristics.shortest_queue import ShortestQueue
         from repro.sim.engine import run_trial
 
@@ -131,5 +131,5 @@ class TestWorkloadWithArrivals:
         arrivals = constant_arrivals(cfg.num_tasks, 0.05, rng)
         wl = workload_with_arrivals(cfg, tiny_system.table, seed=4, arrivals=arrivals)
         system = replace(tiny_system, workload=wl)
-        result = run_trial(system, ShortestQueue(), make_filter_chain("en"))
+        result = run_trial(system, ShortestQueue(), build_filter_chain("en"))
         assert result.num_tasks == cfg.num_tasks

@@ -13,7 +13,7 @@ from repro.extensions.baselines import (
     OpportunisticLoadBalancing,
     make_extended_heuristic,
 )
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.base import CandidateSet, MappingContext
 from repro.sim.engine import run_trial
 from repro.workload.task import Task
@@ -130,7 +130,7 @@ class TestEndToEnd:
     @pytest.mark.parametrize("name", EXTENDED_HEURISTICS)
     def test_runs_full_trial(self, tiny_system, name):
         result = run_trial(
-            tiny_system, make_extended_heuristic(name), make_filter_chain("en+rob")
+            tiny_system, make_extended_heuristic(name), build_filter_chain("en+rob")
         )
         assert result.num_tasks == tiny_system.num_tasks
         assert (

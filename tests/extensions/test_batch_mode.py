@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.extensions.batch_mode import BatchEngine, run_batch_trial
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
 from repro import build_trial_system
@@ -27,7 +27,7 @@ class TestConstruction:
 class TestAccounting:
     @pytest.fixture(scope="class")
     def result(self, tiny_system):
-        return run_batch_trial(tiny_system, "min-min", make_filter_chain("none"))
+        return run_batch_trial(tiny_system, "min-min", build_filter_chain("none"))
 
     def test_all_tasks_scored(self, tiny_system, result):
         assert len(result.outcomes) == tiny_system.num_tasks
@@ -63,28 +63,28 @@ class TestAccounting:
 class TestPolicies:
     def test_min_min_vs_max_min_differ(self):
         system = build_trial_system(small_config(seed=29))
-        a = run_batch_trial(system, "min-min", make_filter_chain("none"))
-        b = run_batch_trial(system, "max-min", make_filter_chain("none"))
+        a = run_batch_trial(system, "min-min", build_filter_chain("none"))
+        b = run_batch_trial(system, "max-min", build_filter_chain("none"))
         # Same environment, different commitment order.
         starts_a = [o.start for o in a.outcomes if not o.discarded]
         starts_b = [o.start for o in b.outcomes if not o.discarded]
         assert starts_a != starts_b
 
     def test_deterministic(self, tiny_system):
-        a = run_batch_trial(tiny_system, "min-min", make_filter_chain("en+rob"))
-        b = run_batch_trial(tiny_system, "min-min", make_filter_chain("en+rob"))
+        a = run_batch_trial(tiny_system, "min-min", build_filter_chain("en+rob"))
+        b = run_batch_trial(tiny_system, "min-min", build_filter_chain("en+rob"))
         assert a == b
 
 
 class TestFilters:
     def test_energy_filter_reduces_energy(self, tiny_system):
-        plain = run_batch_trial(tiny_system, "min-min", make_filter_chain("none"))
-        filtered = run_batch_trial(tiny_system, "min-min", make_filter_chain("en"))
+        plain = run_batch_trial(tiny_system, "min-min", build_filter_chain("none"))
+        filtered = run_batch_trial(tiny_system, "min-min", build_filter_chain("en"))
         assert filtered.total_energy <= plain.total_energy + 1e-6
 
     def test_impossible_filters_discard_everything(self, tiny_system):
         from repro.config import FilterConfig
-        from repro.filters.chain import make_filter_chain as mk
+        from repro.filters.chain import build_filter_chain as mk
 
         chain = mk("rob", FilterConfig(rho_thresh=1.0))
         # Requiring certainty (rho >= 1.0) is unmeetable for stochastic
@@ -101,7 +101,7 @@ class TestVersusImmediate:
         # much on the same trial (it usually wins during bursts).
         system = build_trial_system(small_config(seed=31))
         immediate = run_trial(
-            system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+            system, MinimumExpectedCompletionTime(), build_filter_chain("none")
         )
-        batch = run_batch_trial(system, "min-min", make_filter_chain("none"))
+        batch = run_batch_trial(system, "min-min", build_filter_chain("none"))
         assert batch.late <= immediate.late + 0.1 * system.num_tasks

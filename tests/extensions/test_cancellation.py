@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.extensions.cancellation import AbandonHopelessPolicy
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
 from repro import build_trial_system
@@ -28,13 +28,13 @@ class TestCancellationBehavior:
         # bursts create queues) where cancellation has something to do.
         system = build_trial_system(small_config(seed=17))
         baseline = run_trial(
-            system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+            system, MinimumExpectedCompletionTime(), build_filter_chain("none")
         )
         policy = AbandonHopelessPolicy(min_prob=0.25)
         cancelled = run_trial(
             system,
             MinimumExpectedCompletionTime(),
-            make_filter_chain("none"),
+            build_filter_chain("none"),
             hooks=policy,
         )
         return baseline, cancelled, policy

@@ -9,7 +9,7 @@ from repro.extensions.power_distributions import (
     StochasticPowerModel,
     resample_trial_energy,
 )
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
 
@@ -39,7 +39,7 @@ class TestResampleTrialEnergy:
     @pytest.fixture(scope="class")
     def trial(self, tiny_system):
         result = run_trial(
-            tiny_system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+            tiny_system, MinimumExpectedCompletionTime(), build_filter_chain("none")
         )
         return tiny_system, result
 

@@ -10,7 +10,7 @@ from repro.extensions.priorities import (
     weighted_missed,
     with_priorities,
 )
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.base import CandidateSet, MappingContext
 from repro.heuristics.lightest_load import LightestLoad
 from repro.sim.engine import run_trial
@@ -158,20 +158,20 @@ class TestPriorityEnergyFilter:
 
 class TestWeightedMissed:
     def test_matches_unweighted_for_unit_priorities(self, tiny_system):
-        result = run_trial(tiny_system, LightestLoad(), make_filter_chain("en+rob"))
+        result = run_trial(tiny_system, LightestLoad(), build_filter_chain("en+rob"))
         wm = weighted_missed(result, tiny_system.workload)
         assert wm == pytest.approx(result.missed / result.num_tasks)
 
     def test_requires_outcomes(self, tiny_system):
         from dataclasses import replace
 
-        result = run_trial(tiny_system, LightestLoad(), make_filter_chain("none"))
+        result = run_trial(tiny_system, LightestLoad(), build_filter_chain("none"))
         stripped = replace(result, outcomes=())
         with pytest.raises(ValueError):
             weighted_missed(stripped, tiny_system.workload)
 
     def test_bounded(self, tiny_system, rng):
         wl = with_priorities(tiny_system.workload, rng, levels=(1.0, 4.0))
-        result = run_trial(tiny_system, LightestLoad(), make_filter_chain("en+rob"))
+        result = run_trial(tiny_system, LightestLoad(), build_filter_chain("en+rob"))
         wm = weighted_missed(result, wl)
         assert 0.0 <= wm <= 1.0

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.extensions.rescheduling import WorkStealingPolicy
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.heuristics.random_heuristic import RandomAssignment
 from repro.sim.engine import run_trial
@@ -28,9 +28,9 @@ class TestWorkStealing:
         def random_h():
             return RandomAssignment(rng_mod.stream(23, "ws-random"))
 
-        baseline = run_trial(system, random_h(), make_filter_chain("rob"))
+        baseline = run_trial(system, random_h(), build_filter_chain("rob"))
         policy = WorkStealingPolicy(min_gain=0.02)
-        stealing = run_trial(system, random_h(), make_filter_chain("rob"), hooks=policy)
+        stealing = run_trial(system, random_h(), build_filter_chain("rob"), hooks=policy)
         return baseline, stealing, system, policy
 
     def test_steals_happen_under_imbalance(self, runs):
@@ -85,7 +85,7 @@ class TestEngineMoveQueued:
         from repro.sim.engine import Engine
 
         engine = Engine(
-            tiny_system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+            tiny_system, MinimumExpectedCompletionTime(), build_filter_chain("none")
         )
         assert engine.move_queued(0, 0, 0, 0) is False
 
@@ -93,6 +93,6 @@ class TestEngineMoveQueued:
         from repro.sim.engine import Engine
 
         engine = Engine(
-            tiny_system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+            tiny_system, MinimumExpectedCompletionTime(), build_filter_chain("none")
         )
         assert engine.move_queued(0, 999, 1, 0) is False

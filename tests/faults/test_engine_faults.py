@@ -122,8 +122,8 @@ class TestFaultObservability:
     def test_events_and_counters_stream_through_hooks(self, system):
         buffer = RingBufferSink(capacity=4096)
         metrics = MetricsRegistry()
-        heuristic = api.make_heuristic("LL", None)
-        chain = api.make_filter_chain("en+rob", system.config.filters)
+        heuristic = api.build_heuristic("LL", None)
+        chain = api.build_filter_chain("en+rob", system.config.filters)
         result = api.observe_trial(
             system,
             heuristic,

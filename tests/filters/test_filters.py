@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.config import FilterConfig
-from repro.filters.chain import VARIANTS, FilterChain, make_filter_chain
+from repro.filters.chain import VARIANTS, FilterChain, build_filter_chain
 from repro.filters.energy_filter import EnergyFilter
 from repro.filters.robustness_filter import RobustnessFilter
 from repro.heuristics.base import CandidateSet, MappingContext
@@ -112,7 +112,7 @@ class TestFilterChain:
         assert VARIANTS == ("none", "en", "rob", "en+rob")
 
     def test_none_chain_is_identity(self):
-        chain = make_filter_chain("none")
+        chain = build_filter_chain("none")
         c = cands()
         chain.apply(c, ctx())
         assert c.mask.all()
@@ -120,12 +120,12 @@ class TestFilterChain:
         assert len(chain) == 0
 
     def test_en_chain(self):
-        chain = make_filter_chain("en")
+        chain = build_filter_chain("en")
         assert chain.label == "en"
         assert len(chain) == 1
 
     def test_combined_chain_intersects(self):
-        chain = make_filter_chain("en+rob")
+        chain = build_filter_chain("en+rob")
         c = cands()
         chain.apply(c, ctx())
         # energy keeps {1, 3}; robustness keeps {0, 1} -> intersection {1}.
@@ -133,33 +133,33 @@ class TestFilterChain:
 
     def test_order_is_immaterial(self):
         a, b = cands(), cands()
-        make_filter_chain("en+rob").apply(a, ctx())
-        make_filter_chain("rob+en").apply(b, ctx())
+        build_filter_chain("en+rob").apply(a, ctx())
+        build_filter_chain("rob+en").apply(b, ctx())
         assert a.mask.tolist() == b.mask.tolist()
 
     def test_chain_can_empty_the_set(self):
-        chain = make_filter_chain("en+rob")
+        chain = build_filter_chain("en+rob")
         c = cands()
         chain.apply(c, ctx(energy_estimate=1.0))
         assert c.mask.sum() == 0
 
     def test_case_insensitive(self):
-        assert make_filter_chain("EN+ROB").label == "en+rob"
+        assert build_filter_chain("EN+ROB").label == "en+rob"
 
     def test_unknown_variant(self):
         with pytest.raises(KeyError):
-            make_filter_chain("fast")
+            build_filter_chain("fast")
 
     def test_duplicate_part_rejected(self):
         with pytest.raises(KeyError):
-            make_filter_chain("en+en")
+            build_filter_chain("en+en")
 
     def test_custom_config_threads_through(self):
         cfg = FilterConfig(rho_thresh=0.99)
-        chain = make_filter_chain("rob", cfg)
+        chain = build_filter_chain("rob", cfg)
         c = cands()
         chain.apply(c, ctx())
         assert not c.mask.any()
 
     def test_repr(self):
-        assert "en+rob" in repr(make_filter_chain("en+rob"))
+        assert "en+rob" in repr(build_filter_chain("en+rob"))

@@ -10,7 +10,7 @@ from repro.heuristics.lightest_load import LightestLoad
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.heuristics.random_heuristic import RandomAssignment
 from repro.heuristics.shortest_queue import ShortestQueue
-from repro.heuristics.registry import HEURISTICS, make_heuristic
+from repro.heuristics.registry import HEURISTICS, build_heuristic
 from repro.workload.task import Task
 
 
@@ -134,15 +134,15 @@ class TestRegistry:
 
     def test_builds_each(self):
         rng = np.random.default_rng(0)
-        assert make_heuristic("SQ").name == "SQ"
-        assert make_heuristic("mect").name == "MECT"
-        assert make_heuristic("Ll").name == "LL"
-        assert make_heuristic("random", rng).name == "Random"
+        assert build_heuristic("SQ").name == "SQ"
+        assert build_heuristic("mect").name == "MECT"
+        assert build_heuristic("Ll").name == "LL"
+        assert build_heuristic("random", rng).name == "Random"
 
     def test_random_requires_rng(self):
         with pytest.raises(ValueError):
-            make_heuristic("Random")
+            build_heuristic("Random")
 
     def test_unknown_name(self):
         with pytest.raises(KeyError):
-            make_heuristic("OLB")
+            build_heuristic("OLB")

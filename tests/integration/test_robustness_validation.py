@@ -20,8 +20,8 @@ import numpy as np
 import pytest
 
 from repro.experiments.runner import VariantSpec
-from repro.filters.chain import make_filter_chain
-from repro.heuristics.registry import make_heuristic
+from repro.filters.chain import build_filter_chain
+from repro.heuristics.registry import build_heuristic
 from repro import build_trial_system, rng as rng_mod
 from repro.sim.engine import run_trial
 from repro.sim.metrics import TraceCollector
@@ -37,11 +37,11 @@ CASES = [
 def run_with_collector(seed: int, spec: VariantSpec):
     system = build_trial_system(small_config(seed=seed))
     collector = TraceCollector()
-    heuristic = make_heuristic(
+    heuristic = build_heuristic(
         spec.heuristic, rng_mod.stream(seed, "rho-val", spec.label)
     )
     result = run_trial(
-        system, heuristic, make_filter_chain(spec.variant), collector=collector
+        system, heuristic, build_filter_chain(spec.variant), collector=collector
     )
     on_time_actual = sum(1 for o in result.outcomes if o.on_time())
     return collector.predicted_on_time(), on_time_actual, result

@@ -13,7 +13,7 @@ from repro.experiments.runner import (
     PartialEnsembleResult,
     VariantSpec,
     run_ensemble,
-    run_trial_variant,
+    TrialPlan,
 )
 from repro.io.results_io import (
     ensemble_from_dict,
@@ -28,9 +28,9 @@ from tests.conftest import tiny_config
 
 @pytest.fixture(scope="module")
 def trial(tiny_system):
-    return run_trial_variant(
-        tiny_system, VariantSpec("MECT", "en+rob"), keep_outcomes=True
-    )
+    return TrialPlan(
+        system=tiny_system, spec=VariantSpec("MECT", "en+rob"), keep_outcomes=True
+    ).run()
 
 
 @pytest.fixture(scope="module")

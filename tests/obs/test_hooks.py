@@ -15,7 +15,7 @@ import inspect
 import pytest
 
 import repro.sim.engine as engine_mod
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.lightest_load import LightestLoad
 from repro.obs.events import (
     EnergyExhausted,
@@ -46,7 +46,7 @@ def observed():
     ring = RingBufferSink(capacity=10_000)
     metrics = MetricsRegistry()
     result = observe_trial(
-        system, LightestLoad(), make_filter_chain("en+rob"),
+        system, LightestLoad(), build_filter_chain("en+rob"),
         sinks=(ring,), metrics=metrics,
     )
     return system, ring, metrics, result
@@ -128,10 +128,10 @@ class TestEventStream:
 class TestObservationIsInert:
     def test_results_bitwise_identical_with_and_without_tracing(self):
         system = build_trial_system(micro_config(seed=6))
-        plain = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        plain = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         ring = RingBufferSink(capacity=10_000)
         observed = observe_trial(
-            system, LightestLoad(), make_filter_chain("en+rob"),
+            system, LightestLoad(), build_filter_chain("en+rob"),
             sinks=(ring,), metrics=MetricsRegistry(),
         )
         assert plain == observed  # full dataclass equality incl. outcomes
@@ -141,22 +141,22 @@ class TestObservationIsInert:
         metrics = MetricsRegistry()
         timed = TimedHeuristic(LightestLoad(), metrics)
         assert timed.name == "LL"
-        a = run_trial(system, LightestLoad(), make_filter_chain("none"))
-        b = run_trial(system, timed, make_filter_chain("none"))
+        a = run_trial(system, LightestLoad(), build_filter_chain("none"))
+        b = run_trial(system, timed, build_filter_chain("none"))
         assert a == b
 
     def test_hooks_without_sinks_or_metrics_are_harmless(self):
         system = build_trial_system(micro_config(seed=2))
         result = run_trial(
-            system, LightestLoad(), make_filter_chain("none"), hooks=ObservingHooks()
+            system, LightestLoad(), build_filter_chain("none"), hooks=ObservingHooks()
         )
         assert result.num_tasks == system.num_tasks
 
     def test_profiled_trial_bitwise_identical(self):
         system = build_trial_system(micro_config(seed=6))
-        plain = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        plain = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         profiled = observe_trial(
-            system, LightestLoad(), make_filter_chain("en+rob"),
+            system, LightestLoad(), build_filter_chain("en+rob"),
             profile=SpanRecorder(),
             timeline=TimelineRecorder(50.0),
         )
@@ -171,7 +171,7 @@ class TestTrialLifecycle:
         system = build_trial_system(micro_config(seed=seed, **updates))
         ring = RingBufferSink(capacity=10_000)
         result = observe_trial(
-            system, LightestLoad(), make_filter_chain("en+rob"), sinks=(ring,)
+            system, LightestLoad(), build_filter_chain("en+rob"), sinks=(ring,)
         )
         return ring.events, result
 
@@ -202,7 +202,7 @@ class TestTimedHeuristic:
         system = build_trial_system(micro_config(seed=2))
         metrics = MetricsRegistry()
         timed = TimedHeuristic(LightestLoad(), metrics)
-        run_trial(system, timed, make_filter_chain("none"))
+        run_trial(system, timed, build_filter_chain("none"))
         hist = metrics.histograms["decision_latency_s.LL"]
         assert hist.count == system.num_tasks
         assert hist.min >= 0.0
@@ -212,7 +212,7 @@ class TestTimedHeuristic:
         metrics = MetricsRegistry()
         recorder = SpanRecorder()
         timed = TimedHeuristic(LightestLoad(), metrics, recorder=recorder)
-        run_trial(system, timed, make_filter_chain("none"))
+        run_trial(system, timed, build_filter_chain("none"))
         spans = [r for r in recorder.records if r.name == "heuristic.LL"]
         hist = metrics.histograms["decision_latency_s.LL"]
         assert len(spans) == hist.count
@@ -223,7 +223,7 @@ class TestTimedHeuristic:
         system = build_trial_system(micro_config(seed=2))
         recorder = SpanRecorder()
         timed = TimedHeuristic(LightestLoad(), recorder=recorder)
-        result = run_trial(system, timed, make_filter_chain("none"))
+        result = run_trial(system, timed, build_filter_chain("none"))
         assert result.num_tasks == system.num_tasks
         assert len(recorder) == system.num_tasks
 
@@ -234,7 +234,7 @@ class TestTimedHeuristic:
 class TestTimedFilterChain:
     def test_preserves_label_and_choices(self):
         system = build_trial_system(micro_config(seed=2))
-        inner = make_filter_chain("en+rob")
+        inner = build_filter_chain("en+rob")
         timed = TimedFilterChain(inner, SpanRecorder())
         assert timed.label == inner.label == "en+rob"
         a = run_trial(system, LightestLoad(), inner)
@@ -244,7 +244,7 @@ class TestTimedFilterChain:
     def test_spans_chain_and_each_filter(self):
         system = build_trial_system(micro_config(seed=2))
         recorder = SpanRecorder()
-        timed = TimedFilterChain(make_filter_chain("en+rob"), recorder)
+        timed = TimedFilterChain(build_filter_chain("en+rob"), recorder)
         run_trial(system, LightestLoad(), timed)
         counts: dict[str, int] = {}
         for record in recorder.records:
@@ -259,9 +259,9 @@ class TestDeprecatedAlias:
         from repro.obs.hooks import run_observed_trial
 
         system = build_trial_system(micro_config(seed=6))
-        expected = observe_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        expected = observe_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         with pytest.warns(DeprecationWarning, match="observe_trial"):
             result = run_observed_trial(
-                system, LightestLoad(), make_filter_chain("en+rob")
+                system, LightestLoad(), build_filter_chain("en+rob")
             )
         assert result == expected

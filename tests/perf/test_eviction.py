@@ -14,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro import build_trial_system
-from repro.experiments.runner import VariantSpec, run_trial_variant
+from repro.experiments.runner import TrialPlan, VariantSpec
 from repro.obs.manifest import trial_digest
 from repro.obs.sinks import MetricsRegistry
 from repro.perf.kernel_cache import PerfConfig
@@ -27,16 +27,16 @@ SPEC = VariantSpec("LL", "en+rob")
 @pytest.fixture(scope="module")
 def reference():
     system = build_trial_system(micro_config(seed=23))
-    return run_trial_variant(
-        system, SPEC, keep_outcomes=True, perf=PerfConfig.disabled()
-    )
+    return TrialPlan(
+        system=system, spec=SPEC, keep_outcomes=True, perf=PerfConfig.disabled()
+    ).run()
 
 
 @pytest.mark.parametrize("max_entries", (1, 4, 32))
 def test_tiny_cache_is_results_neutral(reference, max_entries):
     perf = PerfConfig(max_entries=max_entries)
     system = build_trial_system(micro_config(seed=23), perf=perf)
-    result = run_trial_variant(system, SPEC, keep_outcomes=True, perf=perf)
+    result = TrialPlan(system=system, spec=SPEC, keep_outcomes=True, perf=perf).run()
     assert result == reference
     assert trial_digest(result) == trial_digest(reference)
 
@@ -45,7 +45,9 @@ def test_evictions_happen_and_observer_counts_match():
     perf = PerfConfig(max_entries=4)
     system = build_trial_system(micro_config(seed=23), perf=perf)
     metrics = MetricsRegistry()
-    run_trial_variant(system, SPEC, keep_outcomes=True, perf=perf, metrics=metrics)
+    TrialPlan(
+        system=system, spec=SPEC, keep_outcomes=True, perf=perf, metrics=metrics
+    ).run()
     evictions = metrics.counter("perf.cache.evictions")
     assert evictions > 0  # capacity 4 must churn on a real trial
     # The op observer saw one cache_evict per eviction the cache counted.
@@ -62,9 +64,10 @@ def test_shared_tiny_cache_attributes_evictions_per_spec():
     metrics = MetricsRegistry()
     specs = (SPEC, VariantSpec("MECT", "none"))
     for spec in specs:
-        run_trial_variant(
-            system, spec, keep_outcomes=True, perf=perf, metrics=metrics, shared=shared
-        )
+        TrialPlan(
+            system=system, spec=spec, keep_outcomes=True,
+            perf=perf, metrics=metrics, shared=shared,
+        ).run()
     total = metrics.counter("perf.cache.evictions")
     per_spec = sum(
         metrics.counter(f"perf.cache.evictions.{spec.label}") for spec in specs

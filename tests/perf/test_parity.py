@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro import build_trial_system
-from repro.experiments.runner import VariantSpec, run_trial_variant
+from repro.experiments.runner import TrialPlan, VariantSpec
 from repro.obs.manifest import trial_digest
 from repro.perf.kernel_cache import PerfConfig
 from repro.sim.mapper import CandidateBuilder, build_candidate_set
@@ -35,7 +35,9 @@ def test_perf_knobs_are_results_neutral(system, heuristic, variant):
     spec = VariantSpec(heuristic, variant)
 
     def run(perf):
-        return run_trial_variant(system, spec, keep_outcomes=True, perf=perf)
+        return TrialPlan(
+            system=system, spec=spec, keep_outcomes=True, perf=perf
+        ).run()
 
     reference = run(PerfConfig.disabled())
     for perf in (

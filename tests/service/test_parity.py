@@ -87,10 +87,10 @@ class TestReplayParity:
 class TestLowLevelParity:
     def test_serve_system_matches_engine_run_trial(self, system):
         spec = api.VariantSpec("LL", "en+rob")
-        heuristic = api.make_heuristic(
+        heuristic = api.build_heuristic(
             "LL", rng_mod.stream(system.config.seed, "heuristic", spec.label)
         )
-        chain = api.make_filter_chain("en+rob", system.config.filters)
+        chain = api.build_filter_chain("en+rob", system.config.filters)
         batch = run_trial(system, heuristic, chain)
         svc = serve_system(system, spec, ServiceConfig(traffic="replay"))
         assert svc.trial_result == batch

@@ -7,7 +7,7 @@ import pytest
 
 from repro.cluster.energy import IDLE_PSTATE
 from repro.config import IdlePowerMode
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.lightest_load import LightestLoad
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.heuristics.shortest_queue import ShortestQueue
@@ -19,7 +19,7 @@ from tests.conftest import tiny_config
 
 @pytest.fixture(scope="module")
 def mect_result(tiny_system):
-    return run_trial(tiny_system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+    return run_trial(tiny_system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
 
 
 class TestAccounting:
@@ -98,7 +98,7 @@ class TestSchedulingSemantics:
 
 class TestEnergySemantics:
     def test_ledger_total_matches_result(self, tiny_system):
-        engine = Engine(tiny_system, ShortestQueue(), make_filter_chain("none"))
+        engine = Engine(tiny_system, ShortestQueue(), build_filter_chain("none"))
         result = engine.run()
         assert result.total_energy == pytest.approx(engine.ledger.total_energy())
 
@@ -107,7 +107,7 @@ class TestEnergySemantics:
             energy={"idle_power_mode": IdlePowerMode.EXCLUDED}
         )
         system = build_trial_system(cfg)
-        result = run_trial(system, ShortestQueue(), make_filter_chain("none"))
+        result = run_trial(system, ShortestQueue(), build_filter_chain("none"))
         cluster = system.cluster
         power = cluster.power_table()
         eff = cluster.efficiency_vector()
@@ -120,16 +120,16 @@ class TestEnergySemantics:
         assert result.total_energy == pytest.approx(expected, rel=1e-9)
 
     def test_p4_floor_adds_idle_energy(self, tiny_system):
-        result_floor = run_trial(tiny_system, ShortestQueue(), make_filter_chain("none"))
+        result_floor = run_trial(tiny_system, ShortestQueue(), build_filter_chain("none"))
         cfg = tiny_config().with_updates(
             energy={"idle_power_mode": IdlePowerMode.EXCLUDED}
         )
         system_excl = build_trial_system(cfg)
-        result_excl = run_trial(system_excl, ShortestQueue(), make_filter_chain("none"))
+        result_excl = run_trial(system_excl, ShortestQueue(), build_filter_chain("none"))
         assert result_floor.total_energy > result_excl.total_energy
 
     def test_transitions_alternate_sanely(self, tiny_system):
-        engine = Engine(tiny_system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        engine = Engine(tiny_system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
         engine.run()
         for cid in range(tiny_system.cluster.num_cores):
             trail = engine.ledger.transitions(cid)
@@ -143,7 +143,7 @@ class TestEnergySemantics:
         run_trial(
             tiny_system,
             MinimumExpectedCompletionTime(),
-            make_filter_chain("none"),
+            build_filter_chain("none"),
             collector=collector,
         )
         est = collector.energy_estimates
@@ -153,12 +153,12 @@ class TestEnergySemantics:
 
 class TestDeterminism:
     def test_same_engine_inputs_same_result(self, tiny_system):
-        a = run_trial(tiny_system, LightestLoad(), make_filter_chain("en+rob"))
-        b = run_trial(tiny_system, LightestLoad(), make_filter_chain("en+rob"))
+        a = run_trial(tiny_system, LightestLoad(), build_filter_chain("en+rob"))
+        b = run_trial(tiny_system, LightestLoad(), build_filter_chain("en+rob"))
         assert a == b
 
     def test_engine_runs_once(self, tiny_system):
-        engine = Engine(tiny_system, ShortestQueue(), make_filter_chain("none"))
+        engine = Engine(tiny_system, ShortestQueue(), build_filter_chain("none"))
         engine.run()
         with pytest.raises(RuntimeError):
             engine.run()
@@ -167,21 +167,21 @@ class TestDeterminism:
 class TestCollector:
     def test_one_record_per_arrival(self, tiny_system):
         collector = TraceCollector()
-        run_trial(tiny_system, ShortestQueue(), make_filter_chain("none"), collector=collector)
+        run_trial(tiny_system, ShortestQueue(), build_filter_chain("none"), collector=collector)
         assert len(collector.arrival_times) == tiny_system.num_tasks
         assert len(collector.chosen_pstates) == tiny_system.num_tasks
 
     def test_pstate_histogram_totals(self, tiny_system):
         collector = TraceCollector()
         result = run_trial(
-            tiny_system, ShortestQueue(), make_filter_chain("none"), collector=collector
+            tiny_system, ShortestQueue(), build_filter_chain("none"), collector=collector
         )
         hist = collector.pstate_histogram(tiny_system.cluster.num_pstates)
         assert hist.sum() == tiny_system.num_tasks - result.discarded
 
     def test_as_arrays(self, tiny_system):
         collector = TraceCollector()
-        run_trial(tiny_system, ShortestQueue(), make_filter_chain("none"), collector=collector)
+        run_trial(tiny_system, ShortestQueue(), build_filter_chain("none"), collector=collector)
         arrays = collector.as_arrays()
         assert set(arrays) == {
             "arrival_times",
@@ -214,7 +214,7 @@ class TestHooks:
     def test_hook_counts_cover_workload(self, tiny_system):
         hooks = _CountingHooks()
         result = run_trial(
-            tiny_system, LightestLoad(), make_filter_chain("en+rob"), hooks=hooks
+            tiny_system, LightestLoad(), build_filter_chain("en+rob"), hooks=hooks
         )
         assert hooks.mapped + hooks.discarded == tiny_system.num_tasks
         assert hooks.completed == hooks.mapped

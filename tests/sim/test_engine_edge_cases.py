@@ -10,7 +10,7 @@ import pytest
 
 from repro import SimulationConfig, build_trial_system
 from repro.config import IdlePowerMode
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.lightest_load import LightestLoad
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import run_trial
@@ -47,7 +47,7 @@ class TestDegenerateTopology:
         )
         system = build_trial_system(cfg)
         assert system.cluster.num_cores == 1
-        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        result = run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
         # Everything serializes through one core: heavy queueing but
         # accounting must still close.
         assert result.missed + result.completed_within == 30
@@ -60,7 +60,7 @@ class TestDegenerateTopology:
     def test_two_pstate_cluster(self):
         cfg = tiny(cluster={"num_pstates": 2})
         system = build_trial_system(cfg)
-        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        result = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         assert all(o.pstate in (-1, 0, 1) for o in result.outcomes)
 
 
@@ -68,7 +68,7 @@ class TestDegenerateWorkload:
     def test_all_burst_no_lull(self):
         cfg = tiny(workload={"burst_head": 15, "burst_tail": 15})
         system = build_trial_system(cfg)
-        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        result = run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
         assert result.num_tasks == 30
 
     def test_single_task(self):
@@ -85,7 +85,7 @@ class TestDegenerateWorkload:
             energy={"idle_power_mode": IdlePowerMode.EXCLUDED},
         )
         system = build_trial_system(cfg)
-        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        result = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         assert result.num_tasks == 1
         # A lone task on an idle cluster with a fresh budget must count.
         assert result.completed_within == 1
@@ -103,7 +103,7 @@ class TestDegenerateWorkload:
             cluster={"num_nodes": 2},
         )
         system = build_trial_system(cfg)
-        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        result = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         assert result.total_energy > result.budget
 
     def test_simultaneous_arrivals(self):
@@ -121,7 +121,7 @@ class TestDegenerateWorkload:
             )
         workload = replace(system.workload, tasks=tuple(tasks))
         system = replace(system, workload=workload)
-        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        result = run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
         assert len(result.outcomes) == 30
         firsts = [o for o in result.outcomes[:5]]
         # Simultaneous arrivals map in task-id order, deterministically.
@@ -132,14 +132,14 @@ class TestBudgetExtremes:
     def test_huge_budget_never_exhausts(self):
         cfg = tiny(energy={"budget_mult": 100.0})
         system = build_trial_system(cfg)
-        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        result = run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
         assert result.exhaustion_time == float("inf")
         assert result.energy_cutoff == 0
 
     def test_tiny_budget_cuts_everything(self):
         cfg = tiny(energy={"budget_mult": 1e-6})
         system = build_trial_system(cfg)
-        result = run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"))
+        result = run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"))
         # Unfiltered: tasks still execute, but nothing counts after the
         # (immediate) exhaustion.
         assert result.completed_within == 0
@@ -147,7 +147,7 @@ class TestBudgetExtremes:
     def test_tiny_budget_with_filter_discards(self):
         cfg = tiny(energy={"budget_mult": 1e-6})
         system = build_trial_system(cfg)
-        result = run_trial(system, LightestLoad(), make_filter_chain("en"))
+        result = run_trial(system, LightestLoad(), build_filter_chain("en"))
         # The energy filter sees no fair share at all: every task is
         # discarded at mapping time.
         assert result.discarded == result.num_tasks
@@ -155,7 +155,7 @@ class TestBudgetExtremes:
     def test_excluded_idle_mode_runs(self):
         cfg = tiny(energy={"idle_power_mode": IdlePowerMode.EXCLUDED})
         system = build_trial_system(cfg)
-        result = run_trial(system, LightestLoad(), make_filter_chain("en+rob"))
+        result = run_trial(system, LightestLoad(), build_filter_chain("en+rob"))
         assert result.total_energy > 0.0
 
 
@@ -187,7 +187,7 @@ class TestEventOrderingTieBreaks:
         """
         system = build_trial_system(tiny(seed=seed))
         base = run_trial(
-            system, MinimumExpectedCompletionTime(), make_filter_chain("none")
+            system, MinimumExpectedCompletionTime(), build_filter_chain("none")
         )
         tasks = system.workload.tasks
         for outcome in sorted(
@@ -202,7 +202,7 @@ class TestEventOrderingTieBreaks:
         system, done, j = self._tie_system()
         t_c = done.completion
         hooks = RecordingHooks()
-        run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"), hooks=hooks)
+        run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"), hooks=hooks)
         idx_completed = hooks.events.index(("completed", t_c, done.task_id, done.core_id))
         (idx_mapped,) = [
             i
@@ -227,7 +227,7 @@ class TestEventOrderingTieBreaks:
                     )
 
         hooks = FreedCoreProbe()
-        run_trial(system, MinimumExpectedCompletionTime(), make_filter_chain("none"), hooks=hooks)
+        run_trial(system, MinimumExpectedCompletionTime(), build_filter_chain("none"), hooks=hooks)
         # By the time the simultaneous arrival maps, the completed task
         # no longer occupies its core: the mapper saw the freed core.
         assert hooks.freed_core_running != done.task_id
@@ -238,7 +238,7 @@ class TestEventOrderingTieBreaks:
         for _ in range(2):
             hooks = RecordingHooks()
             run_trial(
-                system, MinimumExpectedCompletionTime(), make_filter_chain("none"), hooks=hooks
+                system, MinimumExpectedCompletionTime(), build_filter_chain("none"), hooks=hooks
             )
             runs.append(hooks.events)
         assert runs[0] == runs[1]
@@ -251,7 +251,7 @@ class TestEmptyFeasibleSetDiscard:
         cfg = tiny(energy={"budget_mult": 1e-6})
         system = build_trial_system(cfg)
         hooks = RecordingHooks()
-        result = run_trial(system, LightestLoad(), make_filter_chain("en"), hooks=hooks)
+        result = run_trial(system, LightestLoad(), build_filter_chain("en"), hooks=hooks)
         assert result.discarded == result.num_tasks
         assert {kind for kind, *_ in hooks.events} == {"discarded"}
         # One hook call per task, in arrival order.

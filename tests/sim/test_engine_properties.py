@@ -17,8 +17,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import SimulationConfig, build_trial_system
-from repro.filters.chain import make_filter_chain
-from repro.heuristics.registry import make_heuristic
+from repro.filters.chain import build_filter_chain
+from repro.heuristics.registry import build_heuristic
 from repro import rng as rng_mod
 from repro.sim.engine import run_trial
 
@@ -48,10 +48,10 @@ def engine_cases(draw):
 def test_engine_invariants(case):
     config, heuristic_name, variant = case
     system = build_trial_system(config)
-    heuristic = make_heuristic(
+    heuristic = build_heuristic(
         heuristic_name, rng_mod.stream(config.seed, "prop", heuristic_name)
     )
-    result = run_trial(system, heuristic, make_filter_chain(variant))
+    result = run_trial(system, heuristic, build_filter_chain(variant))
 
     # Accounting closes.
     assert len(result.outcomes) == system.num_tasks
@@ -94,9 +94,9 @@ def test_engine_determinism(case):
     system = build_trial_system(config)
 
     def once():
-        heuristic = make_heuristic(
+        heuristic = build_heuristic(
             heuristic_name, rng_mod.stream(config.seed, "det", heuristic_name)
         )
-        return run_trial(system, heuristic, make_filter_chain(variant))
+        return run_trial(system, heuristic, build_filter_chain(variant))
 
     assert once() == once()

@@ -8,7 +8,7 @@ import pytest
 
 from repro.extensions.cancellation import AbandonHopelessPolicy
 from repro.extensions.rescheduling import WorkStealingPolicy
-from repro.filters.chain import make_filter_chain
+from repro.filters.chain import build_filter_chain
 from repro.heuristics.lightest_load import LightestLoad
 from repro.heuristics.mect import MinimumExpectedCompletionTime
 from repro.sim.engine import Engine
@@ -18,7 +18,7 @@ from repro.validation import ValidationError, validate_trial
 
 @pytest.fixture(scope="module")
 def clean_run(tiny_system):
-    engine = Engine(tiny_system, LightestLoad(), make_filter_chain("en+rob"))
+    engine = Engine(tiny_system, LightestLoad(), build_filter_chain("en+rob"))
     return engine, engine.run()
 
 
@@ -32,7 +32,7 @@ class TestCleanTrialsValidate:
         engine = Engine(
             tiny_system,
             MinimumExpectedCompletionTime(),
-            make_filter_chain("none"),
+            build_filter_chain("none"),
             hooks=hooks,
         )
         result = engine.run()
@@ -43,7 +43,7 @@ class TestCleanTrialsValidate:
         engine = Engine(
             tiny_system,
             MinimumExpectedCompletionTime(),
-            make_filter_chain("rob"),
+            build_filter_chain("rob"),
             hooks=hooks,
         )
         result = engine.run()
@@ -52,7 +52,7 @@ class TestCleanTrialsValidate:
     def test_batch_engine_output_validates(self, tiny_system):
         from repro.extensions.batch_mode import run_batch_trial
 
-        result = run_batch_trial(tiny_system, "min-min", make_filter_chain("en"))
+        result = run_batch_trial(tiny_system, "min-min", build_filter_chain("en"))
         validate_trial(tiny_system, result)  # no engine: outcome-level only
 
 
