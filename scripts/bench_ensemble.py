@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import platform
 import sys
@@ -54,18 +55,24 @@ ABLATIONS: tuple[tuple[str, PerfConfig], ...] = (
 
 
 def _timed_ensemble(config, specs, args, *, n_jobs, perf, chunk_size=None):
-    t0 = time.perf_counter()
-    ensemble = run_ensemble(
-        specs,
-        config,
-        num_trials=args.trials,
-        base_seed=args.seed,
-        n_jobs=n_jobs,
-        keep_outcomes=True,
-        perf=perf,
-        chunk_size=chunk_size,
-    )
-    return ensemble, time.perf_counter() - t0
+    """Best-of-``--reps`` wall time (single-shot walls are hostage to
+    machine noise on shared boxes; the min is the honest capability)."""
+    best = math.inf
+    ensemble = None
+    for _ in range(args.reps):
+        t0 = time.perf_counter()
+        ensemble = run_ensemble(
+            specs,
+            config,
+            num_trials=args.trials,
+            base_seed=args.seed,
+            n_jobs=n_jobs,
+            keep_outcomes=True,
+            perf=perf,
+            chunk_size=chunk_size,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return ensemble, best
 
 
 def _cache_counters(config, specs, args) -> dict:
@@ -96,6 +103,9 @@ def main(argv=None) -> int:
     parser.add_argument("--filters", default="en+rob", help="filter variant to run")
     parser.add_argument(
         "--n-jobs", nargs="+", type=int, default=[1, 4], help="worker counts to time"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=2, help="repetitions per configuration (best-of)"
     )
     parser.add_argument("--out", default="BENCH_ensemble.json", help="report path")
     parser.add_argument(
@@ -182,6 +192,10 @@ def main(argv=None) -> int:
             "heuristics": args.heuristics,
             "filters": args.filters,
             "n_jobs": args.n_jobs,
+            "reps": args.reps,
+            # Ensemble ablations run the reference kernel path; compiled
+            # backends are bench_kernels.py's job.
+            "backend": "numpy",
         },
         "reference_s": round(reference_s, 3),
         "ensembles": ensembles,

@@ -73,6 +73,11 @@ def bench_micro_pmf(reps: int) -> dict:
 
     uncached_us = _us_per_call(lambda: truncate_below(shifted, cut), calls, reps)
 
+    # shift() reuses the operand's validated array and carried caches;
+    # it must stay far cheaper than the O(n) truncation scan (the
+    # regression gate in main() pins this).
+    shift_us = _us_per_call(lambda: shift(exec_pmf, 115.0), calls, reps)
+
     cache = KernelCache()
     previous = set_kernel_cache(cache)
     try:
@@ -87,6 +92,7 @@ def bench_micro_pmf(reps: int) -> dict:
         "truncate_uncached_us": round(uncached_us, 3),
         "truncate_cached_hit_us": round(cached_us, 3),
         "truncate_hit_speedup": round(uncached_us / cached_us, 2),
+        "shift_us": round(shift_us, 3),
         "convolve_us": round(convolve_us, 3),
         "cache_hits": cache.stats().hits,
     }
@@ -211,6 +217,9 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "reps": args.reps,
             "filters": args.filters,
+            # This bench measures the cache layer on the reference
+            # path; compiled backends are bench_kernels.py's job.
+            "backend": "numpy",
         },
         "bench_micro_pmf": micro_pmf,
         "bench_micro_engine": micro_engine,
@@ -230,6 +239,14 @@ def main(argv=None) -> int:
 
     if not report["summary"]["all_identical"]:
         print("FAIL: cached results differ from uncached results", file=sys.stderr)
+        return 1
+    if micro_pmf["shift_us"] >= micro_pmf["truncate_uncached_us"]:
+        print(
+            f"FAIL: shift ({micro_pmf['shift_us']}us) should be cheaper than an "
+            f"uncached truncation ({micro_pmf['truncate_uncached_us']}us) — the "
+            "validation-free shift path has regressed",
+            file=sys.stderr,
+        )
         return 1
     if min(speedups) < args.min_speedup:
         print(

@@ -262,6 +262,7 @@ def run_service(
     system: TrialSystem | None = None,
     timeline: TimelineRecorder | None = None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    perf: PerfConfig | None = None,
 ) -> ServiceResult:
     """Run one scenario in continuous-service mode.
 
@@ -280,13 +281,21 @@ def run_service(
     ``telemetry`` attaches a live :class:`Telemetry` hub (streaming
     quantiles, SLO rules, online steady-state detection); the inert
     default keeps the run bitwise identical to an untelemetered one.
+
+    ``perf`` selects the hot-path performance knobs
+    (:class:`PerfConfig`, including the compiled kernel ``backend``).
     """
     if service is None:
         service = ServiceConfig(traffic="replay")
     if system is None:
         system = scenario.build_system()
     return _serve_system(
-        system, scenario.spec, service, timeline=timeline, telemetry=telemetry
+        system,
+        scenario.spec,
+        service,
+        timeline=timeline,
+        telemetry=telemetry,
+        perf=perf,
     )
 
 

@@ -20,13 +20,42 @@ At ensemble scale two more mechanisms ride on the same contract:
   per-trial :class:`~repro.workload.pmf_table.ExecutionTimeTable` is
   discretized through one vectorized gamma-CDF pass.
 
+A fifth mechanism is *opt-in* and sits under a documented ≤1e-12
+tolerance instead of bitwise identity: **compiled kernel backends**
+(:mod:`repro.perf.kernels`, ``PerfConfig.backend``) replace the
+stochastic hot kernels — convolution, tail truncation, the
+``prob_sum_at_most`` dot, the mapper's batched prob-on-time rows —
+with numba- or C-compiled loops.  The numpy reference path remains the
+default and always available; digests and manifests are always defined
+by it.
+
 :class:`PerfConfig` selects all of them; the engine defaults to
-everything on.  ``PerfConfig.disabled()`` is the reference
-configuration used by the parity tests and as the baseline of
-``BENCH_perf.json`` / ``BENCH_ensemble.json``.
+everything on except compiled backends.  ``PerfConfig.disabled()`` is
+the reference configuration used by the parity tests and as the
+baseline of ``BENCH_perf.json`` / ``BENCH_ensemble.json``.
 """
 
 from repro.perf.kernel_cache import CacheStats, InternedKernel, KernelCache, PerfConfig
+from repro.perf.kernels import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    available_backends,
+    default_backend_name,
+    describe_backends,
+    resolve_backend,
+)
 from repro.perf.trial_cache import TrialCache
 
-__all__ = ["CacheStats", "InternedKernel", "KernelCache", "PerfConfig", "TrialCache"]
+__all__ = [
+    "BACKEND_CHOICES",
+    "CacheStats",
+    "InternedKernel",
+    "KernelBackend",
+    "KernelCache",
+    "PerfConfig",
+    "TrialCache",
+    "available_backends",
+    "default_backend_name",
+    "describe_backends",
+    "resolve_backend",
+]

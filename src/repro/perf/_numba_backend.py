@@ -1,0 +1,231 @@
+"""The ``"numba"`` kernel backend: ``@njit``-compiled hot-path kernels.
+
+Numba is an *optional* extra (``pip install repro[perf]``); this module
+is only imported by :func:`repro.perf.kernels.resolve_backend` and
+degrades to "unavailable" when the import fails, so the dependency is
+never hard.  The kernels mirror the C backend
+(:mod:`repro.perf._cext_backend`) statement for statement — same
+operation order in the index arithmetic, same Neumaier-compensated
+reductions — so both compiled backends sit under the same tolerance
+contract and the same equivalence suite
+(``tests/perf/test_kernel_equivalence.py``).
+
+``load_numba_backend`` triggers JIT compilation of every kernel up
+front on tiny inputs (``cache=True`` persists the machine code next to
+this module, so later processes skip the compile).  The measured
+warm-up cost is reported on ``KernelBackend.warmup_s`` and benchmarked
+by ``scripts/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.perf.kernels import KernelBackend
+
+__all__ = ["load_numba_backend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+except ImportError:  # pragma: no cover - the numba-free default path
+    njit = None
+
+# Mirrors repro.stoch.pmf._RTOL / _TRIM_EPS.
+_RTOL = 1e-9
+_TRIM_EPS = 1e-12
+
+
+def _build_kernels():  # pragma: no cover - requires numba
+    jit = njit(cache=True, fastmath=False)
+
+    # Neumaier-compensated add, mirroring the C backend's `kadd`: the
+    # running sum and compensation travel as a (s, c) pair and the
+    # rounded result is s + c.  fastmath stays off so the compensation
+    # arithmetic is not optimized away.
+    @jit
+    def _kadd(s, c, x):
+        t = s + x
+        if abs(s) >= abs(x):
+            c += (s - t) + x
+        else:
+            c += (x - t) + s
+        return t, c
+
+    @jit
+    def conv_full(a, b):
+        na = a.shape[0]
+        nb = b.shape[0]
+        n = na + nb - 1
+        out = np.empty(n)
+        for i in range(n):
+            klo = i - nb + 1
+            if klo < 0:
+                klo = 0
+            khi = i
+            if khi > na - 1:
+                khi = na - 1
+            acc = 0.0
+            comp = 0.0
+            for k in range(klo, khi + 1):
+                acc, comp = _kadd(acc, comp, a[k] * b[i - k])
+            out[i] = acc + comp
+        total = 0.0
+        comp = 0.0
+        for i in range(n):
+            total, comp = _kadd(total, comp, out[i])
+        total = total + comp
+        if abs(total - 1.0) > _RTOL:
+            for i in range(n):
+                out[i] = out[i] / total
+        mx = out[0]
+        for i in range(1, n):
+            if out[i] > mx:
+                mx = out[i]
+        thresh = mx * _TRIM_EPS
+        lo = 0
+        hi = n - 1
+        if not (out[0] > thresh and out[n - 1] > thresh):
+            while lo < n and not (out[lo] > thresh):
+                lo += 1
+            while hi > lo and not (out[hi] > thresh):
+                hi -= 1
+        if lo == 0 and hi == n - 1:
+            return out, 0
+        m = hi - lo + 1
+        t2 = 0.0
+        comp = 0.0
+        for i in range(m):
+            t2, comp = _kadd(t2, comp, out[lo + i])
+        t2 = t2 + comp
+        sl = np.empty(m)
+        if abs(t2 - 1.0) > _RTOL:
+            for i in range(m):
+                sl[i] = out[lo + i] / t2
+        else:
+            for i in range(m):
+                sl[i] = out[lo + i]
+        return sl, lo
+
+    @jit
+    def trunc_tail(probs, k):
+        n = probs.shape[0]
+        m = n - k
+        total = 0.0
+        comp = 0.0
+        for i in range(m):
+            total, comp = _kadd(total, comp, probs[k + i])
+        total = total + comp
+        if total <= 0.0:
+            return np.empty(0)
+        out = np.empty(m)
+        if abs(total - 1.0) > _RTOL:
+            for i in range(m):
+                out[i] = probs[k + i] / total
+        else:
+            for i in range(m):
+                out[i] = probs[k + i]
+        return out
+
+    @jit
+    def prob_sum(ep, base, cdf):
+        n = ep.shape[0]
+        ncdf = cdf.shape[0]
+        acc = 0.0
+        comp = 0.0
+        for i in range(n):
+            k = int(np.floor(base + 1e-9 - float(i)))
+            if k >= 0:
+                if k > ncdf - 1:
+                    k = ncdf - 1
+                acc, comp = _kadd(acc, comp, ep[i] * cdf[k])
+        return acc + comp
+
+    @jit
+    def score_rows(times, probs, widths, starts, sizes, offsets, row_node, cdf_flat, deadline, dt):
+        u = starts.shape[0]
+        P = times.shape[1]
+        rows = np.empty((u, P))
+        for r in range(u):
+            node = row_node[r]
+            w = widths[node]
+            start = starts[r]
+            size = sizes[r]
+            off = offsets[r]
+            for p in range(P):
+                acc = 0.0
+                comp = 0.0
+                for l in range(w):
+                    kf = np.floor(((deadline - times[node, p, l]) - start) / dt + 1e-9)
+                    k = int(kf)
+                    if k >= 0:
+                        if k > size - 1:
+                            k = size - 1
+                        acc, comp = _kadd(acc, comp, probs[node, p, l] * cdf_flat[off + k])
+                rows[r, p] = acc + comp
+        return rows
+
+    @jit
+    def moment1(probs):
+        acc = 0.0
+        comp = 0.0
+        for i in range(probs.shape[0]):
+            acc, comp = _kadd(acc, comp, float(i) * probs[i])
+        return acc + comp
+
+    return conv_full, trunc_tail, prob_sum, score_rows, moment1
+
+
+def load_numba_backend() -> KernelBackend | None:
+    """JIT-compile the kernels; ``None`` when numba is not importable."""
+    if njit is None:
+        return None
+    t0 = time.perf_counter()  # pragma: no cover - requires numba
+    try:  # pragma: no cover - requires numba
+        conv_full, trunc_tail, prob_sum, score_rows, moment1 = _build_kernels()
+        # Force compilation of every signature now so the first trial
+        # doesn't absorb JIT latency mid-event-loop.
+        a = np.array([0.5, 0.5])
+        b = np.array([0.25, 0.5, 0.25])
+        conv_full(a, b)
+        trunc_tail(b, 1)
+        prob_sum(a, 1.0, np.array([0.5, 1.0]))
+        score_rows(
+            np.zeros((1, 2, 3)),
+            np.full((1, 2, 3), 1.0 / 3.0),
+            np.array([3], dtype=np.int64),
+            np.array([0.0]),
+            np.array([2], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([0.5, 1.0]),
+            1.0,
+            1.0,
+        )
+        moment1(a)
+    except Exception:  # pragma: no cover - broken numba install
+        return None
+
+    def trunc_tail_shim(probs: np.ndarray, k: int) -> np.ndarray | None:  # pragma: no cover
+        out = trunc_tail(probs, k)
+        if out.size == 0:
+            return None
+        out.setflags(write=False)
+        return out
+
+    def conv_full_shim(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, int]:  # pragma: no cover
+        arr, lo = conv_full(a, b)
+        arr.setflags(write=False)
+        return arr, lo
+
+    return KernelBackend(  # pragma: no cover - requires numba
+        "numba",
+        compiled=True,
+        conv_full=conv_full_shim,
+        trunc_tail=trunc_tail_shim,
+        prob_sum=prob_sum,
+        score_rows=score_rows,
+        moment1=moment1,
+        warmup_s=time.perf_counter() - t0,
+    )

@@ -40,6 +40,12 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.perf.kernels import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    default_backend_name,
+    resolve_backend,
+)
 from repro.stoch.pmf import PMF
 
 __all__ = ["CacheStats", "InternedKernel", "KernelCache", "PerfConfig"]
@@ -231,11 +237,15 @@ class KernelCache:
 class PerfConfig:
     """Knobs of the hot-path performance layer.
 
-    Every knob is *results-neutral*: the engine produces bitwise
-    identical :class:`~repro.sim.results.TrialResult`s (and therefore
-    identical manifest digests) for any combination, enforced by
+    Every knob except ``backend`` is *results-neutral*: the engine
+    produces bitwise identical
+    :class:`~repro.sim.results.TrialResult`s (and therefore identical
+    manifest digests) for any combination, enforced by
     ``tests/perf/test_parity.py``.  The knobs only trade memory for
-    speed.
+    speed.  ``backend`` is the one documented exception: compiled
+    backends agree with the numpy reference to ≤1e-12 (see
+    :mod:`repro.perf.kernels`), which is why it defaults to
+    ``"numpy"`` and digests are always defined by the numpy path.
 
     Attributes
     ----------
@@ -259,6 +269,13 @@ class PerfConfig:
         Build the per-trial
         :class:`~repro.workload.pmf_table.ExecutionTimeTable` through
         one vectorized gamma-CDF pass instead of a per-cell scipy loop.
+    backend:
+        Which kernel implementation executes the stochastic hot path:
+        ``"numpy"`` (the reference, default), ``"numba"`` / ``"cext"``
+        (compiled, opt-in, warn-and-fall-back when unavailable) or
+        ``"auto"`` (fastest available, silent fallback).  The default
+        honours the ``REPRO_PERF_BACKEND`` environment override so
+        deployments can opt in without touching call sites.
     """
 
     kernel_cache: bool = True
@@ -266,21 +283,38 @@ class PerfConfig:
     max_entries: int = 65536
     warm_cache: bool = True
     batch_table: bool = True
+    backend: str = field(default_factory=default_backend_name)
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown kernel backend {self.backend!r}; "
+                f"choose from {BACKEND_CHOICES}"
+            )
 
     @staticmethod
     def disabled() -> "PerfConfig":
-        """The reference configuration: no cache, no batch paths."""
+        """The reference configuration: no cache, no batch paths, numpy."""
         return PerfConfig(
             kernel_cache=False,
             batch_mapper=False,
             warm_cache=False,
             batch_table=False,
+            backend="numpy",
         )
 
     def make_cache(self) -> KernelCache | None:
         """Build the engine's kernel cache (``None`` when disabled)."""
         return KernelCache(self.max_entries) if self.kernel_cache else None
+
+    def make_backend(self) -> KernelBackend | None:
+        """Resolve the configured kernel backend (``None`` = numpy path).
+
+        Warns and falls back to the reference path when an explicitly
+        requested compiled backend cannot be loaded; ``"auto"`` probes
+        silently.  Resolution is cached per process, so this is cheap
+        to call once per engine.
+        """
+        return resolve_backend(self.backend)

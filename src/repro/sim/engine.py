@@ -58,7 +58,7 @@ from repro.sim.metrics import TraceCollector
 from repro.sim.results import TaskOutcome, TrialResult
 from repro.sim.state import CoreState, QueuedTask, RollingEnergyBudget, RunningTask
 from repro.sim.system import TrialSystem
-from repro.stoch.ops import set_kernel_cache
+from repro.stoch.ops import set_kernel_backend, set_kernel_cache
 from repro.workload.task import Task
 
 __all__ = ["Engine", "EngineHooks", "Tracer", "run_trial"]
@@ -245,9 +245,18 @@ class Engine:
         else:
             self._kernel_cache = self.perf.make_cache()
         self._cache_base: CacheStats | None = None
+        # Resolved once per engine (cheap after the first: loaded
+        # backends are cached per process); installed into stoch.ops for
+        # exactly the duration of run()/serve(), like the kernel cache.
+        self._kernel_backend = self.perf.make_backend()
         type_tables = shared.mapper_tables(system.table) if shared is not None else None
         self._builder = (
-            CandidateBuilder(self.cores, system.table, type_tables=type_tables)
+            CandidateBuilder(
+                self.cores,
+                system.table,
+                type_tables=type_tables,
+                backend=self._kernel_backend,
+            )
             if self.perf.batch_mapper
             else None
         )
@@ -710,6 +719,7 @@ class Engine:
             # private cache, the previous specs' totals for a shared one.
             self._cache_base = self._kernel_cache.stats()
         previous_cache = set_kernel_cache(self._kernel_cache)
+        previous_backend = set_kernel_backend(self._kernel_backend)
         try:
             end_time = self._event_loop(iter(self.system.workload.tasks))
             self.ledger.close(end_time)
@@ -718,6 +728,7 @@ class Engine:
             with self.tracer.span("engine.score"):
                 return self._score(end_time)
         finally:
+            set_kernel_backend(previous_backend)
             set_kernel_cache(previous_cache)
 
     def serve(self, arrivals: Iterable[Task]) -> float:
@@ -737,11 +748,13 @@ class Engine:
         if self._kernel_cache is not None:
             self._cache_base = self._kernel_cache.stats()
         previous_cache = set_kernel_cache(self._kernel_cache)
+        previous_backend = set_kernel_backend(self._kernel_backend)
         try:
             end_time = self._event_loop(iter(arrivals))
             self.ledger.close(end_time)
             return end_time
         finally:
+            set_kernel_backend(previous_backend)
             set_kernel_cache(previous_cache)
 
     def _event_loop(self, arrivals: Iterator[Task]) -> float:

@@ -113,6 +113,7 @@ class CandidateBuilder:
         "_dt",
         "_node_cores",
         "_by_type",
+        "_backend",
     )
 
     def __init__(
@@ -121,6 +122,7 @@ class CandidateBuilder:
         table: ExecutionTimeTable,
         *,
         type_tables: dict | None = None,
+        backend=None,
     ) -> None:
         self._cores = list(cores)
         self._table = table
@@ -155,10 +157,24 @@ class CandidateBuilder:
         self._by_type: dict[
             int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = type_tables if type_tables is not None else {}
+        # Optional compiled kernel set (repro.perf.KernelBackend): when
+        # set, the probability rows come from one compiled score_rows
+        # call instead of the batched numpy passes.  Same inputs, same
+        # index arithmetic; only the row reductions accumulate
+        # sequentially (the documented compiled-backend tolerance).
+        self._backend = backend
 
     def _type_tables(
         self, type_id: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, ...]]:
+    ) -> tuple[
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        tuple[int, ...],
+        np.ndarray,
+    ]:
         cached = self._by_type.get(type_id)
         if cached is None:
             cluster = self._table.cluster
@@ -185,9 +201,12 @@ class CandidateBuilder:
                 times_stack[n, :, :length] = pad.times
                 times_stack[n, :, length:] = pad.times[:, -1:]
                 probs_stack[n, :, :length] = pad.probs
-            for arr in (eet, eet_flat, eec_flat, times_stack, probs_stack):
+            # int64 mirror of ``widths`` for compiled score_rows calls
+            # (ctypes / numba take an array, not a Python tuple).
+            widths_arr = np.array(widths, dtype=np.int64)
+            for arr in (eet, eet_flat, eec_flat, times_stack, probs_stack, widths_arr):
                 arr.setflags(write=False)
-            cached = (eet, eet_flat, eec_flat, times_stack, probs_stack, widths)
+            cached = (eet, eet_flat, eec_flat, times_stack, probs_stack, widths, widths_arr)
             self._by_type[type_id] = cached
         return cached
 
@@ -201,13 +220,19 @@ class CandidateBuilder:
         deadline = task.deadline
         type_id = task.type_id
 
-        eet, eet_flat, eec_flat, times_stack, probs_stack, widths = self._type_tables(type_id)
+        eet, eet_flat, eec_flat, times_stack, probs_stack, widths, widths_arr = (
+            self._type_tables(type_id)
+        )
+        be = self._backend
 
-        # ``deadline - time`` for every (node, P-state, impulse), once
-        # per arrival — the same elementwise expression the reference
-        # evaluates per node (elementwise ufuncs are exact per element
-        # regardless of batching).
-        a_stack = deadline - times_stack  # (N, P, width)
+        if be is None:
+            # ``deadline - time`` for every (node, P-state, impulse), once
+            # per arrival — the same elementwise expression the reference
+            # evaluates per node (elementwise ufuncs are exact per element
+            # regardless of batching).  The compiled path evaluates it
+            # inside score_rows instead, so skip the (N, P, width)
+            # allocation there.
+            a_stack = deadline - times_stack  # (N, P, width)
 
         # One pass over the cores, grouped by node, collects per
         # *distinct* (node, ready pmf) pair the quantities the batched
@@ -280,7 +305,38 @@ class CandidateBuilder:
         # expressions, on the same values, as prob_on_time_all_pstates
         # evaluates one core at a time.
         u = len(starts_l)
-        if u:
+        if u and be is not None:
+            starts = np.array(starts_l)
+            sizes = np.array(sizes_l, dtype=np.int64)
+            # Compiled pass: one score_rows call replaces the offset
+            # grid, gather and einsum below.  The CDFs concatenate
+            # without sentinels — the kernel's ``k >= 0`` branch covers
+            # the query-before-start case directly — and each row
+            # reduces over its node's native pad width, exactly like
+            # the reference terms.
+            offsets = np.empty(u, dtype=np.int64)
+            acc = 0
+            for i, size in enumerate(sizes_l):
+                offsets[i] = acc
+                acc += size
+            cdf_flat = np.concatenate(cdfs) if u > 1 else cdfs[0]
+            row_node = np.empty(u, dtype=np.int64)
+            for node, row_lo, row_hi in node_blocks:
+                row_node[row_lo:row_hi] = node
+            rows = be.score_rows(
+                times_stack,
+                probs_stack,
+                widths_arr,
+                starts,
+                sizes,
+                offsets,
+                row_node,
+                cdf_flat,
+                deadline,
+                dt,
+            )
+            prob = np.take(rows, slots, axis=0)  # (C, P) scatter by slot
+        elif u:
             starts = np.array(starts_l)
             sizes = np.array(sizes_l, dtype=np.int64)
             # floor((a - start) / dt + 1e-9) in-place on a writable

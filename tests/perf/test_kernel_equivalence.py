@@ -1,0 +1,297 @@
+"""Property-based compiled-vs-numpy agreement for every kernel slot.
+
+Each test installs a compiled backend via the ``set_kernel_backend``
+seam, runs the public op, and compares against the plain numpy path on
+the same inputs.  The documented contract is: index arithmetic bitwise
+(the compiled kernels mirror the reference's IEEE op order), float
+accumulations within 1e-12 relative (sequential C sums vs numpy's
+pairwise/BLAS reductions).
+
+Strategies bias toward the adversarial shapes the dispatch branches
+care about: degenerate single-bin pmfs (delta shortcuts), exact-zero
+tails (zero-mass-after-cut truncations), long geometric tails, and
+ready/exec supports of mismatched widths.  Skips when the environment
+provides no compiled backend — the numpy path is then the only path
+and is covered by the rest of the suite.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.kernels import available_backends, resolve_backend
+from repro.stoch.ops import (
+    convolve,
+    convolve_many,
+    expectation_of_sum,
+    prob_sum_at_most,
+    set_kernel_backend,
+    truncate_below,
+)
+from repro.stoch.pmf import PMF
+
+COMPILED = tuple(n for n in available_backends() if n != "numpy")
+
+pytestmark = [
+    pytest.mark.skipif(not COMPILED, reason="no compiled kernel backend available"),
+    pytest.mark.parametrize("backend_name", COMPILED),
+]
+
+RTOL = 1e-12
+ATOL = 1e-15
+
+
+@contextmanager
+def installed(name):
+    previous = set_kernel_backend(resolve_backend(name))
+    try:
+        yield
+    finally:
+        set_kernel_backend(previous)
+
+
+def assert_pmf_close(got: PMF, want: PMF) -> None:
+    assert got.dt == want.dt
+    assert got.start == pytest.approx(want.start, rel=1e-12, abs=1e-12)
+    assert got.probs.size == want.probs.size
+    np.testing.assert_allclose(got.probs, want.probs, rtol=RTOL, atol=ATOL)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+dts = st.sampled_from([0.25, 1.0, 15.0])
+starts = st.integers(min_value=-40, max_value=400).map(float)
+
+# Raw weights: exact zeros are common (hypothesis shrinks toward them),
+# which exercises trimming and the zero-mass truncation branch.
+weights = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def prob_arrays(draw) -> np.ndarray:
+    kind = draw(st.sampled_from(["general", "single", "long_tail"]))
+    if kind == "single":
+        return np.ones(1)
+    if kind == "long_tail":
+        # Geometric decay over many bins: the tail dips through the
+        # compact() trim threshold (max * 1e-12) inside the support.
+        n = draw(st.integers(min_value=8, max_value=48))
+        ratio = draw(st.sampled_from([0.1, 0.3, 0.5]))
+        return ratio ** np.arange(n, dtype=np.float64)
+    vals = draw(st.lists(weights, min_size=1, max_size=32))
+    arr = np.asarray(vals, dtype=np.float64)
+    if arr.sum() <= 0.0:
+        arr[draw(st.integers(min_value=0, max_value=arr.size - 1))] = 1.0
+    return arr
+
+
+@st.composite
+def pmfs(draw, dt: float | None = None) -> PMF:
+    if dt is None:
+        dt = draw(dts)
+    return PMF(draw(starts) * dt / 10.0, dt, draw(prob_arrays()))
+
+
+@st.composite
+def pmf_pairs(draw) -> tuple[PMF, PMF]:
+    dt = draw(dts)
+    return draw(pmfs(dt=dt)), draw(pmfs(dt=dt))
+
+
+# ----------------------------------------------------------------------
+# convolve / convolve_many
+# ----------------------------------------------------------------------
+
+
+@given(pair=pmf_pairs())
+@settings(max_examples=150, deadline=None)
+def test_convolve_matches_numpy(backend_name, pair):
+    a, b = pair
+    reference = convolve(a, b)
+    with installed(backend_name):
+        compiled = convolve(a, b)
+    assert_pmf_close(compiled, reference)
+
+
+@given(p=pmfs(), dt_scale=st.sampled_from([1.0, 3.0]), t=starts)
+@settings(max_examples=50, deadline=None)
+def test_convolve_delta_shortcut_is_backend_free(backend_name, p, dt_scale, t):
+    # Single-bin operands short-circuit to shift() before dispatch;
+    # both paths must return the identical translation.
+    d = PMF.delta(t, p.dt)
+    reference = convolve(d, p)
+    with installed(backend_name):
+        compiled = convolve(d, p)
+    assert compiled.start == reference.start
+    np.testing.assert_array_equal(compiled.probs, reference.probs)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_convolve_many_tree_matches_fold(backend_name, data):
+    dt = data.draw(dts)
+    operands = data.draw(st.lists(pmfs(dt=dt), min_size=3, max_size=6))
+    reference = convolve_many(operands)
+    with installed(backend_name):
+        compiled = convolve_many(operands)
+    # The pairwise tree contracts in a different order than the
+    # sequential fold, so supports can differ where trimming flips on
+    # last-ulp values; compare the distributions, not the arrays.
+    assert compiled.dt == reference.dt
+    assert compiled.mean() == pytest.approx(reference.mean(), rel=1e-9, abs=1e-9)
+    probe = PMF.delta(0.0, dt)
+    lo = min(compiled.start, reference.start)
+    hi = max(
+        compiled.start + compiled.probs.size * dt,
+        reference.start + reference.probs.size * dt,
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        q = lo + frac * (hi - lo)
+        assert prob_sum_at_most(compiled, probe, q) == pytest.approx(
+            prob_sum_at_most(reference, probe, q), rel=1e-9, abs=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# truncate_below
+# ----------------------------------------------------------------------
+
+
+@given(
+    p=pmfs(),
+    frac=st.floats(min_value=-0.2, max_value=1.3, allow_nan=False),
+    degenerate_dt=st.sampled_from([None, 1.0]),
+)
+@settings(max_examples=150, deadline=None)
+def test_truncate_below_matches_numpy(backend_name, p, frac, degenerate_dt):
+    t = p.start + frac * (p.probs.size * p.dt)
+    reference = truncate_below(p, t, dt_for_degenerate=degenerate_dt)
+    with installed(backend_name):
+        compiled = truncate_below(p, t, dt_for_degenerate=degenerate_dt)
+    assert_pmf_close(compiled, reference)
+
+
+@given(
+    head=st.integers(min_value=1, max_value=5),
+    zeros=st.integers(min_value=1, max_value=5),
+    degenerate_dt=st.sampled_from([None, 2.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_truncate_zero_mass_tail_degenerates(backend_name, head, zeros, degenerate_dt):
+    # All surviving bins carry exactly zero mass: both paths must agree
+    # on the "completes now" delta, including its dt override.
+    arr = np.concatenate([np.full(head, 1.0 / head), np.zeros(zeros)])
+    p = PMF(0.0, 1.0, arr)
+    t = float(head)  # cut keeps only the zero tail
+    reference = truncate_below(p, t, dt_for_degenerate=degenerate_dt)
+    with installed(backend_name):
+        compiled = truncate_below(p, t, dt_for_degenerate=degenerate_dt)
+    assert reference.probs.size == 1
+    assert compiled.start == reference.start == t
+    assert compiled.dt == reference.dt == (degenerate_dt or p.dt)
+    np.testing.assert_array_equal(compiled.probs, reference.probs)
+
+
+# ----------------------------------------------------------------------
+# prob_sum_at_most / expectation_of_sum
+# ----------------------------------------------------------------------
+
+
+@given(pair=pmf_pairs(), frac=st.floats(min_value=-0.5, max_value=1.5, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_prob_sum_at_most_matches_numpy(backend_name, pair, frac):
+    ready, exec_pmf = pair
+    # Deadlines sweep from before both supports (every index clamps to
+    # -1) to beyond them (every index clamps to size-1) — the ready and
+    # exec widths are independently drawn, so the clamp boundaries land
+    # mid-array on mismatched-width pairs.
+    lo = ready.start + exec_pmf.start
+    hi = lo + (ready.probs.size + exec_pmf.probs.size) * ready.dt
+    deadline = lo + frac * (hi - lo)
+    reference = prob_sum_at_most(ready, exec_pmf, deadline)
+    with installed(backend_name):
+        compiled = prob_sum_at_most(ready, exec_pmf, deadline)
+    assert compiled == pytest.approx(reference, rel=RTOL, abs=ATOL)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_expectation_of_sum_matches_numpy(backend_name, data):
+    operands = data.draw(st.lists(pmfs(), min_size=1, max_size=5))
+    with installed(backend_name):
+        compiled = expectation_of_sum(operands)
+    # The backend's moment must not contaminate the shared pmfs: the
+    # numpy run below still computes its own bitwise mean.  (Its
+    # ``mean()`` then caches ``_m1``, which is why the compiled path
+    # runs first here.)
+    for p in operands:
+        assert object.__getattribute__(p, "_m1") is None
+    reference = expectation_of_sum(operands)
+    assert compiled == pytest.approx(reference, rel=RTOL, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# score_rows (the CandidateBuilder batch kernel, driven directly)
+# ----------------------------------------------------------------------
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_score_rows_matches_reference_terms(backend_name, data):
+    backend = resolve_backend(backend_name)
+    rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    N = data.draw(st.integers(min_value=1, max_value=3))
+    P = data.draw(st.integers(min_value=1, max_value=3))
+    W = data.draw(st.integers(min_value=2, max_value=8))
+    dt = data.draw(dts)
+    # Native widths differ per node; columns past a node's width are
+    # padding the kernel must never read into the reduction.
+    widths = np.asarray(
+        [data.draw(st.integers(min_value=1, max_value=W)) for _ in range(N)],
+        dtype=np.int64,
+    )
+    times = rng.uniform(0.0, 50.0, size=(N, P, W))
+    probs = rng.uniform(0.0, 1.0, size=(N, P, W))
+    u = data.draw(st.integers(min_value=1, max_value=4))
+    row_node = np.asarray(
+        [data.draw(st.integers(min_value=0, max_value=N - 1)) for _ in range(u)],
+        dtype=np.int64,
+    )
+    starts = rng.uniform(-10.0, 40.0, size=u)
+    sizes = np.asarray(
+        [data.draw(st.integers(min_value=1, max_value=6)) for _ in range(u)],
+        dtype=np.int64,
+    )
+    offsets = np.zeros(u, dtype=np.int64)
+    offsets[1:] = np.cumsum(sizes)[:-1]
+    cdf_flat = np.concatenate(
+        [np.sort(rng.uniform(0.0, 1.0, size=int(s))) for s in sizes]
+    )
+    deadline = data.draw(st.floats(min_value=-20.0, max_value=120.0, allow_nan=False))
+
+    rows = backend.score_rows(
+        times, probs, widths, starts, sizes, offsets, row_node, cdf_flat, deadline, dt
+    )
+
+    want = np.zeros((u, P))
+    for r in range(u):
+        node = int(row_node[r])
+        cdf = cdf_flat[offsets[r] : offsets[r] + sizes[r]]
+        for p in range(P):
+            acc = 0.0
+            for l in range(int(widths[node])):
+                k = int(
+                    np.floor(((deadline - times[node, p, l]) - starts[r]) / dt + 1e-9)
+                )
+                if k >= 0:
+                    acc += probs[node, p, l] * cdf[min(k, int(sizes[r]) - 1)]
+            want[r, p] = acc
+    np.testing.assert_allclose(rows, want, rtol=RTOL, atol=ATOL)
